@@ -1,0 +1,371 @@
+// Package approxcache is an in-memory approximate-caching layer for
+// mobile image recognition, reproducing "Poster: Approximate Caching
+// for Mobile Image Recognition" (Mariani, Han, Xiao — ICDCS 2021).
+//
+// A Cache fronts an expensive image classifier and reuses previous
+// recognition results through four gates, cheapest first:
+//
+//  1. Inertial gate — the device has not moved, so the scene has not
+//     changed (smartphone IMU).
+//  2. Video-locality gate — the frame is nearly identical to the last
+//     recognized keyframe (temporal locality of video streams).
+//  3. Local approximate cache — an LSH-indexed feature lookup with a
+//     homogenized-kNN acceptance vote.
+//  4. Peer-to-peer reuse — nearby devices answer cache queries over an
+//     infrastructure-less protocol and receive gossiped results.
+//
+// Only when every gate misses does the classifier run; its result is
+// cached locally and shared with peers.
+//
+// Quickstart:
+//
+//	spec := approxcache.StandardWorkloads(600, 1)[0]
+//	w, _ := approxcache.GenerateWorkload(spec)
+//	clf, _ := approxcache.NewSimulatedClassifier(approxcache.MobileNetV2, w, 1)
+//	cache, _ := approxcache.New(clf, approxcache.Options{Clock: approxcache.NewVirtualClock()})
+//	for _, frame := range w.Frames {
+//		res, _ := cache.ProcessWithTruth(frame.Image, nil, approxcache.LabelOf(frame.Class))
+//		_ = res
+//	}
+//	fmt.Println(cache.Stats().HitRate())
+package approxcache
+
+import (
+	"fmt"
+	"time"
+
+	"approxcache/internal/cachestore"
+	"approxcache/internal/core"
+	"approxcache/internal/dnn"
+	"approxcache/internal/imu"
+	"approxcache/internal/lsh"
+	"approxcache/internal/metrics"
+	"approxcache/internal/p2p"
+	"approxcache/internal/simclock"
+	"approxcache/internal/simnet"
+	"approxcache/internal/trace"
+	"approxcache/internal/video"
+	"approxcache/internal/vision"
+)
+
+// Re-exported types. These aliases make the internal substrate types
+// part of the public API without duplicating them.
+type (
+	// Image is a grayscale camera frame with pixels in [0,1].
+	Image = vision.Image
+	// IMUSample is one inertial sensor reading.
+	IMUSample = imu.Sample
+	// MotionRegime is a device motion regime.
+	MotionRegime = imu.Regime
+	// Frame is a workload video frame with ground truth.
+	Frame = video.Frame
+	// WorkloadSpec is a serializable workload description.
+	WorkloadSpec = trace.Spec
+	// SegmentSpec is one motion segment of a workload.
+	SegmentSpec = trace.SegmentSpec
+	// Workload is a fully generated device input.
+	Workload = trace.Workload
+	// ModelProfile describes a classifier's cost and quality.
+	ModelProfile = dnn.Profile
+	// Classifier is the expensive recognition the cache fronts.
+	Classifier = core.Classifier
+	// Result is one frame's recognition outcome.
+	Result = core.Result
+	// Source identifies which pipeline stage served a frame.
+	Source = metrics.Source
+	// Mode selects the caching strategy.
+	Mode = core.Mode
+	// Stats aggregates a session's hits, latency, energy, accuracy.
+	Stats = metrics.SessionStats
+	// LatencySummary summarizes recorded latencies.
+	LatencySummary = metrics.LatencySummary
+	// Clock abstracts time; use NewVirtualClock for experiments.
+	Clock = simclock.Clock
+	// VirtualClock is a deterministic manually-advanced clock.
+	VirtualClock = simclock.Virtual
+	// VoteConfig tunes the homogenized-kNN acceptance policy.
+	VoteConfig = lsh.VoteConfig
+	// EvictionPolicy selects the cache eviction policy.
+	EvictionPolicy = cachestore.Policy
+	// ActivityClassifier infers the device's motion regime from raw
+	// IMU samples (the inverse of the trace generator); context-aware
+	// policies build on it.
+	ActivityClassifier = imu.ActivityClassifier
+	// SimNetwork is a simulated device-to-device wireless network.
+	SimNetwork = simnet.Network
+	// PeerClient queries and gossips to nearby devices.
+	PeerClient = p2p.Client
+	// PeerServer serves the peer protocol over TCP.
+	PeerServer = p2p.TCPServer
+)
+
+// Re-exported mode, source, eviction, and regime constants.
+const (
+	ModeNoCache    = core.ModeNoCache
+	ModeExactCache = core.ModeExactCache
+	ModeApprox     = core.ModeApprox
+	ModeNaiveSkip  = core.ModeNaiveSkip
+
+	SourceIMU   = metrics.SourceIMU
+	SourceVideo = metrics.SourceVideo
+	SourceLocal = metrics.SourceLocal
+	SourcePeer  = metrics.SourcePeer
+	SourceDNN   = metrics.SourceDNN
+
+	EvictLRU       = cachestore.LRU
+	EvictLFU       = cachestore.LFU
+	EvictCostAware = cachestore.CostAware
+
+	RegimeStationary = imu.Stationary
+	RegimeHandheld   = imu.Handheld
+	RegimeWalking    = imu.Walking
+	RegimePanning    = imu.Panning
+)
+
+// Re-exported model zoo profiles.
+var (
+	MobileNetV2 = dnn.MobileNetV2
+	SqueezeNet  = dnn.SqueezeNet
+	InceptionV3 = dnn.InceptionV3
+	ResNet50    = dnn.ResNet50
+)
+
+// Options configures a Cache. The zero value selects the full
+// approximate pipeline with production defaults.
+type Options struct {
+	// Mode selects the strategy. Defaults to ModeApprox; the other
+	// modes are evaluation baselines.
+	Mode Mode
+	// Capacity is the maximum number of cached entries (default 256).
+	Capacity int
+	// Eviction selects the eviction policy (default cost-aware).
+	Eviction EvictionPolicy
+	// TTL expires entries this long after insertion (0 = never).
+	TTL time.Duration
+	// Vote overrides the homogenized-kNN acceptance policy.
+	Vote VoteConfig
+	// LSHBits and LSHTables shape the LSH index (defaults 12 and 4).
+	LSHBits, LSHTables int
+	// AdaptiveLSH enables the self-rebalancing index: when bucket
+	// occupancy skews (image descriptors are all-positive, which
+	// correlates hyperplane signs), the index rebuilds itself centered
+	// on the observed data mean.
+	AdaptiveLSH bool
+	// Seed drives the LSH hyperplanes (default 1).
+	Seed int64
+	// Clock supplies time; defaults to the wall clock. Experiments
+	// pass NewVirtualClock so simulated latency replays instantly.
+	Clock Clock
+	// DisableIMUGate, DisableVideoGate, and DisableGossip switch off
+	// individual reuse mechanisms (used by the ablation experiments).
+	DisableIMUGate   bool
+	DisableVideoGate bool
+	DisableGossip    bool
+	// MaxReuseStreak bounds how many consecutive frames may be served
+	// by reuse before a forced revalidation inference. 0 keeps the
+	// default (20); negative disables the bound.
+	MaxReuseStreak int
+	// SkipEvery, in ModeNaiveSkip, runs the DNN on every SkipEvery-th
+	// frame (default 20, matching the approx pipeline's inference
+	// budget). Ignored in other modes.
+	SkipEvery int
+	// KeyframeCapacity is how many recent recognized scenes the video
+	// gate remembers (default 4). 1 reproduces a single-keyframe gate.
+	KeyframeCapacity int
+	// Peers installs a peer client at construction. JoinSimNetwork /
+	// DialPeers can add one later.
+	Peers *PeerClient
+}
+
+// Cache is the user-facing approximate recognition cache.
+type Cache struct {
+	engine *core.Engine
+	store  *cachestore.Store
+	clock  Clock
+	cfg    core.Config
+}
+
+// New builds a Cache fronting classifier.
+func New(classifier Classifier, opts Options) (*Cache, error) {
+	if classifier == nil {
+		return nil, fmt.Errorf("approxcache: nil classifier")
+	}
+	cfg := core.DefaultConfig()
+	if opts.Mode != 0 {
+		cfg.Mode = opts.Mode
+	}
+	if opts.Vote != (VoteConfig{}) {
+		cfg.Vote = opts.Vote
+	}
+	cfg.DisableIMUGate = opts.DisableIMUGate
+	cfg.DisableVideoGate = opts.DisableVideoGate
+	cfg.DisableGossip = opts.DisableGossip
+	if opts.MaxReuseStreak > 0 {
+		cfg.MaxReuseStreak = opts.MaxReuseStreak
+	} else if opts.MaxReuseStreak < 0 {
+		cfg.MaxReuseStreak = 0
+	}
+	if cfg.Mode == ModeNaiveSkip {
+		cfg.SkipEvery = opts.SkipEvery
+		if cfg.SkipEvery == 0 {
+			cfg.SkipEvery = 20
+		}
+	}
+	if opts.KeyframeCapacity > 0 {
+		cfg.KeyframeCapacity = opts.KeyframeCapacity
+	}
+
+	clock := opts.Clock
+	if clock == nil {
+		clock = simclock.Real{}
+	}
+
+	var store *cachestore.Store
+	if cfg.Mode == ModeApprox {
+		capacity := opts.Capacity
+		if capacity == 0 {
+			capacity = 256
+		}
+		policy := opts.Eviction
+		if policy == 0 {
+			policy = EvictCostAware
+		}
+		bits := opts.LSHBits
+		if bits == 0 {
+			bits = 12
+		}
+		tables := opts.LSHTables
+		if tables == 0 {
+			tables = 4
+		}
+		seed := opts.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		var idx lsh.Index
+		var err error
+		if opts.AdaptiveLSH {
+			acfg := lsh.DefaultAdaptiveConfig(cfg.Extractor.Dim())
+			acfg.Bits = bits
+			acfg.Tables = tables
+			acfg.Seed = seed
+			idx, err = lsh.NewAdaptive(acfg)
+		} else {
+			idx, err = lsh.NewHyperplane(cfg.Extractor.Dim(), bits, tables, seed)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("approxcache: lsh index: %w", err)
+		}
+		store, err = cachestore.New(cachestore.Config{
+			Capacity: capacity,
+			Policy:   policy,
+			TTL:      opts.TTL,
+		}, idx, clock)
+		if err != nil {
+			return nil, fmt.Errorf("approxcache: store: %w", err)
+		}
+	}
+
+	engine, err := core.New(cfg, core.Deps{
+		Clock:      clock,
+		Classifier: classifier,
+		Store:      store,
+		Peers:      opts.Peers,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("approxcache: %w", err)
+	}
+	return &Cache{engine: engine, store: store, clock: clock, cfg: cfg}, nil
+}
+
+// Process recognizes one frame, charging all costs to the cache's
+// clock. imuWindow carries the inertial samples received since the
+// previous frame (pass nil when unavailable; the inertial gate then
+// stays conservative).
+func (c *Cache) Process(im *Image, imuWindow []IMUSample) (Result, error) {
+	return c.engine.Process(im, imuWindow)
+}
+
+// ProcessWithTruth is Process plus ground-truth accuracy accounting,
+// for experiments where the true label is known.
+func (c *Cache) ProcessWithTruth(im *Image, imuWindow []IMUSample, truth string) (Result, error) {
+	return c.engine.ProcessWithTruth(im, imuWindow, truth)
+}
+
+// Stats returns the session statistics.
+func (c *Cache) Stats() *Stats { return c.engine.Stats() }
+
+// Mode returns the configured strategy.
+func (c *Cache) Mode() Mode { return c.engine.Mode() }
+
+// LastResult returns the most recent recognition, if any.
+func (c *Cache) LastResult() (Result, bool) { return c.engine.LastResult() }
+
+// Len returns the number of live cache entries (0 outside ModeApprox).
+func (c *Cache) Len() int {
+	if c.store == nil {
+		return 0
+	}
+	return c.store.Len()
+}
+
+// Evictions returns how many entries were evicted under capacity
+// pressure (0 outside ModeApprox).
+func (c *Cache) Evictions() int {
+	if c.store == nil {
+		return 0
+	}
+	return c.store.Evictions()
+}
+
+// StoreStats summarizes cache occupancy and churn.
+type StoreStats = cachestore.StoreStats
+
+// StoreStats returns occupancy/churn details of the cache store (zero
+// value outside ModeApprox).
+func (c *Cache) StoreStats() StoreStats {
+	if c.store == nil {
+		return StoreStats{}
+	}
+	return c.store.Stats()
+}
+
+// NewVirtualClock returns a deterministic clock starting at the Unix
+// epoch, for experiments.
+func NewVirtualClock() *VirtualClock {
+	return simclock.NewVirtual(time.Unix(0, 0))
+}
+
+// NewSimulatedClassifier builds the simulated DNN over a workload's
+// class set. profile selects the model's cost/quality (e.g.
+// MobileNetV2); seed drives label noise and latency jitter.
+func NewSimulatedClassifier(profile ModelProfile, w *Workload, seed int64) (Classifier, error) {
+	if w == nil {
+		return nil, fmt.Errorf("approxcache: nil workload")
+	}
+	return dnn.NewClassifier(profile, w.Classes, seed)
+}
+
+// LabelOf returns the canonical label for workload class index c.
+func LabelOf(c int) string { return dnn.LabelOf(c) }
+
+// NewActivityClassifier builds a motion-activity classifier with the
+// default thresholds.
+func NewActivityClassifier() (*ActivityClassifier, error) {
+	return imu.NewActivityClassifier(imu.DefaultActivityConfig())
+}
+
+// GenerateWorkload renders the workload described by spec.
+func GenerateWorkload(spec WorkloadSpec) (*Workload, error) { return trace.Generate(spec) }
+
+// StandardWorkloads returns the four canonical workload specs
+// (stationary-heavy, handheld-mix, walking-tour, panning-sweep) at the
+// given frame budget.
+func StandardWorkloads(frames int, seed int64) []WorkloadSpec {
+	return trace.StandardSpecs(frames, seed)
+}
+
+// StationaryHeavyWorkload returns the poster's best-case workload spec.
+func StationaryHeavyWorkload(frames int, seed int64) WorkloadSpec {
+	return trace.StationaryHeavy(frames, seed)
+}

@@ -1,0 +1,286 @@
+package approxcache_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"approxcache"
+)
+
+func testWorkload(t *testing.T, frames int) *approxcache.Workload {
+	t.Helper()
+	spec := approxcache.StationaryHeavyWorkload(frames, 3)
+	w, err := approxcache.GenerateWorkload(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func newCache(t *testing.T, w *approxcache.Workload, opts approxcache.Options) *approxcache.Cache {
+	t.Helper()
+	clf, err := approxcache.NewSimulatedClassifier(approxcache.MobileNetV2, w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Clock == nil {
+		opts.Clock = approxcache.NewVirtualClock()
+	}
+	c, err := approxcache.New(clf, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func replay(t *testing.T, c *approxcache.Cache, w *approxcache.Workload) {
+	t.Helper()
+	prev := time.Duration(0)
+	for _, fr := range w.Frames {
+		win := w.IMUWindow(prev, fr.Offset)
+		prev = fr.Offset
+		if _, err := c.ProcessWithTruth(fr.Image, win, approxcache.LabelOf(fr.Class)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := approxcache.New(nil, approxcache.Options{}); err == nil {
+		t.Fatal("nil classifier accepted")
+	}
+	w := testWorkload(t, 10)
+	clf, err := approxcache.NewSimulatedClassifier(approxcache.MobileNetV2, w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := approxcache.New(clf, approxcache.Options{LSHBits: -3}); err == nil {
+		t.Fatal("bad LSH options accepted")
+	}
+	if _, err := approxcache.NewSimulatedClassifier(approxcache.MobileNetV2, nil, 1); err == nil {
+		t.Fatal("nil workload accepted")
+	}
+}
+
+func TestDefaultsAndAccessors(t *testing.T) {
+	w := testWorkload(t, 10)
+	c := newCache(t, w, approxcache.Options{})
+	if c.Mode() != approxcache.ModeApprox {
+		t.Fatalf("default mode = %v", c.Mode())
+	}
+	if c.Len() != 0 || c.Evictions() != 0 {
+		t.Fatal("fresh cache not empty")
+	}
+	if _, ok := c.LastResult(); ok {
+		t.Fatal("fresh cache has a last result")
+	}
+}
+
+func TestBaselineModeAccessors(t *testing.T) {
+	w := testWorkload(t, 10)
+	c := newCache(t, w, approxcache.Options{Mode: approxcache.ModeNoCache})
+	replay(t, c, w)
+	if c.Len() != 0 || c.Evictions() != 0 {
+		t.Fatal("baseline mode should report empty store")
+	}
+	if c.Stats().HitRate() != 0 {
+		t.Fatal("no-cache produced hits")
+	}
+}
+
+func TestEndToEndApproxBeatsNoCache(t *testing.T) {
+	w := testWorkload(t, 200)
+	base := newCache(t, w, approxcache.Options{Mode: approxcache.ModeNoCache})
+	replay(t, base, w)
+	apx := newCache(t, w, approxcache.Options{})
+	replay(t, apx, w)
+
+	bm := base.Stats().Latency().Mean()
+	am := apx.Stats().Latency().Mean()
+	if am*2 >= bm {
+		t.Fatalf("approx mean %v not ≪ no-cache mean %v", am, bm)
+	}
+	if apx.Stats().HitRate() < 0.5 {
+		t.Fatalf("hit rate = %v", apx.Stats().HitRate())
+	}
+	if apx.Len() == 0 {
+		t.Fatal("cache stayed empty")
+	}
+	if base.Stats().Accuracy()-apx.Stats().Accuracy() > 0.1 {
+		t.Fatalf("accuracy loss too large: %v vs %v",
+			base.Stats().Accuracy(), apx.Stats().Accuracy())
+	}
+}
+
+func TestVirtualClockAdvances(t *testing.T) {
+	w := testWorkload(t, 20)
+	clock := approxcache.NewVirtualClock()
+	c := newCache(t, w, approxcache.Options{Clock: clock})
+	start := clock.Now()
+	replay(t, c, w)
+	if !clock.Now().After(start) {
+		t.Fatal("virtual clock did not advance")
+	}
+}
+
+func TestCapacityAndEvictions(t *testing.T) {
+	// A panning sweep changes scenes every few frames, producing
+	// enough distinct insertions to pressure a 4-entry cache.
+	spec := approxcache.StandardWorkloads(300, 3)[3]
+	w, err := approxcache.GenerateWorkload(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newCache(t, w, approxcache.Options{Capacity: 4, Eviction: approxcache.EvictLRU})
+	replay(t, c, w)
+	if c.Len() > 4 {
+		t.Fatalf("cache len %d exceeds capacity", c.Len())
+	}
+	if c.Evictions() == 0 {
+		t.Fatal("tiny cache never evicted")
+	}
+}
+
+func TestSimNetworkPeering(t *testing.T) {
+	w := testWorkload(t, 60)
+	net, err := approxcache.NewSimNetwork(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := approxcache.NewVirtualClock()
+	// Gossip is disabled on A so B's reuse must flow through live
+	// peer queries rather than pre-warmed local entries.
+	a := newCache(t, w, approxcache.Options{Clock: clock, DisableGossip: true})
+	b := newCache(t, w, approxcache.Options{Clock: clock, DisableGossip: true})
+	ca, err := a.JoinSimNetwork(net, "dev-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := b.JoinSimNetwork(net, "dev-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	approxcache.ConnectAll(map[string]*approxcache.PeerClient{"dev-a": ca, "dev-b": cb})
+	if got := ca.Peers(); len(got) != 1 || got[0] != "dev-b" {
+		t.Fatalf("dev-a peers = %v", got)
+	}
+	// Device A works through the trace; device B then sees the same
+	// scenes and should get peer hits without ever running its DNN on
+	// some frames.
+	replay(t, a, w)
+	replay(t, b, w)
+	counts := b.Stats().CountBySource()
+	if counts[approxcache.SourcePeer] == 0 {
+		t.Fatalf("no peer hits on device B: %v", counts)
+	}
+}
+
+func TestJoinSimNetworkRequiresApprox(t *testing.T) {
+	w := testWorkload(t, 10)
+	c := newCache(t, w, approxcache.Options{Mode: approxcache.ModeNoCache})
+	net, err := approxcache.NewSimNetwork(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.JoinSimNetwork(net, "x"); err == nil {
+		t.Fatal("baseline cache joined network")
+	}
+	if _, err := c.DialPeers("127.0.0.1:9"); err == nil {
+		t.Fatal("baseline cache dialed peers")
+	}
+	if _, err := c.ServeTCP("x", "127.0.0.1:0"); err == nil {
+		t.Fatal("baseline cache served TCP")
+	}
+}
+
+func TestTCPPeering(t *testing.T) {
+	w := testWorkload(t, 40)
+	clock := approxcache.NewVirtualClock()
+	server := newCache(t, w, approxcache.Options{Clock: clock})
+	srv, err := server.ServeTCP("server-node", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+
+	// Warm the server cache by replaying the trace there.
+	replay(t, server, w)
+
+	client := newCache(t, w, approxcache.Options{Clock: clock, DisableGossip: true})
+	if _, err := client.DialPeers(srv.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	replay(t, client, w)
+	counts := client.Stats().CountBySource()
+	if counts[approxcache.SourcePeer] == 0 {
+		t.Fatalf("no TCP peer hits: %v", counts)
+	}
+}
+
+func TestSnapshotWarmStart(t *testing.T) {
+	w := testWorkload(t, 150)
+	warm := newCache(t, w, approxcache.Options{DisableGossip: true})
+	replay(t, warm, w)
+	if warm.Len() == 0 {
+		t.Fatal("warm cache empty")
+	}
+	var buf bytes.Buffer
+	if err := warm.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	cold := newCache(t, w, approxcache.Options{})
+	n, err := cold.LoadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != warm.Len() {
+		t.Fatalf("loaded %d, want %d", n, warm.Len())
+	}
+	// A warm-started cache resolves its very first frames from the
+	// local cache instead of running the DNN cold.
+	replay(t, cold, w)
+	coldCounts := cold.Stats().CountBySource()
+	freshCounts := func() map[approxcache.Source]int {
+		fresh := newCache(t, w, approxcache.Options{})
+		replay(t, fresh, w)
+		return fresh.Stats().CountBySource()
+	}()
+	if coldCounts[approxcache.SourceDNN] > freshCounts[approxcache.SourceDNN] {
+		t.Fatalf("warm start ran MORE inferences: %d vs %d",
+			coldCounts[approxcache.SourceDNN], freshCounts[approxcache.SourceDNN])
+	}
+	// Baseline modes reject snapshots.
+	base := newCache(t, w, approxcache.Options{Mode: approxcache.ModeNoCache})
+	if err := base.SaveSnapshot(&buf); err == nil {
+		t.Fatal("baseline saved a snapshot")
+	}
+	if _, err := base.LoadSnapshot(&buf); err == nil {
+		t.Fatal("baseline loaded a snapshot")
+	}
+}
+
+func TestAblationTogglesChangeSourceMix(t *testing.T) {
+	w := testWorkload(t, 150)
+	full := newCache(t, w, approxcache.Options{})
+	replay(t, full, w)
+	noIMU := newCache(t, w, approxcache.Options{DisableIMUGate: true})
+	replay(t, noIMU, w)
+
+	if full.Stats().CountBySource()[approxcache.SourceIMU] == 0 {
+		t.Fatal("full pipeline produced no IMU hits on stationary-heavy workload")
+	}
+	if noIMU.Stats().CountBySource()[approxcache.SourceIMU] != 0 {
+		t.Fatal("disabled IMU gate still produced IMU hits")
+	}
+	// The video gate should pick up most of what the IMU gate served.
+	if noIMU.Stats().CountBySource()[approxcache.SourceVideo] <=
+		full.Stats().CountBySource()[approxcache.SourceVideo] {
+		t.Fatal("video gate did not absorb IMU-gated frames")
+	}
+}

@@ -1,0 +1,75 @@
+// Command approxbench runs the evaluation suite (experiments E1–E8 from
+// DESIGN.md) and prints the tables recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	approxbench                 # run every experiment at full scale
+//	approxbench -exp E1         # run one experiment
+//	approxbench -frames 500     # smaller/faster runs
+//	approxbench -list           # list the suite
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"approxcache/internal/eval"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "approxbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("approxbench", flag.ContinueOnError)
+	var (
+		exp    = fs.String("exp", "all", "experiment id (E1..E16), name, or \"all\"")
+		frames = fs.Int("frames", eval.DefaultScale().Frames, "per-device workload length in frames")
+		seed   = fs.Int64("seed", eval.DefaultScale().Seed, "root random seed")
+		format = fs.String("format", "table", "output format: table | csv | markdown")
+		list   = fs.Bool("list", false, "list experiments and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, e := range eval.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Name)
+		}
+		return nil
+	}
+	scale := eval.Scale{Frames: *frames, Seed: *seed}
+	experiments := eval.All()
+	if *exp != "all" {
+		e, err := eval.ByID(*exp)
+		if err != nil {
+			return err
+		}
+		experiments = []eval.Experiment{e}
+	}
+	if *format != "table" && *format != "csv" && *format != "markdown" {
+		return fmt.Errorf("unknown format %q", *format)
+	}
+	for _, e := range experiments {
+		start := time.Now()
+		report, err := e.Run(scale)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		switch *format {
+		case "csv":
+			fmt.Printf("# %s — %s\n%s\n", report.ID, report.Title, report.CSV())
+		case "markdown":
+			fmt.Println(report.Markdown())
+		default:
+			fmt.Println(report)
+			fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,187 @@
+// Command cachenode runs a live approximate-cache node that serves the
+// peer protocol over TCP. Nodes sharing a -class-seed recognize the
+// same object vocabulary, so one node's cached results answer another
+// node's queries.
+//
+// Typical two-terminal session:
+//
+//	# terminal 1: a warm node
+//	cachenode -addr 127.0.0.1:7070 -warm 600
+//
+//	# terminal 2: a cold node that reuses terminal 1's work
+//	cachenode -addr 127.0.0.1:7071 -peers 127.0.0.1:7070 -frames 300
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"approxcache"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "cachenode:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("cachenode", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", "127.0.0.1:0", "TCP listen address")
+		name      = fs.String("name", "cachenode", "node name advertised in pings")
+		peersFlag = fs.String("peers", "", "comma-separated peer addresses")
+		frames    = fs.Int("frames", 300, "frames to process after warmup")
+		warm      = fs.Int("warm", 0, "frames to process before serving stats (cache warmup)")
+		seed      = fs.Int64("seed", 1, "workload seed (vary per node)")
+		classSeed = fs.Int64("class-seed", 424242, "shared class vocabulary seed")
+		model     = fs.String("model", "mobilenet-v2", "dnn profile (mobilenet-v2|squeezenet|inception-v3|resnet-50)")
+		serve     = fs.Bool("serve", false, "keep serving after processing until interrupted")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	profile, err := profileByName(*model)
+	if err != nil {
+		return err
+	}
+	spec := approxcache.StationaryHeavyWorkload(*warm+*frames, *seed)
+	spec.ClassSeed = *classSeed
+	w, err := approxcache.GenerateWorkload(spec)
+	if err != nil {
+		return fmt.Errorf("workload: %w", err)
+	}
+	classifier, err := approxcache.NewSimulatedClassifier(profile, w, *seed)
+	if err != nil {
+		return fmt.Errorf("classifier: %w", err)
+	}
+	cache, err := approxcache.New(classifier, approxcache.Options{
+		Clock: approxcache.NewVirtualClock(),
+	})
+	if err != nil {
+		return err
+	}
+
+	srv, err := cache.ServeTCP(*name, *addr)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := srv.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "cachenode: close:", cerr)
+		}
+	}()
+	fmt.Printf("%s listening on %s (model %s, %d classes)\n",
+		*name, srv.Addr(), profile.Name, spec.NumClasses)
+
+	if *peersFlag != "" {
+		addrs := splitComma(*peersFlag)
+		client, err := cache.DialPeers(addrs...)
+		if err != nil {
+			return err
+		}
+		// Rank peers by liveness and cache warmth before starting.
+		roster, err := approxcache.NewPeerRoster(*name, client, approxcache.NewVirtualClock())
+		if err != nil {
+			return err
+		}
+		roster.Add(addrs...)
+		best := roster.ApplyBest(0)
+		fmt.Printf("peering with %v (%d alive)\n", addrs, len(best))
+		for _, peer := range best {
+			if info, ok := roster.Info(peer); ok {
+				fmt.Printf("  %s: %d cached entries, rtt %v\n",
+					peer, info.Entries, info.RTT.Round(10*time.Microsecond))
+			}
+		}
+	}
+
+	replay := func(frames []approxcache.Frame, label string) error {
+		prev := time.Duration(0)
+		start := time.Now()
+		for _, fr := range frames {
+			win := w.IMUWindow(prev, fr.Offset)
+			prev = fr.Offset
+			if _, err := cache.ProcessWithTruth(fr.Image, win, approxcache.LabelOf(fr.Class)); err != nil {
+				return fmt.Errorf("frame %d: %w", fr.Index, err)
+			}
+		}
+		fmt.Printf("%s: processed %d frames in %v wall time\n",
+			label, len(frames), time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+	if *warm > 0 {
+		if err := replay(w.Frames[:*warm], "warmup"); err != nil {
+			return err
+		}
+	}
+	if *frames > 0 {
+		if err := replay(w.Frames[*warm:], "run"); err != nil {
+			return err
+		}
+	}
+
+	printStats(cache)
+	if *serve {
+		fmt.Println("serving peers; ctrl-c to exit")
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+	}
+	return nil
+}
+
+func printStats(cache *approxcache.Cache) {
+	stats := cache.Stats()
+	fmt.Printf("frames: %d  hit-rate: %.1f%%  accuracy: %.1f%%  cache entries: %d\n",
+		stats.Frames(), stats.HitRate()*100, stats.Accuracy()*100, cache.Len())
+	sum := stats.Latency().Summary()
+	fmt.Printf("latency: mean=%v p50=%v p99=%v\n", sum.Mean, sum.P50, sum.P99)
+	counts := stats.CountBySource()
+	fmt.Printf("sources: imu=%d video=%d local=%d peer=%d dnn=%d\n",
+		counts[approxcache.SourceIMU], counts[approxcache.SourceVideo],
+		counts[approxcache.SourceLocal], counts[approxcache.SourcePeer],
+		counts[approxcache.SourceDNN])
+	q, h := stats.PeerQueries()
+	if q > 0 {
+		fmt.Printf("peer queries: %d (%d hits)\n", q, h)
+	}
+	ss := cache.StoreStats()
+	fmt.Printf("store: %d entries (dnn=%d peer=%d), %d evictions, feature-cache reuse saved %v of inference\n",
+		ss.Entries, ss.BySource["dnn"], ss.BySource["peer"], ss.Evictions,
+		ss.SavedTotal.Round(time.Millisecond))
+}
+
+func profileByName(name string) (approxcache.ModelProfile, error) {
+	for _, p := range []approxcache.ModelProfile{
+		approxcache.MobileNetV2,
+		approxcache.SqueezeNet,
+		approxcache.InceptionV3,
+		approxcache.ResNet50,
+	} {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return approxcache.ModelProfile{}, fmt.Errorf("unknown model %q", name)
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

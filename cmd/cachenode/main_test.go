@@ -1,0 +1,70 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestSplitComma(t *testing.T) {
+	tests := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"a", []string{"a"}},
+		{"a,b", []string{"a", "b"}},
+		{"a,,b,", []string{"a", "b"}},
+		{",x", []string{"x"}},
+	}
+	for _, tt := range tests {
+		got := splitComma(tt.in)
+		if len(got) != len(tt.want) {
+			t.Fatalf("splitComma(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Fatalf("splitComma(%q) = %v, want %v", tt.in, got, tt.want)
+			}
+		}
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	for _, name := range []string{"mobilenet-v2", "squeezenet", "inception-v3", "resnet-50"} {
+		p, err := profileByName(name)
+		if err != nil || p.Name != name {
+			t.Fatalf("%s: %+v, %v", name, p, err)
+		}
+	}
+	if _, err := profileByName("gpt-4"); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestRunBadModel(t *testing.T) {
+	if err := run([]string{"-model", "nope"}); err == nil {
+		t.Fatal("bad model accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunStandalone(t *testing.T) {
+	if err := run([]string{"-frames", "40", "-warm", "20", "-addr", "127.0.0.1:0"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithUnreachablePeer(t *testing.T) {
+	// An unreachable peer must degrade to local operation, not fail.
+	err := run([]string{
+		"-frames", "30", "-addr", "127.0.0.1:0",
+		"-peers", "127.0.0.1:1",
+	})
+	if err != nil {
+		t.Fatalf("unreachable peer broke the node: %v", err)
+	}
+}

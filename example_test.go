@@ -1,0 +1,49 @@
+package approxcache_test
+
+import (
+	"fmt"
+	"time"
+
+	"approxcache"
+)
+
+// Example demonstrates the complete flow: generate a workload, front a
+// simulated classifier with the approximate cache, replay the trace on
+// a virtual clock, and read the session statistics. Output is
+// deterministic because every component is seeded.
+func Example() {
+	spec := approxcache.StationaryHeavyWorkload(300, 7)
+	workload, err := approxcache.GenerateWorkload(spec)
+	if err != nil {
+		fmt.Println("workload:", err)
+		return
+	}
+	classifier, err := approxcache.NewSimulatedClassifier(approxcache.MobileNetV2, workload, 7)
+	if err != nil {
+		fmt.Println("classifier:", err)
+		return
+	}
+	cache, err := approxcache.New(classifier, approxcache.Options{
+		Clock: approxcache.NewVirtualClock(),
+	})
+	if err != nil {
+		fmt.Println("cache:", err)
+		return
+	}
+	prev := time.Duration(0)
+	for _, frame := range workload.Frames {
+		win := workload.IMUWindow(prev, frame.Offset)
+		prev = frame.Offset
+		if _, err := cache.ProcessWithTruth(frame.Image, win, approxcache.LabelOf(frame.Class)); err != nil {
+			fmt.Println("process:", err)
+			return
+		}
+	}
+	stats := cache.Stats()
+	fmt.Printf("frames=%d hit-rate=%.0f%% reduction=%.0f%%\n",
+		stats.Frames(),
+		stats.HitRate()*100,
+		(1-float64(stats.Latency().Mean())/float64(approxcache.MobileNetV2.MeanLatency))*100)
+	// Output:
+	// frames=300 hit-rate=95% reduction=94%
+}

@@ -1,0 +1,72 @@
+// Quickstart: front a (simulated) mobile DNN with an approximate cache
+// and watch the average recognition latency collapse.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"approxcache"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. A workload: 600 frames of a user mostly pointing the camera
+	//    at exhibits, occasionally walking to the next one.
+	spec := approxcache.StationaryHeavyWorkload(600, 1)
+	workload, err := approxcache.GenerateWorkload(spec)
+	if err != nil {
+		return err
+	}
+
+	// 2. The expensive computation being cached: a MobileNetV2-class
+	//    classifier (~120 ms per inference on a phone CPU).
+	classifier, err := approxcache.NewSimulatedClassifier(approxcache.MobileNetV2, workload, 1)
+	if err != nil {
+		return err
+	}
+
+	// 3. The cache. A virtual clock lets the whole trace replay
+	//    instantly while latency accounting stays exact.
+	cache, err := approxcache.New(classifier, approxcache.Options{
+		Clock: approxcache.NewVirtualClock(),
+	})
+	if err != nil {
+		return err
+	}
+
+	// 4. Recognize every frame, feeding the inertial samples received
+	//    since the previous frame so the IMU gate can work.
+	prev := time.Duration(0)
+	for _, frame := range workload.Frames {
+		imuWindow := workload.IMUWindow(prev, frame.Offset)
+		prev = frame.Offset
+		result, err := cache.ProcessWithTruth(frame.Image, imuWindow, approxcache.LabelOf(frame.Class))
+		if err != nil {
+			return err
+		}
+		if frame.Index < 3 {
+			fmt.Printf("frame %d: %s via %s in %v\n",
+				frame.Index, result.Label, result.Source, result.Latency)
+		}
+	}
+
+	// 5. The poster's claim, reproduced.
+	stats := cache.Stats()
+	sum := stats.Latency().Summary()
+	fmt.Printf("\nprocessed %d frames\n", stats.Frames())
+	fmt.Printf("hit rate:     %.1f%%\n", stats.HitRate()*100)
+	fmt.Printf("accuracy:     %.1f%%\n", stats.Accuracy()*100)
+	fmt.Printf("mean latency: %v (DNN alone would be ~%v)\n", sum.Mean, approxcache.MobileNetV2.MeanLatency)
+	fmt.Printf("reduction:    %.1f%%\n",
+		(1-float64(sum.Mean)/float64(approxcache.MobileNetV2.MeanLatency))*100)
+	return nil
+}

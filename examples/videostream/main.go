@@ -1,0 +1,133 @@
+// Videostream: continuous live-video recognition across changing motion
+// regimes, showing how each reuse gate (inertial, video locality, local
+// cache) takes over as the user stops, pans, and walks.
+//
+// Run with: go run ./examples/videostream
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"approxcache"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// dominantActivity formats the most frequently inferred activity and
+// its share of the phase's frames.
+func dominantActivity(counts map[string]int, frames int) string {
+	best, n := "unknown", 0
+	for name, c := range counts {
+		if c > n {
+			best, n = name, c
+		}
+	}
+	if n == 0 || frames == 0 {
+		return "unknown"
+	}
+	return fmt.Sprintf("%s (%d%%)", best, n*100/frames)
+}
+
+func run() error {
+	// A camera session with distinct phases: examine an object, pan
+	// across the room, walk to the next room, examine again.
+	spec := approxcache.WorkloadSpec{
+		Name:       "camera-session",
+		FPS:        15,
+		IMURateHz:  100,
+		NumClasses: 10,
+		ImageW:     48,
+		ImageH:     48,
+		Segments: []approxcache.SegmentSpec{
+			{Regime: "stationary", Frames: 150},
+			{Regime: "panning", Frames: 120},
+			{Regime: "walking", Frames: 120},
+			{Regime: "handheld", Frames: 150},
+		},
+		Seed: 7,
+	}
+	workload, err := approxcache.GenerateWorkload(spec)
+	if err != nil {
+		return err
+	}
+	classifier, err := approxcache.NewSimulatedClassifier(approxcache.InceptionV3, workload, 7)
+	if err != nil {
+		return err
+	}
+	cache, err := approxcache.New(classifier, approxcache.Options{
+		Clock: approxcache.NewVirtualClock(),
+	})
+	if err != nil {
+		return err
+	}
+
+	// Track per-phase behaviour to show the gates trading off, and run
+	// the activity classifier alongside to show the device can infer
+	// its own motion context from raw IMU data.
+	activity, err := approxcache.NewActivityClassifier()
+	if err != nil {
+		return err
+	}
+	type phase struct {
+		name     string
+		sources  map[approxcache.Source]int
+		inferred map[string]int
+		latency  time.Duration
+		frames   int
+	}
+	phases := []*phase{}
+	var cur *phase
+	lastRegime := approxcache.MotionRegime(0)
+
+	prev := time.Duration(0)
+	for _, frame := range workload.Frames {
+		if frame.Regime != lastRegime {
+			cur = &phase{
+				name:     frame.Regime.String(),
+				sources:  map[approxcache.Source]int{},
+				inferred: map[string]int{},
+			}
+			phases = append(phases, cur)
+			lastRegime = frame.Regime
+		}
+		win := workload.IMUWindow(prev, frame.Offset)
+		prev = frame.Offset
+		activity.ObserveAll(win)
+		if regime, _ := activity.Classify(); regime != 0 {
+			cur.inferred[regime.String()]++
+		}
+		res, err := cache.ProcessWithTruth(frame.Image, win, approxcache.LabelOf(frame.Class))
+		if err != nil {
+			return err
+		}
+		cur.sources[res.Source]++
+		cur.latency += res.Latency
+		cur.frames++
+	}
+
+	fmt.Printf("%-12s %8s %8s %8s %8s %8s %12s  %s\n",
+		"phase", "imu", "video", "local", "peer", "dnn", "mean-latency", "inferred-activity")
+	for _, p := range phases {
+		fmt.Printf("%-12s %8d %8d %8d %8d %8d %12v  %s\n",
+			p.name,
+			p.sources[approxcache.SourceIMU],
+			p.sources[approxcache.SourceVideo],
+			p.sources[approxcache.SourceLocal],
+			p.sources[approxcache.SourcePeer],
+			p.sources[approxcache.SourceDNN],
+			(p.latency / time.Duration(p.frames)).Round(10*time.Microsecond),
+			dominantActivity(p.inferred, p.frames))
+	}
+	stats := cache.Stats()
+	fmt.Printf("\noverall: hit rate %.1f%%, accuracy %.1f%%, mean latency %v (InceptionV3 alone: %v)\n",
+		stats.HitRate()*100, stats.Accuracy()*100,
+		stats.Latency().Mean().Round(10*time.Microsecond),
+		approxcache.InceptionV3.MeanLatency)
+	return nil
+}

@@ -1,0 +1,135 @@
+// Warmstart: persist the cache across sessions. Yesterday's session
+// saves its recognition cache to disk; today's session loads it and
+// recognizes the same environment almost without touching the DNN.
+//
+// Run with: go run ./examples/warmstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"approxcache"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func buildSession(seed int64) (*approxcache.Cache, *approxcache.Workload, error) {
+	// Same environment every day (shared ClassSeed), different route.
+	spec := approxcache.StationaryHeavyWorkload(400, seed)
+	spec.ClassSeed = 2024
+	w, err := approxcache.GenerateWorkload(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	clf, err := approxcache.NewSimulatedClassifier(approxcache.MobileNetV2, w, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	cache, err := approxcache.New(clf, approxcache.Options{
+		Clock: approxcache.NewVirtualClock(),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return cache, w, nil
+}
+
+func replay(cache *approxcache.Cache, w *approxcache.Workload) error {
+	prev := time.Duration(0)
+	for _, fr := range w.Frames {
+		win := w.IMUWindow(prev, fr.Offset)
+		prev = fr.Offset
+		if _, err := cache.ProcessWithTruth(fr.Image, win, approxcache.LabelOf(fr.Class)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "approxcache-warmstart")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if rerr := os.RemoveAll(dir); rerr != nil {
+			log.Printf("cleanup: %v", rerr)
+		}
+	}()
+	snapshotPath := filepath.Join(dir, "cache.json")
+
+	// --- Day 1: work cold, then persist the cache. ---
+	day1, work1, err := buildSession(1)
+	if err != nil {
+		return err
+	}
+	if err := replay(day1, work1); err != nil {
+		return err
+	}
+	f, err := os.Create(snapshotPath)
+	if err != nil {
+		return err
+	}
+	if err := day1.SaveSnapshot(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	info, err := os.Stat(snapshotPath)
+	if err != nil {
+		return err
+	}
+	day1DNN := day1.Stats().CountBySource()[approxcache.SourceDNN]
+	fmt.Printf("day 1: %d frames, %d DNN runs, %d cached entries saved (%d bytes)\n",
+		day1.Stats().Frames(), day1DNN, day1.Len(), info.Size())
+
+	// --- Day 2, cold: a fresh session with no memory. ---
+	cold, work2, err := buildSession(2)
+	if err != nil {
+		return err
+	}
+	if err := replay(cold, work2); err != nil {
+		return err
+	}
+
+	// --- Day 2, warm: the same session, restored from disk first. ---
+	warm, work2b, err := buildSession(2)
+	if err != nil {
+		return err
+	}
+	g, err := os.Open(snapshotPath)
+	if err != nil {
+		return err
+	}
+	loaded, err := warm.LoadSnapshot(g)
+	if cerr := g.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	if err := replay(warm, work2b); err != nil {
+		return err
+	}
+
+	coldDNN := cold.Stats().CountBySource()[approxcache.SourceDNN]
+	warmDNN := warm.Stats().CountBySource()[approxcache.SourceDNN]
+	fmt.Printf("day 2 cold start: %d DNN runs, mean latency %v\n",
+		coldDNN, cold.Stats().Latency().Mean().Round(10*time.Microsecond))
+	fmt.Printf("day 2 warm start: %d DNN runs, mean latency %v (%d entries restored)\n",
+		warmDNN, warm.Stats().Latency().Mean().Round(10*time.Microsecond), loaded)
+	if warmDNN < coldDNN {
+		fmt.Printf("\nthe snapshot saved %d cold-start inferences\n", coldDNN-warmDNN)
+	}
+	return nil
+}

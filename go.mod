@@ -1,0 +1,3 @@
+module approxcache
+
+go 1.22

@@ -1,0 +1,125 @@
+package battery
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestProfileValidate(t *testing.T) {
+	if err := TypicalPhone().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Profile{
+		{CapacityMAh: 1, VoltageV: 1, RecognitionShare: 1},
+		{Name: "x", VoltageV: 1, RecognitionShare: 1},
+		{Name: "x", CapacityMAh: 1, RecognitionShare: 1},
+		{Name: "x", CapacityMAh: 1, VoltageV: 1},
+		{Name: "x", CapacityMAh: 1, VoltageV: 1, RecognitionShare: 1.5},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad profile %d accepted", i)
+		}
+	}
+}
+
+func TestBudgetMJ(t *testing.T) {
+	p := Profile{Name: "x", CapacityMAh: 1000, VoltageV: 4, RecognitionShare: 0.5}
+	// 1000 mAh × 3.6 × 4 V × 1000 × 0.5 = 7,200,000 mJ = 7.2 kJ.
+	if got := p.BudgetMJ(); math.Abs(got-7.2e6) > 1 {
+		t.Fatalf("budget = %v", got)
+	}
+}
+
+func TestFramesAndRuntimeOnCharge(t *testing.T) {
+	p := Profile{Name: "x", CapacityMAh: 1000, VoltageV: 4, RecognitionShare: 0.5}
+	frames := p.FramesOnCharge(100) // 7.2e6 / 100 = 72000 frames
+	if math.Abs(frames-72000) > 1 {
+		t.Fatalf("frames = %v", frames)
+	}
+	// 72000 frames at 15 fps = 4800 s = 80 min.
+	rt := p.RuntimeOnCharge(100, 15)
+	if d := rt - 80*time.Minute; d < -time.Second || d > time.Second {
+		t.Fatalf("runtime = %v", rt)
+	}
+	if p.FramesOnCharge(0) != 0 {
+		t.Fatal("zero energy should give zero frames (avoid Inf)")
+	}
+	if p.RuntimeOnCharge(100, 0) != 0 {
+		t.Fatal("zero fps should give zero runtime")
+	}
+}
+
+func TestMeterLifecycle(t *testing.T) {
+	if _, err := NewMeter(Profile{}); err == nil {
+		t.Fatal("bad profile accepted")
+	}
+	m, err := NewMeter(Profile{Name: "x", CapacityMAh: 1, VoltageV: 1, RecognitionShare: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget: 1 × 3.6 × 1 × 1000 = 3600 mJ.
+	if m.Remaining() != 1 || m.Empty() {
+		t.Fatal("fresh meter not full")
+	}
+	m.Drain(1800)
+	if got := m.Remaining(); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("remaining = %v", got)
+	}
+	m.Drain(-50) // ignored
+	if m.SpentMJ() != 1800 {
+		t.Fatalf("spent = %v", m.SpentMJ())
+	}
+	m.Drain(1e9)
+	if !m.Empty() || m.Remaining() != 0 {
+		t.Fatal("overdrained meter not empty")
+	}
+}
+
+func TestMeterConcurrent(t *testing.T) {
+	m, err := NewMeter(TypicalPhone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				m.Drain(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if m.SpentMJ() != 8000 {
+		t.Fatalf("spent = %v", m.SpentMJ())
+	}
+}
+
+// Property: remaining is always in [0,1] and non-increasing under
+// drains.
+func TestMeterMonotoneProperty(t *testing.T) {
+	f := func(drains []float64) bool {
+		m, err := NewMeter(TypicalPhone())
+		if err != nil {
+			return false
+		}
+		prev := m.Remaining()
+		for _, d := range drains {
+			m.Drain(d)
+			cur := m.Remaining()
+			if cur < 0 || cur > 1 || cur > prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,84 @@
+package cachestore
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"approxcache/internal/feature"
+)
+
+// snapshotFormatVersion guards against incompatible snapshot files.
+const snapshotFormatVersion = 1
+
+// wireEntry is the serialized form of one cache entry. Timestamps and
+// hit counts are deliberately not persisted: an imported entry starts a
+// fresh life under the importer's clock and policy.
+type wireEntry struct {
+	Vec        []float64 `json:"vec"`
+	Label      string    `json:"label"`
+	Confidence float64   `json:"confidence"`
+	Source     string    `json:"source"`
+	// SavedCostMicros carries the avoided cost in microseconds
+	// (encoding/json has no native duration support).
+	SavedCostMicros int64 `json:"savedCostMicros"`
+}
+
+// wireSnapshot is the snapshot file layout.
+type wireSnapshot struct {
+	Version int         `json:"version"`
+	Entries []wireEntry `json:"entries"`
+}
+
+// Export writes all live entries to w as JSON. The snapshot can warm a
+// fresh store on another device or a later session.
+func (s *Store) Export(w io.Writer) error {
+	entries := s.Snapshot()
+	out := wireSnapshot{
+		Version: snapshotFormatVersion,
+		Entries: make([]wireEntry, 0, len(entries)),
+	}
+	for _, e := range entries {
+		out.Entries = append(out.Entries, wireEntry{
+			Vec:             e.Vec,
+			Label:           e.Label,
+			Confidence:      e.Confidence,
+			Source:          e.Source,
+			SavedCostMicros: e.SavedCost.Microseconds(),
+		})
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("cachestore: export: %w", err)
+	}
+	return nil
+}
+
+// Import reads a snapshot from r and inserts its entries, subject to
+// the store's normal capacity and eviction rules. It returns how many
+// entries were inserted. Imported entries keep their labels and costs
+// but start with fresh recency/frequency state.
+func (s *Store) Import(r io.Reader) (int, error) {
+	var in wireSnapshot
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&in); err != nil {
+		return 0, fmt.Errorf("cachestore: import: %w", err)
+	}
+	if in.Version != snapshotFormatVersion {
+		return 0, fmt.Errorf("cachestore: snapshot version %d, want %d",
+			in.Version, snapshotFormatVersion)
+	}
+	inserted := 0
+	for i, e := range in.Entries {
+		if len(e.Vec) == 0 || e.Label == "" {
+			return inserted, fmt.Errorf("cachestore: snapshot entry %d invalid", i)
+		}
+		if _, err := s.Insert(feature.Vector(e.Vec), e.Label, e.Confidence, e.Source,
+			time.Duration(e.SavedCostMicros)*time.Microsecond); err != nil {
+			return inserted, fmt.Errorf("cachestore: import entry %d: %w", i, err)
+		}
+		inserted++
+	}
+	return inserted, nil
+}

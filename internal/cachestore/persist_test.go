@@ -1,0 +1,112 @@
+package cachestore
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestExportImportRoundTrip(t *testing.T) {
+	src, _ := newTestStore(t, Config{Capacity: 8})
+	if _, err := src.Insert(vec(1, 0), "cat", 0.9, "dnn", 120*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Insert(vec(0, 1), "dog", 0.8, "peer", 80*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := src.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	dst, _ := newTestStore(t, Config{Capacity: 8})
+	n, err := dst.Import(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || dst.Len() != 2 {
+		t.Fatalf("imported %d, len %d", n, dst.Len())
+	}
+	ns, err := dst.Nearest(vec(1, 0), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := dst.Get(ns[0].ID)
+	if !ok || e.Label != "cat" || e.Confidence != 0.9 || e.SavedCost != 120*time.Millisecond {
+		t.Fatalf("entry = %+v", e)
+	}
+}
+
+func TestExportEmptyStore(t *testing.T) {
+	src, _ := newTestStore(t, Config{Capacity: 4})
+	var buf bytes.Buffer
+	if err := src.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst, _ := newTestStore(t, Config{Capacity: 4})
+	n, err := dst.Import(&buf)
+	if err != nil || n != 0 {
+		t.Fatalf("empty import = %d, %v", n, err)
+	}
+}
+
+func TestImportRespectsCapacity(t *testing.T) {
+	src, _ := newTestStore(t, Config{Capacity: 16})
+	for i := 0; i < 10; i++ {
+		if _, err := src.Insert(vec(float64(i), 1), "x", 0.9, "dnn", time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := src.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst, _ := newTestStore(t, Config{Capacity: 3})
+	n, err := dst.Import(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Fatalf("imported %d", n)
+	}
+	if dst.Len() > 3 {
+		t.Fatalf("capacity violated: %d", dst.Len())
+	}
+	if dst.Evictions() == 0 {
+		t.Fatal("over-capacity import did not evict")
+	}
+}
+
+func TestImportErrors(t *testing.T) {
+	dst, _ := newTestStore(t, Config{Capacity: 4})
+	if _, err := dst.Import(strings.NewReader("{")); err == nil {
+		t.Fatal("bad json accepted")
+	}
+	if _, err := dst.Import(strings.NewReader(`{"version":99,"entries":[]}`)); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+	bad := `{"version":1,"entries":[{"vec":[],"label":"x"}]}`
+	if _, err := dst.Import(strings.NewReader(bad)); err == nil {
+		t.Fatal("empty vector entry accepted")
+	}
+	bad = `{"version":1,"entries":[{"vec":[1,2],"label":""}]}`
+	if _, err := dst.Import(strings.NewReader(bad)); err == nil {
+		t.Fatal("empty label entry accepted")
+	}
+}
+
+func TestImportPartialFailureReportsCount(t *testing.T) {
+	dst, _ := newTestStore(t, Config{Capacity: 8})
+	payload := `{"version":1,"entries":[
+		{"vec":[1,0],"label":"ok","confidence":1,"source":"dnn","savedCostMicros":1000},
+		{"vec":[],"label":"bad"}
+	]}`
+	n, err := dst.Import(strings.NewReader(payload))
+	if err == nil {
+		t.Fatal("invalid entry accepted")
+	}
+	if n != 1 {
+		t.Fatalf("inserted before failure = %d, want 1", n)
+	}
+}

@@ -1,0 +1,352 @@
+// Package cachestore implements the in-memory store behind the
+// approximate cache: feature-keyed entries, capacity-bounded eviction
+// (LRU, LFU, or cost-aware), and TTL expiry. Entries are mirrored into a
+// nearest-neighbor index (internal/lsh) so lookups are approximate while
+// bookkeeping stays exact.
+package cachestore
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"approxcache/internal/feature"
+	"approxcache/internal/lsh"
+	"approxcache/internal/simclock"
+)
+
+// Policy selects the eviction policy.
+type Policy int
+
+// Supported eviction policies.
+const (
+	// LRU evicts the least recently used entry.
+	LRU Policy = iota + 1
+	// LFU evicts the least frequently used entry, breaking ties by
+	// recency.
+	LFU
+	// CostAware evicts the entry with the smallest expected saving,
+	// estimated as saved-cost × (hits + 1), breaking ties by recency.
+	// This is the Potluck-style "value of cached computation" policy.
+	CostAware
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "lru"
+	case LFU:
+		return "lfu"
+	case CostAware:
+		return "cost-aware"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Entry is one cached recognition result. Copies returned by the store
+// are snapshots; mutating them does not affect the cache.
+type Entry struct {
+	ID         lsh.ID
+	Vec        feature.Vector
+	Label      string
+	Confidence float64
+	// Source records where the result came from ("dnn", "peer", ...).
+	Source string
+	// SavedCost is the computation this entry avoids on a hit
+	// (typically the DNN inference latency).
+	SavedCost  time.Duration
+	InsertedAt time.Time
+	LastAccess time.Time
+	Hits       int
+}
+
+// Config parameterizes a Store.
+type Config struct {
+	// Capacity is the maximum number of entries. Must be positive.
+	Capacity int
+	// Policy selects the eviction policy. Defaults to LRU when zero.
+	Policy Policy
+	// TTL expires entries this long after insertion. Zero disables
+	// expiry.
+	TTL time.Duration
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Capacity <= 0 {
+		return fmt.Errorf("cachestore: capacity must be positive, got %d", c.Capacity)
+	}
+	switch c.Policy {
+	case 0, LRU, LFU, CostAware:
+		return nil
+	default:
+		return fmt.Errorf("cachestore: unknown policy %d", int(c.Policy))
+	}
+}
+
+// Store is a capacity-bounded, TTL-aware entry store mirrored into a
+// nearest-neighbor index. Store is safe for concurrent use.
+type Store struct {
+	cfg   Config
+	clock simclock.Clock
+	index lsh.Index
+
+	mu        sync.Mutex
+	entries   map[lsh.ID]*Entry
+	nextID    lsh.ID
+	evictions int
+	expiries  int
+}
+
+// New builds a Store over index using clock for all timing.
+func New(cfg Config, index lsh.Index, clock simclock.Clock) (*Store, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if index == nil {
+		return nil, fmt.Errorf("cachestore: nil index")
+	}
+	if clock == nil {
+		return nil, fmt.Errorf("cachestore: nil clock")
+	}
+	if cfg.Policy == 0 {
+		cfg.Policy = LRU
+	}
+	return &Store{
+		cfg:     cfg,
+		clock:   clock,
+		index:   index,
+		entries: make(map[lsh.ID]*Entry, cfg.Capacity),
+		nextID:  1,
+	}, nil
+}
+
+// Len returns the number of live entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Evictions returns how many entries capacity pressure has evicted.
+func (s *Store) Evictions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evictions
+}
+
+// Expiries returns how many entries TTL expiry has removed.
+func (s *Store) Expiries() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.expiries
+}
+
+// Insert stores a new recognition result and returns its ID, evicting
+// per policy if the store is full.
+func (s *Store) Insert(vec feature.Vector, label string, confidence float64, source string, savedCost time.Duration) (lsh.ID, error) {
+	if len(vec) == 0 {
+		return 0, fmt.Errorf("cachestore: empty feature vector")
+	}
+	if label == "" {
+		return 0, fmt.Errorf("cachestore: empty label")
+	}
+	now := s.clock.Now()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireLocked(now)
+	for len(s.entries) >= s.cfg.Capacity {
+		victim, ok := s.victimLocked()
+		if !ok {
+			break
+		}
+		s.removeLocked(victim)
+		s.evictions++
+	}
+	id := s.nextID
+	s.nextID++
+	e := &Entry{
+		ID:         id,
+		Vec:        vec.Clone(),
+		Label:      label,
+		Confidence: confidence,
+		Source:     source,
+		SavedCost:  savedCost,
+		InsertedAt: now,
+		LastAccess: now,
+	}
+	if err := s.index.Insert(id, e.Vec); err != nil {
+		return 0, fmt.Errorf("index insert: %w", err)
+	}
+	s.entries[id] = e
+	return id, nil
+}
+
+// Get returns a snapshot of the entry and whether it is live (present
+// and unexpired). Get does not count as a use for eviction purposes.
+func (s *Store) Get(id lsh.ID) (Entry, bool) {
+	now := s.clock.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[id]
+	if !ok || s.expiredLocked(e, now) {
+		return Entry{}, false
+	}
+	return snapshotEntry(e), true
+}
+
+// snapshotEntry copies e, including its feature vector, so callers can
+// never mutate store internals.
+func snapshotEntry(e *Entry) Entry {
+	out := *e
+	out.Vec = e.Vec.Clone()
+	return out
+}
+
+// Touch records a cache hit on id, updating recency and frequency.
+func (s *Store) Touch(id lsh.ID) {
+	now := s.clock.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.entries[id]; ok {
+		e.LastAccess = now
+		e.Hits++
+	}
+}
+
+// Label resolves id to its label if the entry is live. It matches the
+// callback shape of lsh.Vote.
+func (s *Store) Label(id lsh.ID) (string, bool) {
+	e, ok := s.Get(id)
+	if !ok {
+		return "", false
+	}
+	return e.Label, true
+}
+
+// Nearest returns up to k neighbors of q among live entries, ordered by
+// distance. Expired entries are removed before searching.
+func (s *Store) Nearest(q feature.Vector, k int) ([]lsh.Neighbor, error) {
+	now := s.clock.Now()
+	s.mu.Lock()
+	s.expireLocked(now)
+	s.mu.Unlock()
+	return s.index.Nearest(q, k)
+}
+
+// Remove deletes id from the store and index.
+func (s *Store) Remove(id lsh.ID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.removeLocked(id)
+}
+
+// StoreStats summarizes the store's occupancy and churn.
+type StoreStats struct {
+	// Entries is the live entry count.
+	Entries int
+	// Evictions and Expiries count removals by cause.
+	Evictions int
+	Expiries  int
+	// BySource counts live entries by their recorded source.
+	BySource map[string]int
+	// TotalHits sums the hit counters of live entries.
+	TotalHits int
+	// SavedTotal sums SavedCost × Hits over live entries: the
+	// inference time this store's reuse has avoided so far.
+	SavedTotal time.Duration
+}
+
+// Stats returns an occupancy/churn summary.
+func (s *Store) Stats() StoreStats {
+	now := s.clock.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireLocked(now)
+	st := StoreStats{
+		Entries:   len(s.entries),
+		Evictions: s.evictions,
+		Expiries:  s.expiries,
+		BySource:  make(map[string]int),
+	}
+	for _, e := range s.entries {
+		st.BySource[e.Source]++
+		st.TotalHits += e.Hits
+		st.SavedTotal += time.Duration(e.Hits) * e.SavedCost
+	}
+	return st
+}
+
+// Snapshot returns copies of all live entries, for export/gossip.
+func (s *Store) Snapshot() []Entry {
+	now := s.clock.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireLocked(now)
+	out := make([]Entry, 0, len(s.entries))
+	for _, e := range s.entries {
+		out = append(out, snapshotEntry(e))
+	}
+	return out
+}
+
+func (s *Store) removeLocked(id lsh.ID) {
+	if _, ok := s.entries[id]; !ok {
+		return
+	}
+	delete(s.entries, id)
+	s.index.Remove(id)
+}
+
+func (s *Store) expiredLocked(e *Entry, now time.Time) bool {
+	return s.cfg.TTL > 0 && now.Sub(e.InsertedAt) > s.cfg.TTL
+}
+
+func (s *Store) expireLocked(now time.Time) {
+	if s.cfg.TTL <= 0 {
+		return
+	}
+	for id, e := range s.entries {
+		if s.expiredLocked(e, now) {
+			s.removeLocked(id)
+			s.expiries++
+		}
+	}
+}
+
+// victimLocked picks the entry to evict under the configured policy.
+func (s *Store) victimLocked() (lsh.ID, bool) {
+	var (
+		victim lsh.ID
+		found  bool
+		best   *Entry
+	)
+	worse := func(cand, incumbent *Entry) bool {
+		switch s.cfg.Policy {
+		case LFU:
+			if cand.Hits != incumbent.Hits {
+				return cand.Hits < incumbent.Hits
+			}
+		case CostAware:
+			cv := float64(cand.SavedCost) * float64(cand.Hits+1)
+			iv := float64(incumbent.SavedCost) * float64(incumbent.Hits+1)
+			if cv != iv {
+				return cv < iv
+			}
+		}
+		if !cand.LastAccess.Equal(incumbent.LastAccess) {
+			return cand.LastAccess.Before(incumbent.LastAccess)
+		}
+		// Final tie-break by ID for determinism.
+		return cand.ID < incumbent.ID
+	}
+	for _, e := range s.entries {
+		if !found || worse(e, best) {
+			victim, best, found = e.ID, e, true
+		}
+	}
+	return victim, found
+}

@@ -1,0 +1,637 @@
+// Package core implements the paper's primary contribution: the
+// approximate-caching recognition pipeline that sits in front of a
+// mobile DNN classifier and reuses previous results through four
+// increasingly expensive gates — inertial (IMU), video locality
+// (frame difference), local approximate cache (LSH + homogenized kNN),
+// and peer-to-peer — falling back to DNN inference only when every
+// gate misses.
+//
+// The engine charges all simulated costs (gate compute, inference
+// latency, network RTTs) to an injected clock, so experiments replay a
+// device trace deterministically on a virtual clock while live
+// deployments use the wall clock.
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"approxcache/internal/cachestore"
+	"approxcache/internal/dnn"
+	"approxcache/internal/feature"
+	"approxcache/internal/imu"
+	"approxcache/internal/lsh"
+	"approxcache/internal/metrics"
+	"approxcache/internal/p2p"
+	"approxcache/internal/simclock"
+	"approxcache/internal/video"
+	"approxcache/internal/vision"
+)
+
+// Mode selects the caching strategy; the non-approximate modes are the
+// evaluation baselines.
+type Mode int
+
+// Supported modes.
+const (
+	// ModeNoCache runs the DNN on every frame.
+	ModeNoCache Mode = iota + 1
+	// ModeExactCache memoizes results under a quantized-pixel hash:
+	// only (near-)bit-identical frames hit. This is the classical
+	// memoization baseline approximate caching improves on.
+	ModeExactCache
+	// ModeApprox is the full approximate-caching pipeline.
+	ModeApprox
+	// ModeNaiveSkip reuses the last result unconditionally and runs
+	// the DNN only every SkipEvery-th frame. It matches the approx
+	// pipeline's inference budget without any sensing, so it isolates
+	// what the gates buy: reuse that *stops* at scene changes.
+	ModeNaiveSkip
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case ModeNoCache:
+		return "no-cache"
+	case ModeExactCache:
+		return "exact-cache"
+	case ModeApprox:
+		return "approx-cache"
+	case ModeNaiveSkip:
+		return "naive-skip"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// CostModel simulates the on-device compute cost of each cache-path
+// stage. Latencies are charged to the engine clock; energies (in
+// millijoules) accumulate in the session stats.
+type CostModel struct {
+	IMUGateLatency time.Duration
+	DiffLatency    time.Duration
+	FeatureLatency time.Duration
+	LookupLatency  time.Duration
+
+	IMUGateEnergyMJ float64
+	DiffEnergyMJ    float64
+	FeatureEnergyMJ float64
+	LookupEnergyMJ  float64
+}
+
+// DefaultCostModel returns stage costs calibrated to a mid-range
+// smartphone CPU: the whole cache path costs single-digit milliseconds
+// against ~100 ms-class inference.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		IMUGateLatency:  200 * time.Microsecond,
+		DiffLatency:     1 * time.Millisecond,
+		FeatureLatency:  4 * time.Millisecond,
+		LookupLatency:   1 * time.Millisecond,
+		IMUGateEnergyMJ: 0.05,
+		DiffEnergyMJ:    0.3,
+		FeatureEnergyMJ: 1.2,
+		LookupEnergyMJ:  0.3,
+	}
+}
+
+// Validate reports whether the model is usable.
+func (c CostModel) Validate() error {
+	if c.IMUGateLatency < 0 || c.DiffLatency < 0 || c.FeatureLatency < 0 || c.LookupLatency < 0 {
+		return fmt.Errorf("core: negative stage latency")
+	}
+	if c.IMUGateEnergyMJ < 0 || c.DiffEnergyMJ < 0 || c.FeatureEnergyMJ < 0 || c.LookupEnergyMJ < 0 {
+		return fmt.Errorf("core: negative stage energy")
+	}
+	return nil
+}
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Mode selects the strategy (default ModeApprox).
+	Mode Mode
+	// Extractor maps frames to cache keys. Defaults to
+	// feature.DefaultExtractor.
+	Extractor feature.Extractor
+	// Vote is the local-cache acceptance policy.
+	Vote lsh.VoteConfig
+	// IMU configures the inertial gate.
+	IMU imu.DetectorConfig
+	// Diff configures the video-locality gate.
+	Diff video.DiffGateConfig
+	// KeyframeCapacity is how many recent recognized scenes the video
+	// gate remembers; panning back to any of them reuses its result
+	// directly. 1 reproduces a single-keyframe gate. Default 4.
+	KeyframeCapacity int
+	// Costs simulates stage compute costs.
+	Costs CostModel
+	// Radio prices P2P traffic for energy accounting.
+	Radio p2p.RadioEnergyModel
+	// DisableIMUGate turns the inertial gate off (ablation).
+	DisableIMUGate bool
+	// DisableVideoGate turns the frame-difference gate off (ablation).
+	DisableVideoGate bool
+	// DisableGossip stops sharing fresh results with peers.
+	DisableGossip bool
+	// DisableRepair stops purging cached entries that a fresh
+	// inference contradicts (ablation).
+	DisableRepair bool
+	// SkipEvery, in ModeNaiveSkip, runs the DNN on every SkipEvery-th
+	// frame and reuses the last result otherwise. Ignored elsewhere.
+	SkipEvery int
+	// MaxReuseStreak bounds staleness: after this many consecutive
+	// reuse-served frames the pipeline forces a fresh inference (a
+	// quality-control revalidation), so one wrong inference cannot
+	// poison an unbounded run of reused results. Zero disables the
+	// bound. The default (20) keeps the DNN running on ~5% of frames
+	// in the best case — the source of the "up to ~94%" latency
+	// reduction ceiling.
+	MaxReuseStreak int
+}
+
+// DefaultConfig returns the standard pipeline configuration.
+func DefaultConfig() Config {
+	return Config{
+		Mode:             ModeApprox,
+		Extractor:        feature.DefaultExtractor(),
+		Vote:             lsh.DefaultVoteConfig(),
+		IMU:              imu.DefaultDetectorConfig(),
+		Diff:             video.DefaultDiffGateConfig(),
+		Costs:            DefaultCostModel(),
+		Radio:            p2p.DefaultRadioEnergyModel(),
+		MaxReuseStreak:   20,
+		KeyframeCapacity: 4,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch c.Mode {
+	case ModeNoCache, ModeExactCache, ModeApprox, ModeNaiveSkip:
+	default:
+		return fmt.Errorf("core: unknown mode %d", int(c.Mode))
+	}
+	if c.Mode == ModeNaiveSkip && c.SkipEvery <= 0 {
+		return fmt.Errorf("core: naive-skip needs positive SkipEvery, got %d", c.SkipEvery)
+	}
+	if c.Mode != ModeApprox {
+		return c.Costs.Validate()
+	}
+	if c.Extractor == nil {
+		return fmt.Errorf("core: nil extractor")
+	}
+	if err := c.Vote.Validate(); err != nil {
+		return err
+	}
+	if err := c.IMU.Validate(); err != nil {
+		return err
+	}
+	if err := c.Diff.Validate(); err != nil {
+		return err
+	}
+	if c.MaxReuseStreak < 0 {
+		return fmt.Errorf("core: MaxReuseStreak must be non-negative, got %d", c.MaxReuseStreak)
+	}
+	if c.KeyframeCapacity <= 0 {
+		return fmt.Errorf("core: KeyframeCapacity must be positive, got %d", c.KeyframeCapacity)
+	}
+	return c.Costs.Validate()
+}
+
+// Classifier is the expensive recognition computation the cache fronts.
+// *dnn.Classifier implements it; live deployments can plug in any
+// recognizer (e.g. real model bindings).
+type Classifier interface {
+	// Infer classifies im, reporting the label and its cost.
+	Infer(im *vision.Image) (dnn.Inference, error)
+	// Profile returns the model's cost/quality profile.
+	Profile() dnn.Profile
+}
+
+var _ Classifier = (*dnn.Classifier)(nil)
+
+// Deps are the engine's injected dependencies.
+type Deps struct {
+	// Clock supplies time and absorbs simulated latency. Required.
+	Clock simclock.Clock
+	// Classifier is the fallback DNN. Required.
+	Classifier Classifier
+	// Store is the local cache store. Required in ModeApprox.
+	Store *cachestore.Store
+	// Peers queries nearby devices. Optional; nil disables the peer
+	// gate.
+	Peers *p2p.Client
+}
+
+// Result is the recognition outcome for one frame.
+type Result struct {
+	// Label is the recognized class label.
+	Label string
+	// Confidence is the serving component's confidence.
+	Confidence float64
+	// Source is which pipeline stage produced the label.
+	Source metrics.Source
+	// Latency is the end-to-end simulated latency charged for the
+	// frame.
+	Latency time.Duration
+	// EnergyMJ is the energy charged for the frame.
+	EnergyMJ float64
+	// PeerName is set when Source is SourcePeer.
+	PeerName string
+}
+
+// Engine is the per-device recognition pipeline. Engine is safe for
+// concurrent use, though a device naturally processes frames serially.
+type Engine struct {
+	cfg   Config
+	deps  Deps
+	stats *metrics.SessionStats
+
+	mu        sync.Mutex
+	detector  *imu.Detector
+	keyframes *video.KeyframeLibrary
+	last      *Result
+	streak    int // consecutive frames served by reuse sources
+	exact     map[uint64]exactEntry
+}
+
+type exactEntry struct {
+	label      string
+	confidence float64
+}
+
+// New builds an engine from cfg and deps.
+func New(cfg Config, deps Deps) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if deps.Clock == nil {
+		return nil, fmt.Errorf("core: nil clock")
+	}
+	if deps.Classifier == nil {
+		return nil, fmt.Errorf("core: nil classifier")
+	}
+	e := &Engine{cfg: cfg, deps: deps, stats: metrics.NewSessionStats()}
+	if cfg.Mode == ModeExactCache {
+		e.exact = make(map[uint64]exactEntry)
+	}
+	if cfg.Mode == ModeApprox {
+		if deps.Store == nil {
+			return nil, fmt.Errorf("core: approx mode needs a store")
+		}
+		det, err := imu.NewDetector(cfg.IMU)
+		if err != nil {
+			return nil, err
+		}
+		lib, err := video.NewKeyframeLibrary(cfg.Diff, cfg.KeyframeCapacity)
+		if err != nil {
+			return nil, err
+		}
+		e.detector = det
+		e.keyframes = lib
+	}
+	return e, nil
+}
+
+// Stats returns the engine's session statistics.
+func (e *Engine) Stats() *metrics.SessionStats { return e.stats }
+
+// SetPeers installs (or replaces) the peer client used by the P2P gate.
+// Passing nil disables the gate.
+func (e *Engine) SetPeers(p *p2p.Client) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.deps.Peers = p
+}
+
+// peers snapshots the current peer client.
+func (e *Engine) peers() *p2p.Client {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.deps.Peers
+}
+
+// Mode returns the engine's mode.
+func (e *Engine) Mode() Mode { return e.cfg.Mode }
+
+// LastResult returns the most recent result, if any.
+func (e *Engine) LastResult() (Result, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.last == nil {
+		return Result{}, false
+	}
+	return *e.last, true
+}
+
+// Process recognizes one frame. imuWindow carries the inertial samples
+// received since the previous frame (ignored outside ModeApprox). Use
+// ProcessWithTruth in experiments so accuracy is tracked.
+func (e *Engine) Process(im *vision.Image, imuWindow []imu.Sample) (Result, error) {
+	return e.process(im, imuWindow, "", false)
+}
+
+// ProcessWithTruth is Process plus ground-truth accuracy accounting.
+func (e *Engine) ProcessWithTruth(im *vision.Image, imuWindow []imu.Sample, truth string) (Result, error) {
+	return e.process(im, imuWindow, truth, true)
+}
+
+func (e *Engine) process(im *vision.Image, imuWindow []imu.Sample, truth string, haveTruth bool) (Result, error) {
+	if im == nil {
+		return Result{}, fmt.Errorf("core: nil frame")
+	}
+	var res Result
+	var err error
+	switch e.cfg.Mode {
+	case ModeNoCache:
+		res, err = e.processNoCache(im)
+	case ModeExactCache:
+		res, err = e.processExact(im)
+	case ModeNaiveSkip:
+		res, err = e.processNaiveSkip(im)
+	default:
+		res, err = e.processApprox(im, imuWindow)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	e.deps.Clock.Sleep(res.Latency)
+	correct := haveTruth && res.Label == truth
+	e.stats.ObserveFrame(res.Source, res.Latency, res.EnergyMJ, correct)
+	e.mu.Lock()
+	e.last = &res
+	if res.Source == metrics.SourceDNN {
+		e.streak = 0
+	} else {
+		e.streak++
+	}
+	e.mu.Unlock()
+	return res, nil
+}
+
+func (e *Engine) processNoCache(im *vision.Image) (Result, error) {
+	inf, err := e.deps.Classifier.Infer(im)
+	if err != nil {
+		return Result{}, fmt.Errorf("infer: %w", err)
+	}
+	return Result{
+		Label:      inf.Label,
+		Confidence: inf.Confidence,
+		Source:     metrics.SourceDNN,
+		Latency:    inf.Latency,
+		EnergyMJ:   inf.EnergyMJ,
+	}, nil
+}
+
+// processNaiveSkip reuses the last result blindly, inferring only every
+// SkipEvery-th frame. The reuse is attributed to SourceVideo (it is a
+// crude temporal-locality heuristic) so reports separate it from DNN
+// work.
+func (e *Engine) processNaiveSkip(im *vision.Image) (Result, error) {
+	e.mu.Lock()
+	last := e.last
+	skip := last != nil && (e.streak+1)%e.cfg.SkipEvery != 0
+	e.mu.Unlock()
+	if skip {
+		return Result{
+			Label:      last.Label,
+			Confidence: last.Confidence,
+			Source:     metrics.SourceVideo,
+			Latency:    e.cfg.Costs.IMUGateLatency,
+			EnergyMJ:   e.cfg.Costs.IMUGateEnergyMJ,
+		}, nil
+	}
+	return e.processNoCache(im)
+}
+
+// exactHashLevels quantizes pixels before hashing so that bit-identical
+// renders (and only those, in practice) collide.
+const exactHashLevels = 64
+
+func exactHash(im *vision.Image) uint64 {
+	h := fnv.New64a()
+	var b [1]byte
+	for _, p := range im.Pix {
+		q := int(p * exactHashLevels)
+		if q >= exactHashLevels {
+			q = exactHashLevels - 1
+		}
+		b[0] = byte(q)
+		_, _ = h.Write(b[:])
+	}
+	return h.Sum64()
+}
+
+func (e *Engine) processExact(im *vision.Image) (Result, error) {
+	key := exactHash(im)
+	cost := e.cfg.Costs.DiffLatency // hashing is diff-class work
+	energy := e.cfg.Costs.DiffEnergyMJ
+	e.mu.Lock()
+	entry, ok := e.exact[key]
+	e.mu.Unlock()
+	if ok {
+		return Result{
+			Label:      entry.label,
+			Confidence: entry.confidence,
+			Source:     metrics.SourceLocal,
+			Latency:    cost,
+			EnergyMJ:   energy,
+		}, nil
+	}
+	inf, err := e.deps.Classifier.Infer(im)
+	if err != nil {
+		return Result{}, fmt.Errorf("infer: %w", err)
+	}
+	e.mu.Lock()
+	e.exact[key] = exactEntry{label: inf.Label, confidence: inf.Confidence}
+	e.mu.Unlock()
+	return Result{
+		Label:      inf.Label,
+		Confidence: inf.Confidence,
+		Source:     metrics.SourceDNN,
+		Latency:    cost + inf.Latency,
+		EnergyMJ:   energy + inf.EnergyMJ,
+	}, nil
+}
+
+func (e *Engine) processApprox(im *vision.Image, imuWindow []imu.Sample) (Result, error) {
+	e.mu.Lock()
+	e.detector.ObserveAll(imuWindow)
+	last := e.last
+	// Bounded staleness: once a reuse streak reaches the cap, force a
+	// fresh inference so a single wrong result cannot serve forever.
+	revalidate := e.cfg.MaxReuseStreak > 0 && e.streak >= e.cfg.MaxReuseStreak
+	var latency time.Duration
+	var energy float64
+
+	// Gate 1: inertial reuse. If the device has not moved since the
+	// last verified recognition, return it at near-zero cost.
+	if !revalidate && !e.cfg.DisableIMUGate && last != nil {
+		latency += e.cfg.Costs.IMUGateLatency
+		energy += e.cfg.Costs.IMUGateEnergyMJ
+		if e.detector.AllowReuse() {
+			res := Result{
+				Label:      last.Label,
+				Confidence: last.Confidence,
+				Source:     metrics.SourceIMU,
+				Latency:    latency,
+				EnergyMJ:   energy,
+			}
+			e.mu.Unlock()
+			return res, nil
+		}
+	}
+
+	// Gate 2: video locality. A cheap pixel diff against the recent
+	// recognized keyframes catches temporal locality the IMU missed —
+	// including panning back to a scene seen a few keyframes ago.
+	if !revalidate && !e.cfg.DisableVideoGate && e.keyframes.Len() > 0 {
+		latency += e.cfg.Costs.DiffLatency
+		energy += e.cfg.Costs.DiffEnergyMJ
+		if kf, ok := e.keyframes.Match(im); ok {
+			res := Result{
+				Label:      kf.Label,
+				Confidence: kf.Confidence,
+				Source:     metrics.SourceVideo,
+				Latency:    latency,
+				EnergyMJ:   energy,
+			}
+			e.mu.Unlock()
+			return res, nil
+		}
+	}
+	e.mu.Unlock()
+
+	// Gate 3: local approximate cache.
+	latency += e.cfg.Costs.FeatureLatency
+	energy += e.cfg.Costs.FeatureEnergyMJ
+	vec, err := e.cfg.Extractor.Extract(im)
+	if err != nil {
+		return Result{}, fmt.Errorf("extract: %w", err)
+	}
+	peers := e.peers()
+	if !revalidate {
+		latency += e.cfg.Costs.LookupLatency
+		energy += e.cfg.Costs.LookupEnergyMJ
+		ns, err := e.deps.Store.Nearest(vec, e.cfg.Vote.K)
+		if err != nil {
+			return Result{}, fmt.Errorf("nearest: %w", err)
+		}
+		verdict, err := lsh.Vote(ns, e.deps.Store.Label, e.cfg.Vote)
+		if err != nil {
+			return Result{}, fmt.Errorf("vote: %w", err)
+		}
+		if verdict.Accepted {
+			if len(ns) > 0 {
+				e.deps.Store.Touch(ns[0].ID)
+			}
+			res := Result{
+				Label:      verdict.Label,
+				Confidence: verdict.Confidence,
+				Source:     metrics.SourceLocal,
+				Latency:    latency,
+				EnergyMJ:   energy,
+			}
+			e.refreshScene(im, res.Label, res.Confidence)
+			return res, nil
+		}
+
+		// Gate 4: peer-to-peer reuse.
+		if peers != nil {
+			hit, rtt, found, err := peers.Query(vec)
+			if err != nil {
+				return Result{}, fmt.Errorf("peer query: %w", err)
+			}
+			latency += rtt
+			reqSize := p2p.QueryWireSize(len(vec))
+			energy += e.cfg.Radio.RTTCost(reqSize, 32)
+			e.stats.ObservePeerQuery(found)
+			if found {
+				// Adopt the peer's answer locally so the next similar
+				// frame hits gate 3.
+				if _, err := e.deps.Store.Insert(vec, hit.Label, hit.Confidence, "peer",
+					e.deps.Classifier.Profile().MeanLatency); err != nil {
+					return Result{}, fmt.Errorf("adopt peer hit: %w", err)
+				}
+				res := Result{
+					Label:      hit.Label,
+					Confidence: hit.Confidence,
+					Source:     metrics.SourcePeer,
+					Latency:    latency,
+					EnergyMJ:   energy,
+					PeerName:   hit.Peer,
+				}
+				e.refreshScene(im, res.Label, res.Confidence)
+				return res, nil
+			}
+		}
+	}
+
+	// Fallback: run the DNN.
+	inf, err := e.deps.Classifier.Infer(im)
+	if err != nil {
+		return Result{}, fmt.Errorf("infer: %w", err)
+	}
+	latency += inf.Latency
+	energy += inf.EnergyMJ
+	if !e.cfg.DisableRepair {
+		// Cache repair: entries sitting where we just looked, carrying
+		// a different label, are contradicted by fresh evidence —
+		// purge them so they stop winning votes.
+		e.stats.ObserveRepairs(e.repairContradicted(vec, inf.Label))
+	}
+	if _, err := e.deps.Store.Insert(vec, inf.Label, inf.Confidence, "dnn", inf.Latency); err != nil {
+		return Result{}, fmt.Errorf("cache insert: %w", err)
+	}
+	if peers != nil && !e.cfg.DisableGossip {
+		// Gossip is asynchronous on a real device: it costs radio
+		// energy but does not extend the frame's latency.
+		if _, err := peers.Gossip(vec, inf.Label, inf.Confidence, inf.Latency); err == nil {
+			size := p2p.GossipWireSize(len(vec), len(inf.Label))
+			energy += e.cfg.Radio.MessageCost(size) * float64(len(peers.Peers()))
+		}
+	}
+	res := Result{
+		Label:      inf.Label,
+		Confidence: inf.Confidence,
+		Source:     metrics.SourceDNN,
+		Latency:    latency,
+		EnergyMJ:   energy,
+	}
+	e.refreshScene(im, res.Label, res.Confidence)
+	return res, nil
+}
+
+// repairContradicted removes cached entries within half the reuse
+// radius of vec whose label differs from freshLabel. Any such entry
+// would have claimed this very lookup, and the DNN just disagreed.
+func (e *Engine) repairContradicted(vec feature.Vector, freshLabel string) int {
+	ns, err := e.deps.Store.Nearest(vec, e.cfg.Vote.K)
+	if err != nil {
+		return 0
+	}
+	removed := 0
+	for _, n := range ns {
+		if n.Distance > e.cfg.Vote.MaxDistance/2 {
+			break // sorted by distance: the rest are farther
+		}
+		if label, ok := e.deps.Store.Label(n.ID); ok && label != freshLabel {
+			e.deps.Store.Remove(n.ID)
+			removed++
+		}
+	}
+	return removed
+}
+
+// refreshScene re-anchors the cheap gates after a verified recognition:
+// the frame joins the keyframe library and the rotation integrator
+// resets.
+func (e *Engine) refreshScene(im *vision.Image, label string, confidence float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.keyframes.Push(im, label, confidence)
+	e.detector.Mark()
+}

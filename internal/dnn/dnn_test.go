@@ -1,0 +1,325 @@
+package dnn
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"approxcache/internal/vision"
+)
+
+func testClasses(t *testing.T) *vision.ClassSet {
+	t.Helper()
+	cs, err := vision.NewClassSet(6, 64, 64, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cs
+}
+
+func TestProfileValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		p    Profile
+		ok   bool
+	}{
+		{"mobilenet", MobileNetV2, true},
+		{"no name", Profile{MeanLatency: time.Second, Top1Accuracy: 0.9}, false},
+		{"zero latency", Profile{Name: "x", Top1Accuracy: 0.9}, false},
+		{"negative jitter", Profile{Name: "x", MeanLatency: 1, LatencyJitter: -1, Top1Accuracy: 0.9}, false},
+		{"negative energy", Profile{Name: "x", MeanLatency: 1, EnergyPerInference: -1, Top1Accuracy: 0.9}, false},
+		{"zero accuracy", Profile{Name: "x", MeanLatency: 1}, false},
+		{"accuracy > 1", Profile{Name: "x", MeanLatency: 1, Top1Accuracy: 1.5}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.p.Validate(); (err == nil) != tt.ok {
+				t.Fatalf("Validate = %v, want ok=%v", err, tt.ok)
+			}
+		})
+	}
+}
+
+func TestZooProfilesAllValid(t *testing.T) {
+	for _, p := range Profiles() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("profile %q invalid: %v", p.Name, err)
+		}
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	p, err := ProfileByName("resnet-50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "resnet-50" {
+		t.Fatalf("got %q", p.Name)
+	}
+	if _, err := ProfileByName("nope"); err == nil {
+		t.Fatal("unknown profile should error")
+	}
+}
+
+func TestNewClassifierValidation(t *testing.T) {
+	cs := testClasses(t)
+	if _, err := NewClassifier(Profile{}, cs, 1); err == nil {
+		t.Fatal("bad profile accepted")
+	}
+	if _, err := NewClassifier(MobileNetV2, nil, 1); err == nil {
+		t.Fatal("nil class set accepted")
+	}
+}
+
+func TestLabels(t *testing.T) {
+	cs := testClasses(t)
+	c, err := NewClassifier(MobileNetV2, cs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := c.Labels()
+	if len(labels) != 6 {
+		t.Fatalf("labels = %v", labels)
+	}
+	for i, l := range labels {
+		if l != LabelOf(i) {
+			t.Fatalf("label %d = %q", i, l)
+		}
+		if !strings.HasPrefix(l, "class-") {
+			t.Fatalf("unexpected label form %q", l)
+		}
+	}
+	labels[0] = "mutated"
+	if c.Labels()[0] == "mutated" {
+		t.Fatal("Labels exposes internal slice")
+	}
+}
+
+func TestInferNilImage(t *testing.T) {
+	cs := testClasses(t)
+	c, err := NewClassifier(MobileNetV2, cs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Infer(nil); err == nil {
+		t.Fatal("nil image accepted")
+	}
+}
+
+func TestInferPerfectModelAlwaysCorrect(t *testing.T) {
+	cs := testClasses(t)
+	perfect := MobileNetV2
+	perfect.Top1Accuracy = 1.0
+	c, err := NewClassifier(perfect, cs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 60; trial++ {
+		cls := trial % cs.NumClasses()
+		im, err := cs.Render(cls, vision.DefaultPerturbation(), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inf, err := c.Infer(im)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inf.Label != LabelOf(cls) {
+			t.Fatalf("trial %d: label %q, want %q", trial, inf.Label, LabelOf(cls))
+		}
+		if !inf.Correct {
+			t.Fatal("perfect model reported incorrect")
+		}
+	}
+}
+
+func TestInferAccuracyMatchesProfile(t *testing.T) {
+	cs := testClasses(t)
+	p := MobileNetV2
+	p.Top1Accuracy = 0.8
+	c, err := NewClassifier(p, cs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	const n = 600
+	correct := 0
+	for i := 0; i < n; i++ {
+		cls := i % cs.NumClasses()
+		im, err := cs.Render(cls, vision.DefaultPerturbation(), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inf, err := c.Infer(im)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inf.Label == LabelOf(cls) {
+			correct++
+		}
+	}
+	acc := float64(correct) / n
+	if acc < 0.72 || acc > 0.88 {
+		t.Fatalf("measured accuracy %v, want ~0.8", acc)
+	}
+}
+
+func TestInferLatencyDistribution(t *testing.T) {
+	cs := testClasses(t)
+	c, err := NewClassifier(MobileNetV2, cs, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto, _ := cs.Prototype(0)
+	var total time.Duration
+	const n = 200
+	for i := 0; i < n; i++ {
+		inf, err := c.Infer(proto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inf.Latency < MobileNetV2.MeanLatency/2 {
+			t.Fatalf("latency %v below floor", inf.Latency)
+		}
+		if inf.EnergyMJ != MobileNetV2.EnergyPerInference {
+			t.Fatalf("energy = %v", inf.EnergyMJ)
+		}
+		total += inf.Latency
+	}
+	mean := total / n
+	lo := MobileNetV2.MeanLatency - MobileNetV2.MeanLatency/10
+	hi := MobileNetV2.MeanLatency + MobileNetV2.MeanLatency/10
+	if mean < lo || mean > hi {
+		t.Fatalf("mean latency %v, want within 10%% of %v", mean, MobileNetV2.MeanLatency)
+	}
+}
+
+func TestInferConfidenceRange(t *testing.T) {
+	cs := testClasses(t)
+	c, err := NewClassifier(MobileNetV2, cs, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 50; i++ {
+		im, err := cs.Render(i%cs.NumClasses(), vision.HardPerturbation(), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inf, err := c.Infer(im)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inf.Confidence < 0 || inf.Confidence > 1 {
+			t.Fatalf("confidence %v out of range", inf.Confidence)
+		}
+	}
+}
+
+func TestInferDeterministicWithSeed(t *testing.T) {
+	cs := testClasses(t)
+	run := func() []string {
+		c, err := NewClassifier(MobileNetV2, cs, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(10))
+		var out []string
+		for i := 0; i < 30; i++ {
+			im, err := cs.Render(i%cs.NumClasses(), vision.DefaultPerturbation(), rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inf, err := c.Infer(im)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, inf.Label)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+func TestInferTopK(t *testing.T) {
+	cs := testClasses(t)
+	c, err := NewClassifier(MobileNetV2, cs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto, err := cs.Prototype(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.InferTopK(nil, 3); err == nil {
+		t.Fatal("nil image accepted")
+	}
+	if _, err := c.InferTopK(proto, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	ranked, err := c.InferTopK(proto, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != 3 {
+		t.Fatalf("len = %d", len(ranked))
+	}
+	if ranked[0].Label != LabelOf(2) {
+		t.Fatalf("top label = %q", ranked[0].Label)
+	}
+	var sum float64
+	for i, r := range ranked {
+		if r.Score <= 0 || r.Score > 1 {
+			t.Fatalf("score %d = %v", i, r.Score)
+		}
+		if i > 0 && r.Score > ranked[i-1].Score {
+			t.Fatal("scores not descending")
+		}
+		sum += r.Score
+	}
+	if sum > 1+1e-9 {
+		t.Fatalf("scores sum to %v", sum)
+	}
+	// An exact prototype query is dominated by its own class.
+	if ranked[0].Score < 0.5 {
+		t.Fatalf("top score = %v on exact prototype", ranked[0].Score)
+	}
+	// k beyond the vocabulary clamps.
+	all, err := c.InferTopK(proto, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != cs.NumClasses() {
+		t.Fatalf("clamped len = %d", len(all))
+	}
+}
+
+func TestSingleClassNeverMisclassifies(t *testing.T) {
+	cs, err := vision.NewClassSet(1, 32, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := MobileNetV2
+	p.Top1Accuracy = 0.5
+	c, err := NewClassifier(p, cs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto, _ := cs.Prototype(0)
+	for i := 0; i < 20; i++ {
+		inf, err := c.Infer(proto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inf.Label != LabelOf(0) {
+			t.Fatal("single-class classifier produced another label")
+		}
+	}
+}

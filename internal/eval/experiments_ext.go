@@ -1,0 +1,722 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"approxcache/internal/battery"
+	"approxcache/internal/cachestore"
+	"approxcache/internal/core"
+	"approxcache/internal/dnn"
+	"approxcache/internal/feature"
+	"approxcache/internal/lsh"
+	"approxcache/internal/metrics"
+	"approxcache/internal/p2p"
+	"approxcache/internal/simclock"
+	"approxcache/internal/simnet"
+	"approxcache/internal/trace"
+	"approxcache/internal/vision"
+)
+
+// E9AdaptiveLSH compares the plain hyperplane index against the
+// adaptive (data-centered, self-rebalancing) index on real image
+// descriptors, which are all-positive and therefore skew uncentered
+// hyperplane buckets.
+func E9AdaptiveLSH(s Scale) (Report, error) {
+	if err := s.validate(); err != nil {
+		return Report{}, err
+	}
+	// Descriptor-like vectors from actual rendered frames.
+	classes, err := vision.NewClassSet(8, 48, 48, s.Seed)
+	if err != nil {
+		return Report{}, err
+	}
+	ex := feature.DefaultExtractor()
+	rng := rand.New(rand.NewSource(s.Seed))
+	items := s.Frames
+	if items > 3000 {
+		items = 3000
+	}
+	vecs := make([]feature.Vector, items)
+	exact, err := lsh.NewExact(ex.Dim())
+	if err != nil {
+		return Report{}, err
+	}
+	for i := range vecs {
+		im, err := classes.Render(i%8, vision.DefaultPerturbation(), rng)
+		if err != nil {
+			return Report{}, err
+		}
+		v, err := ex.Extract(im)
+		if err != nil {
+			return Report{}, err
+		}
+		vecs[i] = v
+		if err := exact.Insert(lsh.ID(i), v); err != nil {
+			return Report{}, err
+		}
+	}
+	const queries = 150
+	qs := make([]feature.Vector, queries)
+	truth := make([]lsh.ID, queries)
+	for i := range qs {
+		im, err := classes.Render(i%8, vision.DefaultPerturbation(), rng)
+		if err != nil {
+			return Report{}, err
+		}
+		v, err := ex.Extract(im)
+		if err != nil {
+			return Report{}, err
+		}
+		qs[i] = v
+		ns, err := exact.Nearest(v, 1)
+		if err != nil {
+			return Report{}, err
+		}
+		truth[i] = ns[0].ID
+	}
+
+	type candIndex interface {
+		lsh.Index
+		Candidates(feature.Vector) ([]lsh.ID, error)
+		Stats() lsh.Stats
+	}
+	measure := func(idx candIndex) (recall float64, meanCand float64, st lsh.Stats, err error) {
+		for i, v := range vecs {
+			if err := idx.Insert(lsh.ID(i), v); err != nil {
+				return 0, 0, lsh.Stats{}, err
+			}
+		}
+		hits, cands := 0, 0
+		for i, q := range qs {
+			cs, err := idx.Candidates(q)
+			if err != nil {
+				return 0, 0, lsh.Stats{}, err
+			}
+			cands += len(cs)
+			ns, err := idx.Nearest(q, 1)
+			if err != nil {
+				return 0, 0, lsh.Stats{}, err
+			}
+			if len(ns) > 0 && ns[0].ID == truth[i] {
+				hits++
+			}
+		}
+		return float64(hits) / queries, float64(cands) / queries, idx.Stats(), nil
+	}
+
+	plain, err := lsh.NewHyperplane(ex.Dim(), 12, 4, s.Seed)
+	if err != nil {
+		return Report{}, err
+	}
+	acfg := lsh.DefaultAdaptiveConfig(ex.Dim())
+	acfg.Seed = s.Seed
+	adaptive, err := lsh.NewAdaptive(acfg)
+	if err != nil {
+		return Report{}, err
+	}
+
+	report := Report{
+		ID:      "E9",
+		Title:   "Adaptive vs plain LSH on real image descriptors (all-positive vectors)",
+		Headers: []string{"index", "recall@1", "mean-candidates", "buckets", "max-bucket-share", "rebuilds"},
+		Notes: []string{
+			"positive-orthant descriptors correlate hyperplane signs; centering on the data mean spreads buckets",
+		},
+	}
+	pRecall, pCand, pStats, err := measure(plain)
+	if err != nil {
+		return Report{}, err
+	}
+	aRecall, aCand, aStats, err := measure(adaptive)
+	if err != nil {
+		return Report{}, err
+	}
+	share := func(st lsh.Stats) float64 {
+		if st.Items == 0 {
+			return 0
+		}
+		return float64(st.MaxBucket) / float64(st.Items)
+	}
+	report.Rows = append(report.Rows,
+		[]string{"plain", fmtPct(pRecall), fmtF(pCand),
+			fmt.Sprintf("%d", pStats.Buckets), fmtPct(share(pStats)), "0"},
+		[]string{"adaptive", fmtPct(aRecall), fmtF(aCand),
+			fmt.Sprintf("%d", aStats.Buckets), fmtPct(share(aStats)),
+			fmt.Sprintf("%d", adaptive.Rebuilds())},
+	)
+	return report, nil
+}
+
+// E10ModelSweep measures the benefit across the model zoo: heavier
+// models leave more latency and energy on the table for the cache to
+// save.
+func E10ModelSweep(s Scale) (Report, error) {
+	if err := s.validate(); err != nil {
+		return Report{}, err
+	}
+	spec := trace.StationaryHeavy(s.Frames, s.Seed)
+	report := Report{
+		ID:      "E10",
+		Title:   "Benefit across the model zoo (stationary-heavy)",
+		Headers: []string{"model", "no-cache mean", "approx mean", "reduction", "accuracy Δ", "energy ratio"},
+		Notes: []string{
+			"the relative saving is nearly model-independent: reuse removes a fixed fraction of inferences",
+		},
+	}
+	for _, profile := range dnn.Profiles() {
+		base, _, err := RunSingle(DeviceConfig{
+			Name: "main", Spec: spec,
+			Engine:  core.Config{Mode: core.ModeNoCache, Costs: core.DefaultCostModel()},
+			Profile: profile, Seed: s.Seed,
+		})
+		if err != nil {
+			return Report{}, fmt.Errorf("%s base: %w", profile.Name, err)
+		}
+		apx, _, err := RunSingle(DeviceConfig{
+			Name: "main", Spec: spec,
+			Engine:  core.DefaultConfig(),
+			Profile: profile, Seed: s.Seed,
+		})
+		if err != nil {
+			return Report{}, fmt.Errorf("%s approx: %w", profile.Name, err)
+		}
+		bm, am := base.Latency().Mean(), apx.Latency().Mean()
+		report.Rows = append(report.Rows, []string{
+			profile.Name,
+			fmtDur(bm),
+			fmtDur(am),
+			fmtPct(1 - float64(am)/float64(bm)),
+			fmt.Sprintf("%+.1fpp", (apx.Accuracy()-base.Accuracy())*100),
+			fmtPct(apx.EnergyMJ() / base.EnergyMJ()),
+		})
+	}
+	return report, nil
+}
+
+// E11Robustness stresses approximate matching with the aggressive
+// perturbation profile (more noise, bigger shifts, frequent occlusion).
+func E11Robustness(s Scale) (Report, error) {
+	if err := s.validate(); err != nil {
+		return Report{}, err
+	}
+	report := Report{
+		ID:    "E11",
+		Title: "Robustness to frame degradation (default vs hard perturbation)",
+		Headers: []string{"workload", "perturbation", "hit-rate", "accuracy",
+			"no-cache accuracy", "mean-latency"},
+		Notes: []string{
+			"the no-cache column separates classifier degradation (hard frames confuse the DNN too) from cache-induced loss",
+		},
+	}
+	for _, base := range []trace.Spec{
+		trace.StationaryHeavy(s.Frames, s.Seed),
+		trace.PanningSweep(s.Frames, s.Seed),
+	} {
+		for _, hard := range []bool{false, true} {
+			spec := base
+			spec.Hard = hard
+			stats, _, err := RunSingle(DeviceConfig{
+				Name: "main", Spec: spec, Engine: core.DefaultConfig(), Seed: s.Seed,
+			})
+			if err != nil {
+				return Report{}, fmt.Errorf("%s hard=%v: %w", spec.Name, hard, err)
+			}
+			baseStats, _, err := RunSingle(DeviceConfig{
+				Name: "main", Spec: spec,
+				Engine: core.Config{Mode: core.ModeNoCache, Costs: core.DefaultCostModel()},
+				Seed:   s.Seed,
+			})
+			if err != nil {
+				return Report{}, fmt.Errorf("%s hard=%v base: %w", spec.Name, hard, err)
+			}
+			label := "default"
+			if hard {
+				label = "hard"
+			}
+			report.Rows = append(report.Rows, []string{
+				spec.Name,
+				label,
+				fmtPct(stats.HitRate()),
+				fmtPct(stats.Accuracy()),
+				fmtPct(baseStats.Accuracy()),
+				fmtDur(stats.Latency().Mean()),
+			})
+		}
+	}
+	return report, nil
+}
+
+// E12LossyNetwork degrades the device-to-device links and measures how
+// gracefully the peer gate fails: collaboration should fade, never
+// hurt correctness.
+func E12LossyNetwork(s Scale) (Report, error) {
+	if err := s.validate(); err != nil {
+		return Report{}, err
+	}
+	report := Report{
+		ID:      "E12",
+		Title:   "Peer reuse under degraded wireless links (walking-tour, 2 helpers)",
+		Headers: []string{"loss", "peer-hits", "peer-queries", "hit-rate", "accuracy", "mean-latency"},
+		Notes: []string{
+			"loss starves the peer gate but the local gates keep serving; accuracy is unaffected",
+		},
+	}
+	for _, loss := range []float64{0, 0.01, 0.05, 0.2, 0.5} {
+		link := simnet.DefaultLinkProfile()
+		link.LossProb = loss
+		spec := trace.WalkingTour(s.Frames, s.Seed)
+		spec.ClassSeed = s.Seed + 555
+		spec.ClassSkew = 0.8
+		cfgs := []DeviceConfig{{
+			Name: "main", Spec: spec, Engine: core.DefaultConfig(), Seed: s.Seed,
+		}}
+		for i := 0; i < 2; i++ {
+			helper := trace.WalkingTour(s.Frames, s.Seed+int64(i+1)*13)
+			helper.ClassSeed = spec.ClassSeed
+			helper.ClassSkew = spec.ClassSkew
+			helper.Name = fmt.Sprintf("helper-%d", i)
+			cfgs = append(cfgs, DeviceConfig{
+				Name: helper.Name, Spec: helper, Engine: core.DefaultConfig(),
+				Seed: s.Seed + int64(i+7),
+			})
+		}
+		group, err := RunGroupLink(cfgs, s.Seed, link)
+		if err != nil {
+			return Report{}, fmt.Errorf("loss %v: %w", loss, err)
+		}
+		stats := group["main"]
+		queries, hits := stats.PeerQueries()
+		report.Rows = append(report.Rows, []string{
+			fmtPct(loss),
+			fmt.Sprintf("%d", hits),
+			fmt.Sprintf("%d", queries),
+			fmtPct(stats.HitRate()),
+			fmtPct(stats.Accuracy()),
+			fmtDur(stats.Latency().Mean()),
+		})
+	}
+	return report, nil
+}
+
+// E16DigestFilter measures the peer-coverage digest: with many peers
+// holding disjoint content, the digest prefilter should cut per-query
+// network traffic sharply while preserving nearly every hit.
+func E16DigestFilter(s Scale) (Report, error) {
+	if err := s.validate(); err != nil {
+		return Report{}, err
+	}
+	const (
+		dim      = 16
+		peers    = 8
+		perPeer  = 24
+		queryCnt = 200
+	)
+	rng := rand.New(rand.NewSource(s.Seed))
+	net, err := simnet.New(simnet.LinkProfile{Latency: 5 * time.Millisecond}, s.Seed)
+	if err != nil {
+		return Report{}, err
+	}
+	clock := simclock.NewVirtual(time.Unix(0, 0))
+	// Each peer owns one region of feature space.
+	centers := make([]feature.Vector, peers)
+	names := make([]string, peers)
+	for i := range centers {
+		c := make(feature.Vector, dim)
+		for d := range c {
+			c[d] = rng.NormFloat64()
+		}
+		c.Normalize()
+		centers[i] = c
+		names[i] = fmt.Sprintf("peer-%d", i)
+		idx, err := lsh.NewExact(dim)
+		if err != nil {
+			return Report{}, err
+		}
+		st, err := cachestore.New(cachestore.Config{Capacity: 64}, idx, clock)
+		if err != nil {
+			return Report{}, err
+		}
+		for j := 0; j < perPeer; j++ {
+			v := c.Clone()
+			for d := range v {
+				v[d] += rng.NormFloat64() * 0.03
+			}
+			v.Normalize()
+			if _, err := st.Insert(v, fmt.Sprintf("class-%d", i), 0.9, "dnn", time.Millisecond); err != nil {
+				return Report{}, err
+			}
+		}
+		svc, err := p2p.NewService(p2p.DefaultServiceConfig(names[i]), st)
+		if err != nil {
+			return Report{}, err
+		}
+		if err := p2p.RegisterService(net, svc); err != nil {
+			return Report{}, err
+		}
+	}
+	queries := make([]feature.Vector, queryCnt)
+	for i := range queries {
+		v := centers[rng.Intn(peers)].Clone()
+		for d := range v {
+			v[d] += rng.NormFloat64() * 0.03
+		}
+		v.Normalize()
+		queries[i] = v
+	}
+
+	run := func(useDigests bool) (hits, sent, skipped int, err error) {
+		tr, err := p2p.NewSimnetTransport("main", net)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		client, err := p2p.NewClient(p2p.DefaultClientConfig(), tr)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		client.SetPeers(names)
+		if useDigests {
+			for _, peer := range names {
+				if _, _, err := client.FetchDigest(peer); err != nil {
+					return 0, 0, 0, err
+				}
+			}
+		}
+		before, _ := net.Stats()
+		for _, q := range queries {
+			_, _, found, err := client.Query(q)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			if found {
+				hits++
+			}
+		}
+		after, _ := net.Stats()
+		return hits, after - before, client.SkippedQueries(), nil
+	}
+	report := Report{
+		ID:      "E16",
+		Title:   "Peer coverage digests (8 peers with disjoint content, 200 queries)",
+		Headers: []string{"mode", "peer-hits", "messages", "queries-skipped"},
+		Notes: []string{
+			"digests let the requester skip peers that cannot answer; hits are preserved at a fraction of the traffic",
+		},
+	}
+	for _, useDigests := range []bool{false, true} {
+		hits, msgs, skipped, err := run(useDigests)
+		if err != nil {
+			return Report{}, err
+		}
+		mode := "no digests"
+		if useDigests {
+			mode = "with digests"
+		}
+		report.Rows = append(report.Rows, []string{
+			mode,
+			fmt.Sprintf("%d", hits),
+			fmt.Sprintf("%d", msgs),
+			fmt.Sprintf("%d", skipped),
+		})
+	}
+	return report, nil
+}
+
+// E15LatencyCDF renders the latency distribution (figure-style series):
+// one row per percentile, one column per system. The distribution is
+// the cache's signature: a mass of sub-millisecond gate hits with an
+// inference-cost tail whose height is the miss rate.
+func E15LatencyCDF(s Scale) (Report, error) {
+	if err := s.validate(); err != nil {
+		return Report{}, err
+	}
+	spec := trace.StationaryHeavy(s.Frames, s.Seed)
+	systems := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"no-cache", core.Config{Mode: core.ModeNoCache, Costs: core.DefaultCostModel()}},
+		{"naive-skip", core.Config{Mode: core.ModeNaiveSkip, SkipEvery: 20, Costs: core.DefaultCostModel()}},
+		{"approx", core.DefaultConfig()},
+	}
+	report := Report{
+		ID:      "E15",
+		Title:   "Frame latency distribution (stationary-heavy)",
+		Headers: []string{"percentile"},
+		Notes: []string{
+			"the cached systems are bimodal: sub-ms reuse for ~95% of frames, full inference cost in the tail",
+		},
+	}
+	var all []*metrics.SessionStats
+	for _, sys := range systems {
+		report.Headers = append(report.Headers, sys.name)
+		stats, _, err := RunSingle(DeviceConfig{
+			Name: "main", Spec: spec, Engine: sys.cfg, Seed: s.Seed,
+		})
+		if err != nil {
+			return Report{}, fmt.Errorf("%s: %w", sys.name, err)
+		}
+		all = append(all, stats)
+	}
+	for _, p := range []float64{10, 25, 50, 75, 90, 95, 99, 100} {
+		row := []string{fmt.Sprintf("p%g", p)}
+		for _, stats := range all {
+			row = append(row, fmtDur(stats.Latency().Percentile(p)))
+		}
+		report.Rows = append(report.Rows, row)
+	}
+	return report, nil
+}
+
+// E14GateGrid completes the ablation story: every combination of the
+// cheap gates on/off, plus the keyframe-library size, on one workload.
+func E14GateGrid(s Scale) (Report, error) {
+	if err := s.validate(); err != nil {
+		return Report{}, err
+	}
+	spec := trace.HandheldMix(s.Frames, s.Seed)
+	report := Report{
+		ID:    "E14",
+		Title: "Gate ablation grid (handheld-mix)",
+		Headers: []string{"configuration", "imu", "video", "local", "dnn",
+			"hit-rate", "accuracy", "mean-latency"},
+		Notes: []string{
+			"disabling a cheap gate shifts load to the next (more expensive) one; the full stack is fastest",
+		},
+	}
+	type variant struct {
+		name      string
+		noIMU     bool
+		noVideo   bool
+		keyframes int
+	}
+	variants := []variant{
+		{name: "full (4 keyframes)", keyframes: 4},
+		{name: "single keyframe", keyframes: 1},
+		{name: "no imu gate", noIMU: true, keyframes: 4},
+		{name: "no video gate", noVideo: true, keyframes: 4},
+		{name: "feature cache only", noIMU: true, noVideo: true, keyframes: 4},
+	}
+	for _, v := range variants {
+		cfg := core.DefaultConfig()
+		cfg.DisableIMUGate = v.noIMU
+		cfg.DisableVideoGate = v.noVideo
+		cfg.KeyframeCapacity = v.keyframes
+		stats, _, err := RunSingle(DeviceConfig{
+			Name: "main", Spec: spec, Engine: cfg, Seed: s.Seed,
+		})
+		if err != nil {
+			return Report{}, fmt.Errorf("%s: %w", v.name, err)
+		}
+		frames := float64(stats.Frames())
+		counts := stats.CountBySource()
+		report.Rows = append(report.Rows, []string{
+			v.name,
+			fmtPct(float64(counts[metrics.SourceIMU]) / frames),
+			fmtPct(float64(counts[metrics.SourceVideo]) / frames),
+			fmtPct(float64(counts[metrics.SourceLocal]) / frames),
+			fmtPct(float64(counts[metrics.SourceDNN]) / frames),
+			fmtPct(stats.HitRate()),
+			fmtPct(stats.Accuracy()),
+			fmtDur(stats.Latency().Mean()),
+		})
+	}
+	return report, nil
+}
+
+// E13Battery translates per-frame energy into recognition time on one
+// charge of a typical phone battery.
+func E13Battery(s Scale) (Report, error) {
+	if err := s.validate(); err != nil {
+		return Report{}, err
+	}
+	spec := trace.StationaryHeavy(s.Frames, s.Seed)
+	phone := battery.TypicalPhone()
+	report := Report{
+		ID:    "E13",
+		Title: "Continuous recognition on one battery charge (typical phone, 15 fps)",
+		Headers: []string{"system", "energy/frame (mJ)", "frames/charge", "runtime/charge",
+			"vs no-cache"},
+		Notes: []string{
+			fmt.Sprintf("battery: %.0f mAh × %.2f V, %.0f%% budgeted to recognition",
+				phone.CapacityMAh, phone.VoltageV, phone.RecognitionShare*100),
+		},
+	}
+	var baseRuntime time.Duration
+	type system struct {
+		name string
+		cfg  core.Config
+	}
+	for _, sys := range []system{
+		{"no-cache", core.Config{Mode: core.ModeNoCache, Costs: core.DefaultCostModel()}},
+		{"approx", core.DefaultConfig()},
+	} {
+		stats, _, err := RunSingle(DeviceConfig{
+			Name: "main", Spec: spec, Engine: sys.cfg, Seed: s.Seed,
+		})
+		if err != nil {
+			return Report{}, fmt.Errorf("%s: %w", sys.name, err)
+		}
+		perFrame := stats.EnergyMJ() / float64(stats.Frames())
+		runtime := phone.RuntimeOnCharge(perFrame, spec.FPS)
+		if sys.name == "no-cache" {
+			baseRuntime = runtime
+		}
+		gain := "-"
+		if baseRuntime > 0 && sys.name != "no-cache" {
+			gain = fmt.Sprintf("%.1f×", float64(runtime)/float64(baseRuntime))
+		}
+		report.Rows = append(report.Rows, []string{
+			sys.name,
+			fmtF(perFrame),
+			fmt.Sprintf("%.0f", phone.FramesOnCharge(perFrame)),
+			runtime.Round(time.Minute).String(),
+			gain,
+		})
+	}
+	return report, nil
+}
+
+// E17PeerChurn measures why live roster maintenance matters: peers come
+// and go (devices leave the neighborhood), and a requester with a stale
+// peer list keeps paying radio timeouts on dead peers. The maintained
+// roster re-probes between rounds and sheds them.
+func E17PeerChurn(s Scale) (Report, error) {
+	if err := s.validate(); err != nil {
+		return Report{}, err
+	}
+	const (
+		dim     = 16
+		peerCnt = 6
+		rounds  = 12
+		perRnd  = 20
+	)
+	rng := rand.New(rand.NewSource(s.Seed))
+	// Shared content region: every live peer can answer every query.
+	center := make(feature.Vector, dim)
+	for d := range center {
+		center[d] = rng.NormFloat64()
+	}
+	center.Normalize()
+	queries := make([]feature.Vector, perRnd)
+	for i := range queries {
+		v := center.Clone()
+		for d := range v {
+			v[d] += rng.NormFloat64() * 0.03
+		}
+		v.Normalize()
+		queries[i] = v
+	}
+
+	run := func(maintained bool) (meanCost time.Duration, hits int, err error) {
+		net, err := simnet.New(simnet.LinkProfile{Latency: 5 * time.Millisecond}, s.Seed)
+		if err != nil {
+			return 0, 0, err
+		}
+		net.SetDeadCost(80 * time.Millisecond) // radio timeout on dead peers
+		clock := simclock.NewVirtual(time.Unix(0, 0))
+		names := make([]string, peerCnt)
+		services := make([]*p2p.Service, peerCnt)
+		register := func(i int) error {
+			return p2p.RegisterService(net, services[i])
+		}
+		for i := 0; i < peerCnt; i++ {
+			names[i] = fmt.Sprintf("peer-%d", i)
+			idx, err := lsh.NewExact(dim)
+			if err != nil {
+				return 0, 0, err
+			}
+			st, err := cachestore.New(cachestore.Config{Capacity: 64}, idx, clock)
+			if err != nil {
+				return 0, 0, err
+			}
+			for j := 0; j < 16; j++ {
+				v := center.Clone()
+				for d := range v {
+					v[d] += rng.NormFloat64() * 0.03
+				}
+				v.Normalize()
+				if _, err := st.Insert(v, "class-0", 0.9, "dnn", time.Millisecond); err != nil {
+					return 0, 0, err
+				}
+			}
+			svc, err := p2p.NewService(p2p.DefaultServiceConfig(names[i]), st)
+			if err != nil {
+				return 0, 0, err
+			}
+			services[i] = svc
+			if err := register(i); err != nil {
+				return 0, 0, err
+			}
+		}
+		tr, err := p2p.NewSimnetTransport("main", net)
+		if err != nil {
+			return 0, 0, err
+		}
+		client, err := p2p.NewClient(p2p.DefaultClientConfig(), tr)
+		if err != nil {
+			return 0, 0, err
+		}
+		client.SetPeers(names)
+		roster, err := p2p.NewRoster("main", client, clock)
+		if err != nil {
+			return 0, 0, err
+		}
+		roster.Add(names...)
+
+		var total time.Duration
+		n := 0
+		down := -1
+		for round := 0; round < rounds; round++ {
+			// Churn: the previous casualty returns, a new one leaves.
+			if down >= 0 {
+				if err := register(down); err != nil {
+					return 0, 0, err
+				}
+			}
+			down = round % peerCnt
+			net.Unregister(simnet.NodeID(names[down]))
+			if maintained {
+				roster.ApplyBest(0)
+			}
+			for _, q := range queries {
+				_, cost, found, err := client.Query(q)
+				if err != nil {
+					return 0, 0, err
+				}
+				if found {
+					hits++
+				}
+				total += cost
+				n++
+			}
+		}
+		return total / time.Duration(n), hits, nil
+	}
+
+	report := Report{
+		ID:      "E17",
+		Title:   "Roster maintenance under peer churn (6 peers, 1 down per round, 80 ms dead-peer timeout)",
+		Headers: []string{"peer list", "mean query cost", "peer-hits"},
+		Notes: []string{
+			"a static peer list keeps paying the dead-peer timeout every query; a maintained roster sheds it",
+		},
+	}
+	for _, maintained := range []bool{false, true} {
+		mean, hits, err := run(maintained)
+		if err != nil {
+			return Report{}, err
+		}
+		mode := "static"
+		if maintained {
+			mode = "maintained roster"
+		}
+		report.Rows = append(report.Rows, []string{
+			mode,
+			fmtDur(mean),
+			fmt.Sprintf("%d", hits),
+		})
+	}
+	return report, nil
+}

@@ -1,0 +1,136 @@
+package feature
+
+import (
+	"fmt"
+	"math"
+
+	"approxcache/internal/vision"
+)
+
+// DCTExtractor computes a perceptual-hash style descriptor: the frame
+// is downsampled to Size×Size, transformed with a 2-D DCT-II, and the
+// low-frequency Keep×Keep corner (minus the DC term) becomes the
+// feature vector. Low-frequency coefficients capture global scene
+// structure and are robust to noise and small shifts — the same reason
+// pHash uses them for near-duplicate detection.
+type DCTExtractor struct {
+	// Size is the downsampled side length (e.g. 32).
+	Size int
+	// Keep is the retained low-frequency block side (e.g. 8).
+	Keep int
+}
+
+var _ Extractor = DCTExtractor{}
+
+// NewDCTExtractor validates and returns a DCT extractor.
+func NewDCTExtractor(size, keep int) (DCTExtractor, error) {
+	if size <= 0 {
+		return DCTExtractor{}, fmt.Errorf("feature: dct size must be positive, got %d", size)
+	}
+	if keep <= 0 || keep > size {
+		return DCTExtractor{}, fmt.Errorf("feature: dct keep must be in [1,%d], got %d", size, keep)
+	}
+	return DCTExtractor{Size: size, Keep: keep}, nil
+}
+
+// DefaultDCTExtractor returns the pHash-standard 32→8 configuration.
+func DefaultDCTExtractor() DCTExtractor {
+	return DCTExtractor{Size: 32, Keep: 8}
+}
+
+// Dim returns Keep*Keep - 1 (the DC coefficient is dropped: it is just
+// mean brightness, which the brightness perturbation shifts freely).
+func (d DCTExtractor) Dim() int { return d.Keep*d.Keep - 1 }
+
+// Name returns "dct<size>k<keep>".
+func (d DCTExtractor) Name() string { return fmt.Sprintf("dct%dk%d", d.Size, d.Keep) }
+
+// Extract computes the descriptor.
+func (d DCTExtractor) Extract(im *vision.Image) (Vector, error) {
+	if im == nil || len(im.Pix) == 0 {
+		return nil, fmt.Errorf("feature: empty image")
+	}
+	if im.W < d.Size || im.H < d.Size {
+		return nil, fmt.Errorf("feature: image %dx%d smaller than dct size %d",
+			im.W, im.H, d.Size)
+	}
+	small := downsample(im, d.Size)
+	coeffs := dct2(small, d.Size, d.Keep)
+	out := make(Vector, 0, d.Dim())
+	for v := 0; v < d.Keep; v++ {
+		for u := 0; u < d.Keep; u++ {
+			if u == 0 && v == 0 {
+				continue // drop DC
+			}
+			out = append(out, coeffs[v*d.Keep+u])
+		}
+	}
+	// Skip normalization when the AC energy is numerical dust (e.g. a
+	// constant image): scaling noise up to unit norm would fabricate
+	// structure out of rounding error.
+	if out.Norm() > 1e-9 {
+		out.Normalize()
+	}
+	return out, nil
+}
+
+// downsample box-filters im to size×size.
+func downsample(im *vision.Image, size int) []float64 {
+	out := make([]float64, size*size)
+	for gy := 0; gy < size; gy++ {
+		y0 := gy * im.H / size
+		y1 := (gy + 1) * im.H / size
+		for gx := 0; gx < size; gx++ {
+			x0 := gx * im.W / size
+			x1 := (gx + 1) * im.W / size
+			var sum float64
+			for y := y0; y < y1; y++ {
+				row := im.Pix[y*im.W : y*im.W+im.W]
+				for x := x0; x < x1; x++ {
+					sum += row[x]
+				}
+			}
+			out[gy*size+gx] = sum / float64((y1-y0)*(x1-x0))
+		}
+	}
+	return out
+}
+
+// dct2 computes the keep×keep low-frequency corner of the 2-D DCT-II of
+// a size×size image. Separable implementation: DCT over rows, then
+// over columns, computing only the needed output frequencies.
+func dct2(pix []float64, size, keep int) []float64 {
+	// Row transform: rows × keep frequencies.
+	rows := make([]float64, size*keep)
+	for y := 0; y < size; y++ {
+		for u := 0; u < keep; u++ {
+			var sum float64
+			for x := 0; x < size; x++ {
+				sum += pix[y*size+x] *
+					math.Cos(math.Pi*float64(u)*(2*float64(x)+1)/(2*float64(size)))
+			}
+			rows[y*keep+u] = sum
+		}
+	}
+	// Column transform: keep × keep.
+	out := make([]float64, keep*keep)
+	for v := 0; v < keep; v++ {
+		for u := 0; u < keep; u++ {
+			var sum float64
+			for y := 0; y < size; y++ {
+				sum += rows[y*keep+u] *
+					math.Cos(math.Pi*float64(v)*(2*float64(y)+1)/(2*float64(size)))
+			}
+			out[v*keep+u] = sum * orthoScale(u, size) * orthoScale(v, size)
+		}
+	}
+	return out
+}
+
+// orthoScale is the orthonormal DCT-II scale factor.
+func orthoScale(k, n int) float64 {
+	if k == 0 {
+		return math.Sqrt(1 / float64(n))
+	}
+	return math.Sqrt(2 / float64(n))
+}

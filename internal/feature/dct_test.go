@@ -1,0 +1,209 @@
+package feature
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"approxcache/internal/vision"
+)
+
+func TestNewDCTExtractorValidation(t *testing.T) {
+	if _, err := NewDCTExtractor(0, 8); err == nil {
+		t.Fatal("zero size accepted")
+	}
+	if _, err := NewDCTExtractor(32, 0); err == nil {
+		t.Fatal("zero keep accepted")
+	}
+	if _, err := NewDCTExtractor(8, 16); err == nil {
+		t.Fatal("keep > size accepted")
+	}
+	d, err := NewDCTExtractor(32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Dim() != 63 {
+		t.Fatalf("Dim = %d, want 63", d.Dim())
+	}
+	if d.Name() != "dct32k8" {
+		t.Fatalf("Name = %q", d.Name())
+	}
+}
+
+func TestDCTExtractErrors(t *testing.T) {
+	d := DefaultDCTExtractor()
+	if _, err := d.Extract(nil); err == nil {
+		t.Fatal("nil image accepted")
+	}
+	if _, err := d.Extract(vision.NewImage(8, 8)); err == nil {
+		t.Fatal("too-small image accepted")
+	}
+}
+
+func TestDCTUniformImageIsAllZeroAC(t *testing.T) {
+	im := vision.NewImage(32, 32)
+	for i := range im.Pix {
+		im.Pix[i] = 0.7
+	}
+	d := DefaultDCTExtractor()
+	v, err := d.Extract(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A constant image has zero AC energy; normalization leaves the
+	// zero vector untouched.
+	for i, x := range v {
+		if math.Abs(x) > 1e-9 {
+			t.Fatalf("AC coefficient %d = %v on uniform image", i, x)
+		}
+	}
+}
+
+func TestDCTDeterministicAndUnitNorm(t *testing.T) {
+	cs, err := vision.NewClassSet(2, 48, 48, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := cs.Prototype(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := DefaultDCTExtractor()
+	a, err := d.Extract(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.Extract(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("extraction not deterministic")
+		}
+	}
+	if math.Abs(a.Norm()-1) > 1e-9 {
+		t.Fatalf("norm = %v", a.Norm())
+	}
+}
+
+func TestDCTBrightnessInvariance(t *testing.T) {
+	cs, err := vision.NewClassSet(1, 48, 48, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto, err := cs.Prototype(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bright := proto.Clone()
+	for i := range bright.Pix {
+		// Stay inside [0,1] to avoid clamping nonlinearity.
+		bright.Pix[i] = bright.Pix[i]*0.8 + 0.1
+	}
+	d := DefaultDCTExtractor()
+	a, err := d.Extract(proto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.Extract(bright)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DC was dropped and the vector normalized, so an affine
+	// brightness change barely moves the descriptor.
+	if dist := MustEuclidean(a, b); dist > 0.05 {
+		t.Fatalf("brightness shifted descriptor by %v", dist)
+	}
+	// The grid descriptor, by contrast, is NOT brightness invariant;
+	// this is the DCT descriptor's selling point.
+	g := GridExtractor{Cols: 8, Rows: 8}
+	ga, err := g.Extract(proto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := g.Extract(bright)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MustEuclidean(ga.Normalized(), gb.Normalized()) < MustEuclidean(a, b) {
+		t.Skip("grid happened to be more stable on this image; acceptable")
+	}
+}
+
+func TestDCTSeparatesClasses(t *testing.T) {
+	cs, err := vision.NewClassSet(4, 48, 48, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := DefaultDCTExtractor()
+	rng := rand.New(rand.NewSource(3))
+	var intra, inter float64
+	var intraN, interN int
+	const perClass = 6
+	vecs := make(map[int][]Vector)
+	for c := 0; c < 4; c++ {
+		for i := 0; i < perClass; i++ {
+			im, err := cs.Render(c, vision.DefaultPerturbation(), rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v, err := d.Extract(im)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vecs[c] = append(vecs[c], v)
+		}
+	}
+	for c1, vs1 := range vecs {
+		for c2, vs2 := range vecs {
+			for i := range vs1 {
+				for j := range vs2 {
+					if c1 == c2 && i >= j {
+						continue
+					}
+					dd := MustEuclidean(vs1[i], vs2[j])
+					if c1 == c2 {
+						intra += dd
+						intraN++
+					} else {
+						inter += dd
+						interN++
+					}
+				}
+			}
+		}
+	}
+	intra /= float64(intraN)
+	inter /= float64(interN)
+	if intra*2 > inter {
+		t.Fatalf("weak separation: intra=%v inter=%v", intra, inter)
+	}
+}
+
+// The DCT descriptor works as a drop-in cache key through the combined
+// extractor plumbing.
+func TestDCTInCombinedExtractor(t *testing.T) {
+	c, err := NewCombinedExtractor(true, DefaultDCTExtractor(), HistogramExtractor{Bins: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Dim() != 63+8 {
+		t.Fatalf("Dim = %d", c.Dim())
+	}
+	cs, err := vision.NewClassSet(2, 48, 48, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := cs.Prototype(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Extract(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 71 {
+		t.Fatalf("len = %d", len(v))
+	}
+}

@@ -1,0 +1,176 @@
+package feature
+
+import (
+	"fmt"
+
+	"approxcache/internal/vision"
+)
+
+// Extractor maps a frame to a feature vector. Implementations must be
+// deterministic and safe for concurrent use.
+type Extractor interface {
+	// Extract computes the feature vector of im.
+	Extract(im *vision.Image) (Vector, error)
+	// Dim returns the dimensionality of vectors produced by Extract.
+	Dim() int
+	// Name returns a short identifier for reports.
+	Name() string
+}
+
+// GridExtractor downsamples the frame to a Cols×Rows grid of mean
+// luminances. It is the workhorse descriptor: translation-tolerant at
+// cell granularity and cheap to compute.
+type GridExtractor struct {
+	Cols, Rows int
+}
+
+var _ Extractor = GridExtractor{}
+
+// NewGridExtractor returns a grid extractor, validating the grid shape.
+func NewGridExtractor(cols, rows int) (GridExtractor, error) {
+	if cols <= 0 || rows <= 0 {
+		return GridExtractor{}, fmt.Errorf("feature: grid must be positive, got %dx%d", cols, rows)
+	}
+	return GridExtractor{Cols: cols, Rows: rows}, nil
+}
+
+// Dim returns Cols*Rows.
+func (g GridExtractor) Dim() int { return g.Cols * g.Rows }
+
+// Name returns "grid<cols>x<rows>".
+func (g GridExtractor) Name() string { return fmt.Sprintf("grid%dx%d", g.Cols, g.Rows) }
+
+// Extract computes per-cell mean luminance.
+func (g GridExtractor) Extract(im *vision.Image) (Vector, error) {
+	if im.W < g.Cols || im.H < g.Rows {
+		return nil, fmt.Errorf("feature: image %dx%d smaller than grid %dx%d",
+			im.W, im.H, g.Cols, g.Rows)
+	}
+	out := make(Vector, g.Cols*g.Rows)
+	for gy := 0; gy < g.Rows; gy++ {
+		y0 := gy * im.H / g.Rows
+		y1 := (gy + 1) * im.H / g.Rows
+		for gx := 0; gx < g.Cols; gx++ {
+			x0 := gx * im.W / g.Cols
+			x1 := (gx + 1) * im.W / g.Cols
+			var sum float64
+			for y := y0; y < y1; y++ {
+				row := im.Pix[y*im.W : y*im.W+im.W]
+				for x := x0; x < x1; x++ {
+					sum += row[x]
+				}
+			}
+			out[gy*g.Cols+gx] = sum / float64((y1-y0)*(x1-x0))
+		}
+	}
+	return out, nil
+}
+
+// HistogramExtractor computes a normalized intensity histogram. It is
+// fully translation-invariant and complements the grid descriptor.
+type HistogramExtractor struct {
+	Bins int
+}
+
+var _ Extractor = HistogramExtractor{}
+
+// NewHistogramExtractor returns a histogram extractor with bins buckets.
+func NewHistogramExtractor(bins int) (HistogramExtractor, error) {
+	if bins <= 0 {
+		return HistogramExtractor{}, fmt.Errorf("feature: bins must be positive, got %d", bins)
+	}
+	return HistogramExtractor{Bins: bins}, nil
+}
+
+// Dim returns the number of bins.
+func (h HistogramExtractor) Dim() int { return h.Bins }
+
+// Name returns "hist<bins>".
+func (h HistogramExtractor) Name() string { return fmt.Sprintf("hist%d", h.Bins) }
+
+// Extract computes the intensity histogram, normalized to sum to 1.
+func (h HistogramExtractor) Extract(im *vision.Image) (Vector, error) {
+	if len(im.Pix) == 0 {
+		return nil, fmt.Errorf("feature: empty image")
+	}
+	out := make(Vector, h.Bins)
+	for _, v := range im.Pix {
+		bin := int(v * float64(h.Bins))
+		if bin >= h.Bins {
+			bin = h.Bins - 1
+		}
+		out[bin]++
+	}
+	n := float64(len(im.Pix))
+	for i := range out {
+		out[i] /= n
+	}
+	return out, nil
+}
+
+// CombinedExtractor concatenates the vectors of several extractors,
+// optionally normalizing the result to unit norm so that LSH hyperplane
+// signatures behave uniformly.
+type CombinedExtractor struct {
+	parts     []Extractor
+	normalize bool
+	dim       int
+	name      string
+}
+
+var _ Extractor = (*CombinedExtractor)(nil)
+
+// NewCombinedExtractor concatenates parts. normalize selects unit-norm
+// output.
+func NewCombinedExtractor(normalize bool, parts ...Extractor) (*CombinedExtractor, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("feature: combined extractor needs at least one part")
+	}
+	dim := 0
+	name := "combined("
+	for i, p := range parts {
+		dim += p.Dim()
+		if i > 0 {
+			name += "+"
+		}
+		name += p.Name()
+	}
+	name += ")"
+	return &CombinedExtractor{parts: parts, normalize: normalize, dim: dim, name: name}, nil
+}
+
+// Dim returns the total dimensionality.
+func (c *CombinedExtractor) Dim() int { return c.dim }
+
+// Name returns a description of the concatenated parts.
+func (c *CombinedExtractor) Name() string { return c.name }
+
+// Extract concatenates the part vectors.
+func (c *CombinedExtractor) Extract(im *vision.Image) (Vector, error) {
+	out := make(Vector, 0, c.dim)
+	for _, p := range c.parts {
+		v, err := p.Extract(im)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.Name(), err)
+		}
+		out = append(out, v...)
+	}
+	if c.normalize {
+		out.Normalize()
+	}
+	return out, nil
+}
+
+// DefaultExtractor returns the extractor used by the standard pipeline:
+// an 8×8 luminance grid concatenated with a 16-bin histogram, unit
+// normalized (80 dimensions).
+func DefaultExtractor() Extractor {
+	grid := GridExtractor{Cols: 8, Rows: 8}
+	hist := HistogramExtractor{Bins: 16}
+	c, err := NewCombinedExtractor(true, grid, hist)
+	if err != nil {
+		// Unreachable: both parts are statically valid.
+		panic(err)
+	}
+	return c
+}

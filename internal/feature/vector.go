@@ -1,0 +1,156 @@
+// Package feature defines the feature-vector representation used as the
+// approximate-cache key space, the distance metrics over it, and the
+// extractors that map camera frames into it.
+//
+// Approximate computation reuse works in any feature space where
+// "visually the same scene" implies "nearby vectors". The extractors in
+// this package (downsampled luminance grid, intensity histogram, and
+// their concatenation) provide that metric structure for the synthetic
+// frames produced by internal/vision.
+package feature
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Vector is a dense feature vector. Vectors compared with the functions
+// in this package must have equal dimension.
+type Vector []float64
+
+// ErrDimensionMismatch is returned when two vectors of different
+// dimensions are compared.
+var ErrDimensionMismatch = errors.New("feature: dimension mismatch")
+
+// Clone returns a deep copy of v.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Dim returns the dimensionality of v.
+func (v Vector) Dim() int { return len(v) }
+
+// Norm returns the L2 norm of v.
+func (v Vector) Norm() float64 {
+	var sum float64
+	for _, x := range v {
+		sum += x * x
+	}
+	return math.Sqrt(sum)
+}
+
+// Normalize scales v in place to unit L2 norm. A zero vector is left
+// unchanged.
+func (v Vector) Normalize() {
+	n := v.Norm()
+	if n == 0 {
+		return
+	}
+	for i := range v {
+		v[i] /= n
+	}
+}
+
+// Normalized returns a unit-norm copy of v.
+func (v Vector) Normalized() Vector {
+	out := v.Clone()
+	out.Normalize()
+	return out
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b Vector) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("%w: %d vs %d", ErrDimensionMismatch, len(a), len(b))
+	}
+	var sum float64
+	for i := range a {
+		sum += a[i] * b[i]
+	}
+	return sum, nil
+}
+
+// Euclidean returns the L2 distance between a and b.
+func Euclidean(a, b Vector) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("%w: %d vs %d", ErrDimensionMismatch, len(a), len(b))
+	}
+	var sum float64
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum), nil
+}
+
+// MustEuclidean is Euclidean for callers that have already validated
+// dimensions (hot paths such as kNN scans). Mismatched dimensions return
+// +Inf, which callers treat as "infinitely far".
+func MustEuclidean(a, b Vector) float64 {
+	if len(a) != len(b) {
+		return math.Inf(1)
+	}
+	var sum float64
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+// Cosine returns the cosine distance (1 - cosine similarity) between a
+// and b. Zero vectors are at distance 1 from everything.
+func Cosine(a, b Vector) (float64, error) {
+	dot, err := Dot(a, b)
+	if err != nil {
+		return 0, err
+	}
+	na, nb := a.Norm(), b.Norm()
+	if na == 0 || nb == 0 {
+		return 1, nil
+	}
+	sim := dot / (na * nb)
+	// Clamp against floating point drift outside [-1, 1].
+	if sim > 1 {
+		sim = 1
+	} else if sim < -1 {
+		sim = -1
+	}
+	return 1 - sim, nil
+}
+
+// Metric identifies a distance function over Vectors.
+type Metric int
+
+// Supported metrics.
+const (
+	MetricEuclidean Metric = iota + 1
+	MetricCosine
+)
+
+// String returns the metric name.
+func (m Metric) String() string {
+	switch m {
+	case MetricEuclidean:
+		return "euclidean"
+	case MetricCosine:
+		return "cosine"
+	default:
+		return fmt.Sprintf("Metric(%d)", int(m))
+	}
+}
+
+// Distance computes the metric's distance between a and b.
+func (m Metric) Distance(a, b Vector) (float64, error) {
+	switch m {
+	case MetricEuclidean:
+		return Euclidean(a, b)
+	case MetricCosine:
+		return Cosine(a, b)
+	default:
+		return 0, fmt.Errorf("feature: unknown metric %d", int(m))
+	}
+}

@@ -1,0 +1,192 @@
+package feature
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestVectorClone(t *testing.T) {
+	v := Vector{1, 2, 3}
+	c := v.Clone()
+	c[0] = 9
+	if v[0] != 1 {
+		t.Fatalf("clone aliases original: v=%v", v)
+	}
+	if c.Dim() != 3 {
+		t.Fatalf("clone dim = %d, want 3", c.Dim())
+	}
+}
+
+func TestNorm(t *testing.T) {
+	tests := []struct {
+		name string
+		v    Vector
+		want float64
+	}{
+		{"zero", Vector{0, 0}, 0},
+		{"unit axis", Vector{1, 0, 0}, 1},
+		{"3-4-5", Vector{3, 4}, 5},
+		{"empty", Vector{}, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.v.Norm(); !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("Norm() = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	v := Vector{3, 4}
+	v.Normalize()
+	if !almostEqual(v.Norm(), 1, 1e-12) {
+		t.Fatalf("normalized norm = %v, want 1", v.Norm())
+	}
+	z := Vector{0, 0}
+	z.Normalize()
+	if z[0] != 0 || z[1] != 0 {
+		t.Fatalf("zero vector changed by Normalize: %v", z)
+	}
+}
+
+func TestNormalizedDoesNotMutate(t *testing.T) {
+	v := Vector{3, 4}
+	u := v.Normalized()
+	if v[0] != 3 || v[1] != 4 {
+		t.Fatalf("Normalized mutated receiver: %v", v)
+	}
+	if !almostEqual(u.Norm(), 1, 1e-12) {
+		t.Fatalf("Normalized norm = %v, want 1", u.Norm())
+	}
+}
+
+func TestDotErrors(t *testing.T) {
+	_, err := Dot(Vector{1}, Vector{1, 2})
+	if !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("Dot mismatch err = %v, want ErrDimensionMismatch", err)
+	}
+}
+
+func TestEuclidean(t *testing.T) {
+	d, err := Euclidean(Vector{0, 0}, Vector{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(d, 5, 1e-12) {
+		t.Fatalf("Euclidean = %v, want 5", d)
+	}
+	if _, err := Euclidean(Vector{1}, Vector{1, 2}); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("want ErrDimensionMismatch, got %v", err)
+	}
+}
+
+func TestMustEuclideanMismatchIsInf(t *testing.T) {
+	if d := MustEuclidean(Vector{1}, Vector{1, 2}); !math.IsInf(d, 1) {
+		t.Fatalf("MustEuclidean mismatch = %v, want +Inf", d)
+	}
+}
+
+func TestCosine(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Vector
+		want float64
+	}{
+		{"identical", Vector{1, 2}, Vector{1, 2}, 0},
+		{"orthogonal", Vector{1, 0}, Vector{0, 1}, 1},
+		{"opposite", Vector{1, 0}, Vector{-1, 0}, 2},
+		{"zero vs any", Vector{0, 0}, Vector{1, 1}, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Cosine(tt.a, tt.b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("Cosine = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMetricString(t *testing.T) {
+	if MetricEuclidean.String() != "euclidean" || MetricCosine.String() != "cosine" {
+		t.Fatal("metric names wrong")
+	}
+	if Metric(99).String() != "Metric(99)" {
+		t.Fatalf("unknown metric string = %q", Metric(99).String())
+	}
+}
+
+func TestMetricDistanceUnknown(t *testing.T) {
+	if _, err := Metric(99).Distance(Vector{1}, Vector{1}); err == nil {
+		t.Fatal("unknown metric should error")
+	}
+}
+
+func randVec(r *rand.Rand, n int) Vector {
+	v := make(Vector, n)
+	for i := range v {
+		v[i] = r.NormFloat64()
+	}
+	return v
+}
+
+// Property: Euclidean distance is symmetric, non-negative, zero on
+// identity, and obeys the triangle inequality.
+func TestEuclideanMetricProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 1 + rr.Intn(16)
+		a, b, c := randVec(r, n), randVec(r, n), randVec(r, n)
+		ab := MustEuclidean(a, b)
+		ba := MustEuclidean(b, a)
+		ac := MustEuclidean(a, c)
+		cb := MustEuclidean(c, b)
+		if !almostEqual(ab, ba, 1e-9) {
+			return false
+		}
+		if ab < 0 {
+			return false
+		}
+		if MustEuclidean(a, a) != 0 {
+			return false
+		}
+		return ab <= ac+cb+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: normalizing any non-zero vector yields unit norm, and cosine
+// distance always lies in [0, 2].
+func TestNormalizeAndCosineRangeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 1 + rr.Intn(16)
+		a, b := randVec(rr, n), randVec(rr, n)
+		if a.Norm() > 0 {
+			u := a.Normalized()
+			if !almostEqual(u.Norm(), 1, 1e-9) {
+				return false
+			}
+		}
+		d, err := Cosine(a, b)
+		if err != nil {
+			return false
+		}
+		return d >= -1e-12 && d <= 2+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

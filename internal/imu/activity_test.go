@@ -1,0 +1,144 @@
+package imu
+
+import (
+	"testing"
+	"time"
+)
+
+func TestActivityConfigValidate(t *testing.T) {
+	if err := DefaultActivityConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mutations := []func(*ActivityConfig){
+		func(c *ActivityConfig) { c.Window = 0 },
+		func(c *ActivityConfig) { c.StationaryAccelVar = 0 },
+		func(c *ActivityConfig) { c.HandheldAccelVar = c.StationaryAccelVar },
+		func(c *ActivityConfig) { c.PanGyroMean = 0 },
+		func(c *ActivityConfig) { c.StepBandLow = 0 },
+		func(c *ActivityConfig) { c.StepBandHigh = c.StepBandLow },
+		func(c *ActivityConfig) { c.StepPower = 0 },
+	}
+	for i, mut := range mutations {
+		cfg := DefaultActivityConfig()
+		mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+	if _, err := NewActivityClassifier(ActivityConfig{}); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}
+
+func TestClassifyInsufficientData(t *testing.T) {
+	a, err := NewActivityClassifier(DefaultActivityConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, conf := a.Classify(); r != 0 || conf != 0 {
+		t.Fatalf("empty classifier returned %v/%v", r, conf)
+	}
+	a.Observe(Sample{Offset: time.Millisecond})
+	if r, _ := a.Classify(); r != 0 {
+		t.Fatal("single sample classified")
+	}
+}
+
+func TestClassifyRecoversGeneratedRegimes(t *testing.T) {
+	for _, regime := range []Regime{Stationary, Handheld, Walking, Panning} {
+		t.Run(regime.String(), func(t *testing.T) {
+			g, err := NewGenerator(100, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ss, err := g.Generate(regime, 0, 4*time.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, err := NewActivityClassifier(DefaultActivityConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			a.ObserveAll(ss)
+			got, conf := a.Classify()
+			if got != regime {
+				t.Fatalf("classified %v as %v (conf %v)", regime, got, conf)
+			}
+			if conf <= 0 || conf > 1 {
+				t.Fatalf("confidence %v out of range", conf)
+			}
+		})
+	}
+}
+
+func TestClassifyTracksRegimeChanges(t *testing.T) {
+	g, err := NewGenerator(100, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewActivityClassifier(DefaultActivityConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 s stationary then 4 s walking: the window (2 s) must flip.
+	s1, err := g.Generate(Stationary, 0, 4*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.ObserveAll(s1)
+	if got, _ := a.Classify(); got != Stationary {
+		t.Fatalf("phase 1 = %v", got)
+	}
+	s2, err := g.Generate(Walking, 4*time.Second, 4*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.ObserveAll(s2)
+	if got, _ := a.Classify(); got != Walking {
+		t.Fatalf("phase 2 = %v", got)
+	}
+}
+
+func TestClassifierDropsOutOfOrder(t *testing.T) {
+	a, err := NewActivityClassifier(DefaultActivityConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Observe(Sample{Offset: time.Second})
+	a.Observe(Sample{Offset: 500 * time.Millisecond, Gyro: [3]float64{9, 9, 9}})
+	if len(a.window) != 1 {
+		t.Fatalf("out-of-order sample kept: %d", len(a.window))
+	}
+}
+
+// Accuracy across many seeds: the classifier must recover the true
+// regime in the overwhelming majority of windows.
+func TestClassifyAccuracyAcrossSeeds(t *testing.T) {
+	regimes := []Regime{Stationary, Handheld, Walking, Panning}
+	correct, total := 0, 0
+	for seed := int64(1); seed <= 10; seed++ {
+		for _, regime := range regimes {
+			g, err := NewGenerator(100, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ss, err := g.Generate(regime, 0, 3*time.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, err := NewActivityClassifier(DefaultActivityConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			a.ObserveAll(ss)
+			got, _ := a.Classify()
+			total++
+			if got == regime {
+				correct++
+			}
+		}
+	}
+	if correct*100/total < 90 {
+		t.Fatalf("activity accuracy = %d/%d", correct, total)
+	}
+}

@@ -1,0 +1,224 @@
+package lsh
+
+import (
+	"fmt"
+	"sync"
+
+	"approxcache/internal/feature"
+)
+
+// NewHyperplaneCentered is NewHyperplane with projections centered on
+// center: bits are the signs of ⟨plane, v−center⟩. Centering matters
+// when the data lives off-origin (image descriptors are all-positive,
+// so uncentered random hyperplanes see correlated signs and pile items
+// into a few buckets).
+func NewHyperplaneCentered(dim, bits, tables int, seed int64, center feature.Vector) (*HyperplaneIndex, error) {
+	x, err := NewHyperplane(dim, bits, tables, seed)
+	if err != nil {
+		return nil, err
+	}
+	if center != nil {
+		if len(center) != dim {
+			return nil, fmt.Errorf("lsh: center dim %d, index dim %d: %w",
+				len(center), dim, feature.ErrDimensionMismatch)
+		}
+		x.center = center.Clone()
+	}
+	return x, nil
+}
+
+// AdaptiveConfig tunes the adaptive index's rebuild policy.
+type AdaptiveConfig struct {
+	// Dim, Bits, Tables, Seed shape the underlying hyperplane index.
+	Dim, Bits, Tables int
+	Seed              int64
+	// CheckEvery is how many inserts pass between skew checks.
+	CheckEvery int
+	// SkewThreshold triggers a rebuild when the largest bucket holds
+	// more than this fraction of all items (0 < t <= 1).
+	SkewThreshold float64
+}
+
+// Validate reports whether the configuration is usable.
+func (c AdaptiveConfig) Validate() error {
+	if c.Dim <= 0 || c.Bits <= 0 || c.Bits > MaxSignatureBits || c.Tables <= 0 {
+		return fmt.Errorf("lsh: bad adaptive shape dim=%d bits=%d tables=%d",
+			c.Dim, c.Bits, c.Tables)
+	}
+	if c.CheckEvery <= 0 {
+		return fmt.Errorf("lsh: CheckEvery must be positive, got %d", c.CheckEvery)
+	}
+	if c.SkewThreshold <= 0 || c.SkewThreshold > 1 {
+		return fmt.Errorf("lsh: SkewThreshold must be in (0,1], got %v", c.SkewThreshold)
+	}
+	return nil
+}
+
+// DefaultAdaptiveConfig returns the production rebuild policy for a
+// dim-dimensional index.
+func DefaultAdaptiveConfig(dim int) AdaptiveConfig {
+	return AdaptiveConfig{
+		Dim:           dim,
+		Bits:          12,
+		Tables:        4,
+		Seed:          1,
+		CheckEvery:    64,
+		SkewThreshold: 0.5,
+	}
+}
+
+// AdaptiveIndex wraps a hyperplane index and rebuilds it — re-seeding
+// the hyperplanes and centering projections on the observed data mean —
+// whenever bucket occupancy skews past the configured threshold. This
+// is the FoggyCache-style adaptive LSH: the index tracks the data
+// distribution instead of assuming a centered one.
+type AdaptiveIndex struct {
+	cfg AdaptiveConfig
+
+	mu       sync.Mutex
+	inner    *HyperplaneIndex
+	inserts  int
+	rebuilds int
+}
+
+var _ Index = (*AdaptiveIndex)(nil)
+
+// NewAdaptive builds an adaptive index.
+func NewAdaptive(cfg AdaptiveConfig) (*AdaptiveIndex, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	inner, err := NewHyperplane(cfg.Dim, cfg.Bits, cfg.Tables, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &AdaptiveIndex{cfg: cfg, inner: inner}, nil
+}
+
+// Rebuilds returns how many times the index has re-tuned itself.
+func (a *AdaptiveIndex) Rebuilds() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.rebuilds
+}
+
+// Len returns the number of indexed vectors.
+func (a *AdaptiveIndex) Len() int {
+	a.mu.Lock()
+	inner := a.inner
+	a.mu.Unlock()
+	return inner.Len()
+}
+
+// Stats returns the current underlying occupancy statistics.
+func (a *AdaptiveIndex) Stats() Stats {
+	a.mu.Lock()
+	inner := a.inner
+	a.mu.Unlock()
+	return inner.Stats()
+}
+
+// Insert adds (id, v), possibly triggering a rebuild.
+func (a *AdaptiveIndex) Insert(id ID, v feature.Vector) error {
+	a.mu.Lock()
+	inner := a.inner
+	a.inserts++
+	check := a.inserts%a.cfg.CheckEvery == 0
+	a.mu.Unlock()
+	if err := inner.Insert(id, v); err != nil {
+		return err
+	}
+	if check {
+		a.maybeRebuild()
+	}
+	return nil
+}
+
+// Remove deletes id.
+func (a *AdaptiveIndex) Remove(id ID) {
+	a.mu.Lock()
+	inner := a.inner
+	a.mu.Unlock()
+	inner.Remove(id)
+}
+
+// Nearest returns up to k approximate nearest neighbors of q.
+func (a *AdaptiveIndex) Nearest(q feature.Vector, k int) ([]Neighbor, error) {
+	a.mu.Lock()
+	inner := a.inner
+	a.mu.Unlock()
+	return inner.Nearest(q, k)
+}
+
+// Candidates returns q's LSH candidate set.
+func (a *AdaptiveIndex) Candidates(q feature.Vector) ([]ID, error) {
+	a.mu.Lock()
+	inner := a.inner
+	a.mu.Unlock()
+	return inner.Candidates(q)
+}
+
+// maybeRebuild checks occupancy skew and rebuilds if needed.
+func (a *AdaptiveIndex) maybeRebuild() {
+	a.mu.Lock()
+	inner := a.inner
+	a.mu.Unlock()
+
+	st := inner.Stats()
+	if st.Items < a.cfg.CheckEvery {
+		return
+	}
+	if float64(st.MaxBucket) <= a.cfg.SkewThreshold*float64(st.Items) {
+		return
+	}
+
+	// Rebuild: fresh hyperplanes, centered on the data mean.
+	items := inner.Items()
+	if len(items) == 0 {
+		return
+	}
+	center := make(feature.Vector, a.cfg.Dim)
+	for _, it := range items {
+		for d := range center {
+			center[d] += it.Vec[d]
+		}
+	}
+	for d := range center {
+		center[d] /= float64(len(items))
+	}
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.inner != inner {
+		return // lost a race with another rebuild
+	}
+	seed := a.cfg.Seed + int64(a.rebuilds+1)*7919
+	fresh, err := NewHyperplaneCentered(a.cfg.Dim, a.cfg.Bits, a.cfg.Tables, seed, center)
+	if err != nil {
+		return // static config was validated; unreachable in practice
+	}
+	for _, it := range items {
+		if err := fresh.Insert(it.ID, it.Vec); err != nil {
+			return
+		}
+	}
+	a.inner = fresh
+	a.rebuilds++
+}
+
+// Item is one indexed (id, vector) pair.
+type Item struct {
+	ID  ID
+	Vec feature.Vector
+}
+
+// Items returns copies of all indexed vectors.
+func (x *HyperplaneIndex) Items() []Item {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	out := make([]Item, 0, len(x.vecs))
+	for id, v := range x.vecs {
+		out = append(out, Item{ID: id, Vec: v.Clone()})
+	}
+	return out
+}

@@ -1,0 +1,214 @@
+package lsh
+
+import (
+	"math/rand"
+	"testing"
+
+	"approxcache/internal/feature"
+)
+
+// positiveOrthantVec mimics image descriptors: every component
+// non-negative, unit norm. Uncentered hyperplanes see these as heavily
+// sign-correlated.
+func positiveOrthantVec(r *rand.Rand, dim int) feature.Vector {
+	v := make(feature.Vector, dim)
+	for i := range v {
+		v[i] = r.Float64()
+	}
+	v.Normalize()
+	return v
+}
+
+func TestAdaptiveConfigValidate(t *testing.T) {
+	if err := DefaultAdaptiveConfig(16).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []AdaptiveConfig{
+		{Dim: 0, Bits: 8, Tables: 2, CheckEvery: 8, SkewThreshold: 0.5},
+		{Dim: 8, Bits: 0, Tables: 2, CheckEvery: 8, SkewThreshold: 0.5},
+		{Dim: 8, Bits: 8, Tables: 0, CheckEvery: 8, SkewThreshold: 0.5},
+		{Dim: 8, Bits: 8, Tables: 2, CheckEvery: 0, SkewThreshold: 0.5},
+		{Dim: 8, Bits: 8, Tables: 2, CheckEvery: 8, SkewThreshold: 0},
+		{Dim: 8, Bits: 8, Tables: 2, CheckEvery: 8, SkewThreshold: 1.5},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := NewAdaptive(AdaptiveConfig{}); err == nil {
+		t.Fatal("NewAdaptive accepted bad config")
+	}
+}
+
+func TestCenteredIndexValidation(t *testing.T) {
+	if _, err := NewHyperplaneCentered(4, 8, 2, 1, feature.Vector{1, 2}); err == nil {
+		t.Fatal("center dim mismatch accepted")
+	}
+	x, err := NewHyperplaneCentered(2, 8, 2, 1, feature.Vector{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := x.Insert(1, feature.Vector{1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	ns, err := x.Nearest(feature.Vector{1, 0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns) != 1 || ns[0].Distance > 1e-9 {
+		t.Fatalf("centered index lost identical vector: %+v", ns)
+	}
+}
+
+func TestCenteringSpreadsPositiveOrthantData(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	const dim, n = 32, 400
+	vecs := make([]feature.Vector, n)
+	center := make(feature.Vector, dim)
+	for i := range vecs {
+		vecs[i] = positiveOrthantVec(r, dim)
+		for d := range center {
+			center[d] += vecs[i][d]
+		}
+	}
+	for d := range center {
+		center[d] /= n
+	}
+	plain, err := NewHyperplane(dim, 10, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	centered, err := NewHyperplaneCentered(dim, 10, 2, 5, center)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vecs {
+		if err := plain.Insert(ID(i), v); err != nil {
+			t.Fatal(err)
+		}
+		if err := centered.Insert(ID(i), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ps, cs := plain.Stats(), centered.Stats()
+	if cs.MaxBucket >= ps.MaxBucket {
+		t.Fatalf("centering did not reduce skew: plain max=%d centered max=%d",
+			ps.MaxBucket, cs.MaxBucket)
+	}
+	if cs.Buckets <= ps.Buckets {
+		t.Fatalf("centering did not use more buckets: plain=%d centered=%d",
+			ps.Buckets, cs.Buckets)
+	}
+}
+
+func TestAdaptiveRebuildsOnSkew(t *testing.T) {
+	cfg := AdaptiveConfig{
+		Dim: 32, Bits: 10, Tables: 2, Seed: 7,
+		CheckEvery: 32, SkewThreshold: 0.3,
+	}
+	a, err := NewAdaptive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(9))
+	vecs := make([]feature.Vector, 400)
+	for i := range vecs {
+		vecs[i] = positiveOrthantVec(r, 32)
+		if err := a.Insert(ID(i), vecs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Rebuilds() == 0 {
+		t.Fatalf("skewed positive-orthant data never triggered a rebuild (stats %+v)", a.Stats())
+	}
+	if a.Len() != 400 {
+		t.Fatalf("rebuild lost items: %d", a.Len())
+	}
+	// Post-rebuild skew is bounded.
+	st := a.Stats()
+	if float64(st.MaxBucket) > 0.6*float64(st.Items) {
+		t.Fatalf("still skewed after rebuild: %+v", st)
+	}
+	// Indexed vectors always collide with themselves post-rebuild.
+	for i := 0; i < len(vecs); i += 41 {
+		ns, err := a.Nearest(vecs[i], 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ns) == 0 || ns[0].ID != ID(i) || ns[0].Distance > 1e-9 {
+			t.Fatalf("vector %d lost after rebuild: %+v", i, ns)
+		}
+	}
+}
+
+func TestAdaptiveNoRebuildOnBalancedData(t *testing.T) {
+	cfg := AdaptiveConfig{
+		Dim: 32, Bits: 10, Tables: 2, Seed: 7,
+		CheckEvery: 32, SkewThreshold: 0.3,
+	}
+	a, err := NewAdaptive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 400; i++ {
+		if err := a.Insert(ID(i), randUnit(r, 32)); err != nil { // zero-mean data
+			t.Fatal(err)
+		}
+	}
+	if a.Rebuilds() != 0 {
+		t.Fatalf("balanced data triggered %d rebuilds", a.Rebuilds())
+	}
+}
+
+func TestAdaptiveFindsIdenticalAfterRebuild(t *testing.T) {
+	cfg := AdaptiveConfig{
+		Dim: 16, Bits: 8, Tables: 3, Seed: 2,
+		CheckEvery: 16, SkewThreshold: 0.3,
+	}
+	a, err := NewAdaptive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(13))
+	vecs := make([]feature.Vector, 200)
+	for i := range vecs {
+		vecs[i] = positiveOrthantVec(r, 16)
+		if err := a.Insert(ID(i), vecs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, v := range vecs {
+		ns, err := a.Nearest(v, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ns) == 0 || ns[0].ID != ID(i) || ns[0].Distance > 1e-9 {
+			t.Fatalf("vector %d lost after adaptation: %+v", i, ns)
+		}
+	}
+}
+
+func TestAdaptiveRemove(t *testing.T) {
+	a, err := NewAdaptive(DefaultAdaptiveConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(17))
+	v := positiveOrthantVec(r, 8)
+	if err := a.Insert(1, v); err != nil {
+		t.Fatal(err)
+	}
+	a.Remove(1)
+	if a.Len() != 0 {
+		t.Fatalf("len = %d", a.Len())
+	}
+	cands, err := a.Candidates(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 0 {
+		t.Fatal("removed id still a candidate")
+	}
+}

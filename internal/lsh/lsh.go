@@ -1,0 +1,354 @@
+// Package lsh implements the approximate nearest-neighbor machinery the
+// cache lookup path is built on: a random-hyperplane locality-sensitive
+// hash index (k bits × L tables), an exact linear-scan baseline, and the
+// homogenized-kNN vote (FoggyCache-style) that decides whether a cached
+// result is trustworthy enough to reuse.
+package lsh
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"approxcache/internal/feature"
+)
+
+// ID identifies an indexed vector. IDs are assigned by the caller
+// (typically the cache store).
+type ID uint64
+
+// Neighbor is one kNN search result.
+type Neighbor struct {
+	ID       ID
+	Distance float64
+}
+
+// Index is the nearest-neighbor interface shared by the LSH index and
+// the exact baseline. Implementations are safe for concurrent use.
+type Index interface {
+	// Insert adds (id, v) to the index, replacing any previous vector
+	// under the same id.
+	Insert(id ID, v feature.Vector) error
+	// Remove deletes id from the index. Removing an absent id is a
+	// no-op.
+	Remove(id ID)
+	// Nearest returns up to k neighbors of q ordered by increasing
+	// distance.
+	Nearest(q feature.Vector, k int) ([]Neighbor, error)
+	// Len returns the number of indexed vectors.
+	Len() int
+}
+
+// HyperplaneIndex is a random-hyperplane (SimHash) LSH index. Each of
+// the L tables hashes a vector to a B-bit signature whose bits are the
+// signs of projections onto B random hyperplanes; a query is compared
+// only against vectors that collide in at least one table.
+type HyperplaneIndex struct {
+	dim    int
+	bits   int
+	tables int
+
+	// planes[t][b] is hyperplane b of table t.
+	planes [][]feature.Vector
+	// center, when non-nil, is subtracted from vectors before
+	// projection (see NewHyperplaneCentered).
+	center feature.Vector
+
+	mu      sync.RWMutex
+	buckets []map[uint64][]ID
+	vecs    map[ID]feature.Vector
+	sigs    map[ID][]uint64
+}
+
+var _ Index = (*HyperplaneIndex)(nil)
+
+// MaxSignatureBits bounds the per-table signature width so it fits a
+// uint64 bucket key.
+const MaxSignatureBits = 64
+
+// NewHyperplane builds an LSH index over dim-dimensional vectors with
+// bits hyperplanes per table and tables hash tables, seeding all
+// hyperplanes deterministically from seed.
+func NewHyperplane(dim, bits, tables int, seed int64) (*HyperplaneIndex, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("lsh: dim must be positive, got %d", dim)
+	}
+	if bits <= 0 || bits > MaxSignatureBits {
+		return nil, fmt.Errorf("lsh: bits must be in [1,%d], got %d", MaxSignatureBits, bits)
+	}
+	if tables <= 0 {
+		return nil, fmt.Errorf("lsh: tables must be positive, got %d", tables)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	x := &HyperplaneIndex{
+		dim:     dim,
+		bits:    bits,
+		tables:  tables,
+		planes:  make([][]feature.Vector, tables),
+		buckets: make([]map[uint64][]ID, tables),
+		vecs:    make(map[ID]feature.Vector),
+		sigs:    make(map[ID][]uint64),
+	}
+	for t := 0; t < tables; t++ {
+		x.planes[t] = make([]feature.Vector, bits)
+		x.buckets[t] = make(map[uint64][]ID)
+		for b := 0; b < bits; b++ {
+			p := make(feature.Vector, dim)
+			for d := 0; d < dim; d++ {
+				p[d] = rng.NormFloat64()
+			}
+			x.planes[t][b] = p
+		}
+	}
+	return x, nil
+}
+
+// Dim returns the index dimensionality.
+func (x *HyperplaneIndex) Dim() int { return x.dim }
+
+// Len returns the number of indexed vectors.
+func (x *HyperplaneIndex) Len() int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return len(x.vecs)
+}
+
+// signature hashes v in table t. Caller must have validated dimensions.
+func (x *HyperplaneIndex) signature(t int, v feature.Vector) uint64 {
+	var sig uint64
+	for b, plane := range x.planes[t] {
+		var dot float64
+		if x.center == nil {
+			for d := range plane {
+				dot += plane[d] * v[d]
+			}
+		} else {
+			for d := range plane {
+				dot += plane[d] * (v[d] - x.center[d])
+			}
+		}
+		if dot >= 0 {
+			sig |= 1 << uint(b)
+		}
+	}
+	return sig
+}
+
+// Insert adds (id, v) to all tables, replacing any prior entry for id.
+func (x *HyperplaneIndex) Insert(id ID, v feature.Vector) error {
+	if len(v) != x.dim {
+		return fmt.Errorf("lsh: insert dim %d, index dim %d: %w",
+			len(v), x.dim, feature.ErrDimensionMismatch)
+	}
+	vc := v.Clone()
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if _, exists := x.vecs[id]; exists {
+		x.removeLocked(id)
+	}
+	sigs := make([]uint64, x.tables)
+	for t := 0; t < x.tables; t++ {
+		sig := x.signature(t, vc)
+		sigs[t] = sig
+		x.buckets[t][sig] = append(x.buckets[t][sig], id)
+	}
+	x.vecs[id] = vc
+	x.sigs[id] = sigs
+	return nil
+}
+
+// Remove deletes id from all tables.
+func (x *HyperplaneIndex) Remove(id ID) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.removeLocked(id)
+}
+
+func (x *HyperplaneIndex) removeLocked(id ID) {
+	sigs, ok := x.sigs[id]
+	if !ok {
+		return
+	}
+	for t, sig := range sigs {
+		bucket := x.buckets[t][sig]
+		for i, bid := range bucket {
+			if bid == id {
+				bucket[i] = bucket[len(bucket)-1]
+				bucket = bucket[:len(bucket)-1]
+				break
+			}
+		}
+		if len(bucket) == 0 {
+			delete(x.buckets[t], sig)
+		} else {
+			x.buckets[t][sig] = bucket
+		}
+	}
+	delete(x.vecs, id)
+	delete(x.sigs, id)
+}
+
+// Candidates returns the deduplicated union of bucket contents that q
+// collides with across all tables.
+func (x *HyperplaneIndex) Candidates(q feature.Vector) ([]ID, error) {
+	if len(q) != x.dim {
+		return nil, fmt.Errorf("lsh: query dim %d, index dim %d: %w",
+			len(q), x.dim, feature.ErrDimensionMismatch)
+	}
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	seen := make(map[ID]struct{})
+	var out []ID
+	for t := 0; t < x.tables; t++ {
+		sig := x.signature(t, q)
+		for _, id := range x.buckets[t][sig] {
+			if _, dup := seen[id]; dup {
+				continue
+			}
+			seen[id] = struct{}{}
+			out = append(out, id)
+		}
+	}
+	return out, nil
+}
+
+// Nearest returns up to k approximate nearest neighbors of q, drawn
+// from the LSH candidate set and ordered by Euclidean distance.
+func (x *HyperplaneIndex) Nearest(q feature.Vector, k int) ([]Neighbor, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("lsh: k must be positive, got %d", k)
+	}
+	cands, err := x.Candidates(q)
+	if err != nil {
+		return nil, err
+	}
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return rankNeighbors(q, cands, x.vecs, k), nil
+}
+
+// Stats describes index occupancy, used by the LSH ablation experiment.
+type Stats struct {
+	Items            int
+	Tables           int
+	Bits             int
+	Buckets          int
+	MaxBucket        int
+	MeanBucket       float64
+	MeanCandidateSet float64 // expected candidate-set size for an indexed item
+}
+
+// Stats returns occupancy statistics.
+func (x *HyperplaneIndex) Stats() Stats {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	s := Stats{Items: len(x.vecs), Tables: x.tables, Bits: x.bits}
+	var total int
+	for t := 0; t < x.tables; t++ {
+		for _, b := range x.buckets[t] {
+			s.Buckets++
+			total += len(b)
+			if len(b) > s.MaxBucket {
+				s.MaxBucket = len(b)
+			}
+		}
+	}
+	if s.Buckets > 0 {
+		s.MeanBucket = float64(total) / float64(s.Buckets)
+	}
+	if len(x.vecs) > 0 {
+		// For each item, its candidate set is at least the sizes of
+		// its own buckets; use the mean bucket size per table as an
+		// estimate of per-query work.
+		s.MeanCandidateSet = s.MeanBucket * float64(x.tables)
+	}
+	return s
+}
+
+// ExactIndex is the exhaustive linear-scan baseline. It returns the true
+// nearest neighbors and is used both as the exact-match-cache baseline
+// component and as ground truth for LSH recall measurements.
+type ExactIndex struct {
+	dim  int
+	mu   sync.RWMutex
+	vecs map[ID]feature.Vector
+}
+
+var _ Index = (*ExactIndex)(nil)
+
+// NewExact builds an exact index over dim-dimensional vectors.
+func NewExact(dim int) (*ExactIndex, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("lsh: dim must be positive, got %d", dim)
+	}
+	return &ExactIndex{dim: dim, vecs: make(map[ID]feature.Vector)}, nil
+}
+
+// Len returns the number of indexed vectors.
+func (x *ExactIndex) Len() int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return len(x.vecs)
+}
+
+// Insert adds (id, v), replacing any prior entry.
+func (x *ExactIndex) Insert(id ID, v feature.Vector) error {
+	if len(v) != x.dim {
+		return fmt.Errorf("lsh: insert dim %d, index dim %d: %w",
+			len(v), x.dim, feature.ErrDimensionMismatch)
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.vecs[id] = v.Clone()
+	return nil
+}
+
+// Remove deletes id.
+func (x *ExactIndex) Remove(id ID) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	delete(x.vecs, id)
+}
+
+// Nearest returns the true k nearest neighbors of q.
+func (x *ExactIndex) Nearest(q feature.Vector, k int) ([]Neighbor, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("lsh: k must be positive, got %d", k)
+	}
+	if len(q) != x.dim {
+		return nil, fmt.Errorf("lsh: query dim %d, index dim %d: %w",
+			len(q), x.dim, feature.ErrDimensionMismatch)
+	}
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	ids := make([]ID, 0, len(x.vecs))
+	for id := range x.vecs {
+		ids = append(ids, id)
+	}
+	return rankNeighbors(q, ids, x.vecs, k), nil
+}
+
+// rankNeighbors computes distances from q to each candidate and returns
+// the k closest in increasing distance order. Ties break by ID so
+// results are deterministic.
+func rankNeighbors(q feature.Vector, cands []ID, vecs map[ID]feature.Vector, k int) []Neighbor {
+	ns := make([]Neighbor, 0, len(cands))
+	for _, id := range cands {
+		v, ok := vecs[id]
+		if !ok {
+			continue
+		}
+		ns = append(ns, Neighbor{ID: id, Distance: feature.MustEuclidean(q, v)})
+	}
+	sort.Slice(ns, func(i, j int) bool {
+		if ns[i].Distance != ns[j].Distance {
+			return ns[i].Distance < ns[j].Distance
+		}
+		return ns[i].ID < ns[j].ID
+	})
+	if len(ns) > k {
+		ns = ns[:k]
+	}
+	return ns
+}

@@ -1,0 +1,212 @@
+package lsh
+
+import (
+	"testing"
+)
+
+func labelsFrom(m map[ID]string) func(ID) (string, bool) {
+	return func(id ID) (string, bool) {
+		l, ok := m[id]
+		return l, ok
+	}
+}
+
+func TestVoteConfigValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  VoteConfig
+		ok   bool
+	}{
+		{"default", DefaultVoteConfig(), true},
+		{"zero K", VoteConfig{K: 0, MaxDistance: 1, MinVotes: 1}, false},
+		{"zero max distance", VoteConfig{K: 3, MaxDistance: 0, MinVotes: 1}, false},
+		{"zero min votes", VoteConfig{K: 3, MaxDistance: 1, MinVotes: 0}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.cfg.Validate()
+			if (err == nil) != tt.ok {
+				t.Fatalf("Validate() = %v, want ok=%v", err, tt.ok)
+			}
+		})
+	}
+}
+
+func TestVoteRejectsInvalidConfig(t *testing.T) {
+	_, err := Vote(nil, labelsFrom(nil), VoteConfig{})
+	if err == nil {
+		t.Fatal("invalid config should error")
+	}
+}
+
+func TestVoteUnanimous(t *testing.T) {
+	ns := []Neighbor{
+		{ID: 1, Distance: 0.01},
+		{ID: 2, Distance: 0.02},
+		{ID: 3, Distance: 0.03},
+	}
+	labels := map[ID]string{1: "cat", 2: "cat", 3: "cat"}
+	v, err := Vote(ns, labelsFrom(labels), DefaultVoteConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Accepted || v.Label != "cat" {
+		t.Fatalf("verdict = %+v", v)
+	}
+	if v.Confidence < 0.99 {
+		t.Fatalf("unanimous confidence = %v", v.Confidence)
+	}
+	if v.Votes != 3 {
+		t.Fatalf("votes = %d", v.Votes)
+	}
+	if v.BestDistance != 0.01 {
+		t.Fatalf("best distance = %v", v.BestDistance)
+	}
+}
+
+func TestVoteRejectsContested(t *testing.T) {
+	// Two labels at comparable distance: dominance check must reject.
+	ns := []Neighbor{
+		{ID: 1, Distance: 0.05},
+		{ID: 2, Distance: 0.06},
+	}
+	labels := map[ID]string{1: "cat", 2: "dog"}
+	v, err := Vote(ns, labelsFrom(labels), DefaultVoteConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Accepted {
+		t.Fatalf("contested vote accepted: %+v", v)
+	}
+	if v.Votes != 2 {
+		t.Fatalf("votes = %d", v.Votes)
+	}
+}
+
+func TestVoteAcceptsDominant(t *testing.T) {
+	// "cat" much closer than the lone "dog": accepted despite mix.
+	ns := []Neighbor{
+		{ID: 1, Distance: 0.01},
+		{ID: 2, Distance: 0.015},
+		{ID: 3, Distance: 0.2},
+	}
+	labels := map[ID]string{1: "cat", 2: "cat", 3: "dog"}
+	v, err := Vote(ns, labelsFrom(labels), DefaultVoteConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Accepted || v.Label != "cat" {
+		t.Fatalf("verdict = %+v", v)
+	}
+	if v.Confidence <= 0.5 || v.Confidence >= 1 {
+		t.Fatalf("confidence = %v", v.Confidence)
+	}
+}
+
+func TestVoteRespectsMaxDistance(t *testing.T) {
+	ns := []Neighbor{{ID: 1, Distance: 0.9}}
+	labels := map[ID]string{1: "cat"}
+	cfg := DefaultVoteConfig() // MaxDistance 0.25
+	v, err := Vote(ns, labelsFrom(labels), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Accepted || v.Votes != 0 {
+		t.Fatalf("out-of-range neighbor voted: %+v", v)
+	}
+}
+
+func TestVoteRespectsK(t *testing.T) {
+	// 5 neighbors but K=2: only the two closest vote, so the three
+	// distant "dog" entries must not flip the result.
+	ns := []Neighbor{
+		{ID: 1, Distance: 0.01},
+		{ID: 2, Distance: 0.02},
+		{ID: 3, Distance: 0.03},
+		{ID: 4, Distance: 0.04},
+		{ID: 5, Distance: 0.05},
+	}
+	labels := map[ID]string{1: "cat", 2: "cat", 3: "dog", 4: "dog", 5: "dog"}
+	cfg := VoteConfig{K: 2, MaxDistance: 0.25, DominanceRatio: 2, MinVotes: 1}
+	v, err := Vote(ns, labelsFrom(labels), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Accepted || v.Label != "cat" || v.Votes != 2 {
+		t.Fatalf("verdict = %+v", v)
+	}
+}
+
+func TestVoteMinVotes(t *testing.T) {
+	ns := []Neighbor{{ID: 1, Distance: 0.01}}
+	labels := map[ID]string{1: "cat"}
+	cfg := VoteConfig{K: 4, MaxDistance: 0.25, DominanceRatio: 2, MinVotes: 2}
+	v, err := Vote(ns, labelsFrom(labels), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Accepted {
+		t.Fatalf("single vote accepted with MinVotes=2: %+v", v)
+	}
+}
+
+func TestVoteSkipsUnresolvableLabels(t *testing.T) {
+	ns := []Neighbor{
+		{ID: 1, Distance: 0.01}, // evicted concurrently
+		{ID: 2, Distance: 0.02},
+	}
+	labels := map[ID]string{2: "cat"}
+	v, err := Vote(ns, labelsFrom(labels), DefaultVoteConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Accepted || v.Label != "cat" || v.Votes != 1 {
+		t.Fatalf("verdict = %+v", v)
+	}
+}
+
+func TestVoteEmptyNeighbors(t *testing.T) {
+	v, err := Vote(nil, labelsFrom(nil), DefaultVoteConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Accepted {
+		t.Fatal("empty neighbor set accepted")
+	}
+}
+
+func TestVoteDominanceDisabled(t *testing.T) {
+	ns := []Neighbor{
+		{ID: 1, Distance: 0.05},
+		{ID: 2, Distance: 0.06},
+	}
+	labels := map[ID]string{1: "cat", 2: "dog"}
+	cfg := VoteConfig{K: 4, MaxDistance: 0.25, DominanceRatio: 0, MinVotes: 1}
+	v, err := Vote(ns, labelsFrom(labels), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Accepted || v.Label != "cat" {
+		t.Fatalf("with dominance disabled closest label should win: %+v", v)
+	}
+}
+
+func TestVoteDeterministicLabelTieBreak(t *testing.T) {
+	// Identical weights for two labels; dominance disabled. The
+	// lexicographically smaller label must win deterministically.
+	ns := []Neighbor{
+		{ID: 1, Distance: 0.05},
+		{ID: 2, Distance: 0.05},
+	}
+	labels := map[ID]string{1: "zebra", 2: "ant"}
+	cfg := VoteConfig{K: 4, MaxDistance: 0.25, DominanceRatio: 0, MinVotes: 1}
+	for i := 0; i < 10; i++ {
+		v, err := Vote(ns, labelsFrom(labels), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Label != "ant" {
+			t.Fatalf("tie break unstable: %+v", v)
+		}
+	}
+}

@@ -1,0 +1,271 @@
+// Package metrics provides the measurement machinery shared by the
+// pipeline and the experiment harness: latency recorders with exact
+// percentiles, per-source hit accounting, and accuracy tracking.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Source identifies where a frame's recognition result came from. The
+// ordering reflects the pipeline's gate order, cheapest first.
+type Source string
+
+// Recognition result sources.
+const (
+	// SourceIMU: reused because the device had not moved.
+	SourceIMU Source = "imu"
+	// SourceVideo: reused because the frame matched the keyframe.
+	SourceVideo Source = "video"
+	// SourceLocal: reused from the local approximate cache.
+	SourceLocal Source = "local"
+	// SourcePeer: reused from a nearby device's cache.
+	SourcePeer Source = "peer"
+	// SourceDNN: computed by running the DNN (a cache miss).
+	SourceDNN Source = "dnn"
+)
+
+// Sources lists all sources in pipeline order.
+func Sources() []Source {
+	return []Source{SourceIMU, SourceVideo, SourceLocal, SourcePeer, SourceDNN}
+}
+
+// ReuseSources lists the sources that count as cache hits.
+func ReuseSources() []Source {
+	return []Source{SourceIMU, SourceVideo, SourceLocal, SourcePeer}
+}
+
+// LatencySummary is a set of summary statistics over recorded latencies.
+type LatencySummary struct {
+	Count int
+	Mean  time.Duration
+	P50   time.Duration
+	P90   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// String formats the summary compactly.
+func (s LatencySummary) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p90=%v p99=%v max=%v",
+		s.Count, s.Mean, s.P50, s.P90, s.P99, s.Max)
+}
+
+// LatencyRecorder accumulates latency samples and computes exact
+// percentiles. It is safe for concurrent use.
+type LatencyRecorder struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	sorted  bool
+	total   time.Duration
+}
+
+// NewLatencyRecorder returns an empty recorder.
+func NewLatencyRecorder() *LatencyRecorder {
+	return &LatencyRecorder{}
+}
+
+// Record adds one sample. Negative samples are clamped to zero.
+func (r *LatencyRecorder) Record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.samples = append(r.samples, d)
+	r.total += d
+	r.sorted = false
+}
+
+// Count returns the number of samples.
+func (r *LatencyRecorder) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.samples)
+}
+
+// Mean returns the mean sample, or 0 with no samples.
+func (r *LatencyRecorder) Mean() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.samples) == 0 {
+		return 0
+	}
+	return r.total / time.Duration(len(r.samples))
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) using the
+// nearest-rank method, or 0 with no samples.
+func (r *LatencyRecorder) Percentile(p float64) time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.percentileLocked(p)
+}
+
+func (r *LatencyRecorder) percentileLocked(p float64) time.Duration {
+	n := len(r.samples)
+	if n == 0 {
+		return 0
+	}
+	if !r.sorted {
+		sort.Slice(r.samples, func(i, j int) bool { return r.samples[i] < r.samples[j] })
+		r.sorted = true
+	}
+	if p <= 0 {
+		return r.samples[0]
+	}
+	if p >= 100 {
+		return r.samples[n-1]
+	}
+	rank := int(p/100*float64(n)+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= n {
+		rank = n - 1
+	}
+	return r.samples[rank]
+}
+
+// Summary returns all summary statistics at once.
+func (r *LatencyRecorder) Summary() LatencySummary {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := len(r.samples)
+	if n == 0 {
+		return LatencySummary{}
+	}
+	s := LatencySummary{
+		Count: n,
+		Mean:  r.total / time.Duration(n),
+		P50:   r.percentileLocked(50),
+		P90:   r.percentileLocked(90),
+		P99:   r.percentileLocked(99),
+	}
+	s.Max = r.samples[n-1] // sorted by percentileLocked
+	return s
+}
+
+// SessionStats aggregates one device run: per-source hit counts,
+// latency, energy, and recognition accuracy. SessionStats is safe for
+// concurrent use.
+type SessionStats struct {
+	mu        sync.Mutex
+	frames    int
+	hits      map[Source]int
+	correct   int
+	energyMJ  float64
+	peerQs    int
+	peerHits  int
+	repairs   int
+	latencies *LatencyRecorder
+}
+
+// NewSessionStats returns an empty aggregate.
+func NewSessionStats() *SessionStats {
+	return &SessionStats{
+		hits:      make(map[Source]int, 5),
+		latencies: NewLatencyRecorder(),
+	}
+}
+
+// ObserveFrame records the outcome of one frame.
+func (s *SessionStats) ObserveFrame(src Source, latency time.Duration, energyMJ float64, correct bool) {
+	s.latencies.Record(latency)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.frames++
+	s.hits[src]++
+	if correct {
+		s.correct++
+	}
+	s.energyMJ += energyMJ
+}
+
+// ObservePeerQuery records a P2P query round-trip and whether it hit.
+func (s *SessionStats) ObservePeerQuery(hit bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.peerQs++
+	if hit {
+		s.peerHits++
+	}
+}
+
+// ObserveRepairs records n cache entries purged because a revalidation
+// contradicted them.
+func (s *SessionStats) ObserveRepairs(n int) {
+	if n <= 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.repairs += n
+}
+
+// Repairs returns the total purged-entry count.
+func (s *SessionStats) Repairs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.repairs
+}
+
+// Frames returns the number of observed frames.
+func (s *SessionStats) Frames() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.frames
+}
+
+// CountBySource returns a copy of the per-source frame counts.
+func (s *SessionStats) CountBySource() map[Source]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[Source]int, len(s.hits))
+	for k, v := range s.hits {
+		out[k] = v
+	}
+	return out
+}
+
+// HitRate returns the fraction of frames served without running the
+// DNN, or 0 with no frames.
+func (s *SessionStats) HitRate() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.frames == 0 {
+		return 0
+	}
+	return float64(s.frames-s.hits[SourceDNN]) / float64(s.frames)
+}
+
+// Accuracy returns the fraction of frames whose final label matched
+// ground truth, or 0 with no frames.
+func (s *SessionStats) Accuracy() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.frames == 0 {
+		return 0
+	}
+	return float64(s.correct) / float64(s.frames)
+}
+
+// EnergyMJ returns the total energy spent, in millijoules.
+func (s *SessionStats) EnergyMJ() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.energyMJ
+}
+
+// PeerQueries returns (queries, hits) of the P2P path.
+func (s *SessionStats) PeerQueries() (queries, hits int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.peerQs, s.peerHits
+}
+
+// Latency returns the latency recorder.
+func (s *SessionStats) Latency() *LatencyRecorder { return s.latencies }

@@ -1,0 +1,210 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSourcesOrder(t *testing.T) {
+	ss := Sources()
+	if len(ss) != 5 || ss[0] != SourceIMU || ss[4] != SourceDNN {
+		t.Fatalf("Sources = %v", ss)
+	}
+	rs := ReuseSources()
+	if len(rs) != 4 {
+		t.Fatalf("ReuseSources = %v", rs)
+	}
+	for _, r := range rs {
+		if r == SourceDNN {
+			t.Fatal("DNN is not a reuse source")
+		}
+	}
+}
+
+func TestLatencyRecorderEmpty(t *testing.T) {
+	r := NewLatencyRecorder()
+	if r.Count() != 0 || r.Mean() != 0 || r.Percentile(50) != 0 {
+		t.Fatal("empty recorder not zeroed")
+	}
+	s := r.Summary()
+	if s.Count != 0 || s.Mean != 0 || s.Max != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestLatencyRecorderNegativeClamped(t *testing.T) {
+	r := NewLatencyRecorder()
+	r.Record(-time.Second)
+	if r.Mean() != 0 {
+		t.Fatalf("negative sample not clamped: %v", r.Mean())
+	}
+}
+
+func TestLatencyRecorderStats(t *testing.T) {
+	r := NewLatencyRecorder()
+	for i := 1; i <= 100; i++ {
+		r.Record(time.Duration(i) * time.Millisecond)
+	}
+	if r.Count() != 100 {
+		t.Fatalf("Count = %d", r.Count())
+	}
+	if m := r.Mean(); m != 50500*time.Microsecond {
+		t.Fatalf("Mean = %v", m)
+	}
+	if p := r.Percentile(50); p != 50*time.Millisecond {
+		t.Fatalf("P50 = %v", p)
+	}
+	if p := r.Percentile(90); p != 90*time.Millisecond {
+		t.Fatalf("P90 = %v", p)
+	}
+	if p := r.Percentile(0); p != time.Millisecond {
+		t.Fatalf("P0 = %v", p)
+	}
+	if p := r.Percentile(100); p != 100*time.Millisecond {
+		t.Fatalf("P100 = %v", p)
+	}
+	s := r.Summary()
+	if s.Max != 100*time.Millisecond || s.P99 != 99*time.Millisecond {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestLatencyRecorderInterleavedRecordAndQuery(t *testing.T) {
+	r := NewLatencyRecorder()
+	r.Record(3 * time.Millisecond)
+	_ = r.Percentile(50) // forces sort
+	r.Record(1 * time.Millisecond)
+	if p := r.Percentile(0); p != time.Millisecond {
+		t.Fatalf("min after re-record = %v", p)
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		r := NewLatencyRecorder()
+		var min, max time.Duration = 1 << 62, 0
+		for _, v := range raw {
+			d := time.Duration(v) * time.Microsecond
+			r.Record(d)
+			if d < min {
+				min = d
+			}
+			if d > max {
+				max = d
+			}
+		}
+		prev := time.Duration(-1)
+		for p := 0.0; p <= 100; p += 7 {
+			v := r.Percentile(p)
+			if v < prev || v < min || v > max {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Percentile matches a straightforward nearest-rank reference.
+func TestPercentileAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	r := NewLatencyRecorder()
+	var ref []time.Duration
+	for i := 0; i < 137; i++ {
+		d := time.Duration(rng.Intn(1000)) * time.Millisecond
+		r.Record(d)
+		ref = append(ref, d)
+	}
+	sort.Slice(ref, func(i, j int) bool { return ref[i] < ref[j] })
+	for _, p := range []float64{10, 25, 50, 75, 95} {
+		rank := int(p/100*float64(len(ref))+0.5) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		if got := r.Percentile(p); got != ref[rank] {
+			t.Fatalf("P%v = %v, ref %v", p, got, ref[rank])
+		}
+	}
+}
+
+func TestSessionStats(t *testing.T) {
+	s := NewSessionStats()
+	if s.HitRate() != 0 || s.Accuracy() != 0 {
+		t.Fatal("empty stats not zeroed")
+	}
+	s.ObserveFrame(SourceIMU, time.Millisecond, 0, true)
+	s.ObserveFrame(SourceDNN, 120*time.Millisecond, 350, true)
+	s.ObserveFrame(SourceLocal, 5*time.Millisecond, 1, false)
+	s.ObserveFrame(SourcePeer, 15*time.Millisecond, 10, true)
+
+	if s.Frames() != 4 {
+		t.Fatalf("Frames = %d", s.Frames())
+	}
+	if hr := s.HitRate(); hr != 0.75 {
+		t.Fatalf("HitRate = %v", hr)
+	}
+	if acc := s.Accuracy(); acc != 0.75 {
+		t.Fatalf("Accuracy = %v", acc)
+	}
+	if e := s.EnergyMJ(); e != 361 {
+		t.Fatalf("Energy = %v", e)
+	}
+	counts := s.CountBySource()
+	if counts[SourceIMU] != 1 || counts[SourceDNN] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+	counts[SourceIMU] = 99
+	if s.CountBySource()[SourceIMU] != 1 {
+		t.Fatal("CountBySource exposes internal map")
+	}
+	if s.Latency().Count() != 4 {
+		t.Fatalf("latency samples = %d", s.Latency().Count())
+	}
+}
+
+func TestPeerQueryAccounting(t *testing.T) {
+	s := NewSessionStats()
+	s.ObservePeerQuery(true)
+	s.ObservePeerQuery(false)
+	s.ObservePeerQuery(true)
+	q, h := s.PeerQueries()
+	if q != 3 || h != 2 {
+		t.Fatalf("peer queries = %d/%d", h, q)
+	}
+}
+
+func TestSessionStatsConcurrent(t *testing.T) {
+	s := NewSessionStats()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 250; i++ {
+				s.ObserveFrame(SourceLocal, time.Millisecond, 1, i%2 == 0)
+				s.ObservePeerQuery(i%3 == 0)
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Frames() != 1000 {
+		t.Fatalf("Frames = %d", s.Frames())
+	}
+	if s.Latency().Count() != 1000 {
+		t.Fatalf("latency count = %d", s.Latency().Count())
+	}
+}

@@ -1,0 +1,329 @@
+package p2p
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"approxcache/internal/feature"
+	"approxcache/internal/simnet"
+)
+
+// Transport moves encoded messages between this node and named peers.
+// Implementations report the (real or simulated) time each exchange
+// took so callers can charge it to their clock.
+type Transport interface {
+	// Call round-trips req to peer and returns the response payload.
+	Call(peer string, req []byte) (resp []byte, rtt time.Duration, err error)
+	// Send delivers a one-way payload to peer.
+	Send(peer string, payload []byte) (cost time.Duration, err error)
+}
+
+// RemoteHit is the best answer obtained from the peer set.
+type RemoteHit struct {
+	// Peer names the peer that answered.
+	Peer string
+	// Label is the reused recognition label.
+	Label string
+	// Confidence is the peer's vote confidence.
+	Confidence float64
+	// Distance is the peer's best supporting distance.
+	Distance float64
+	// RTT is the round-trip time of the winning exchange.
+	RTT time.Duration
+}
+
+// ClientConfig parameterizes the querying side.
+type ClientConfig struct {
+	// K is the neighbor count requested from each peer.
+	K int
+	// MaxDistance filters peer answers: hits farther than this are
+	// ignored (the requester applies its own reuse radius).
+	MaxDistance float64
+	// GossipFanout caps how many peers each fresh result is shared
+	// with. Zero shares with all peers.
+	GossipFanout int
+}
+
+// Validate reports whether the configuration is usable.
+func (c ClientConfig) Validate() error {
+	if c.K <= 0 || c.K > 255 {
+		return fmt.Errorf("p2p: client K must be in [1,255], got %d", c.K)
+	}
+	if c.MaxDistance <= 0 {
+		return fmt.Errorf("p2p: client MaxDistance must be positive, got %v", c.MaxDistance)
+	}
+	if c.GossipFanout < 0 {
+		return fmt.Errorf("p2p: GossipFanout must be non-negative, got %d", c.GossipFanout)
+	}
+	return nil
+}
+
+// DefaultClientConfig returns the standard querying policy.
+func DefaultClientConfig() ClientConfig {
+	return ClientConfig{K: 4, MaxDistance: 0.25, GossipFanout: 0}
+}
+
+// Client queries and gossips to a set of peers over a Transport.
+// Client is safe for concurrent use.
+type Client struct {
+	cfg       ClientConfig
+	transport Transport
+
+	mu      sync.Mutex
+	peers   []string
+	digests map[string]Digest
+	skipped int
+}
+
+// NewClient builds a client over transport.
+func NewClient(cfg ClientConfig, transport Transport) (*Client, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if transport == nil {
+		return nil, fmt.Errorf("p2p: nil transport")
+	}
+	return &Client{cfg: cfg, transport: transport, digests: make(map[string]Digest)}, nil
+}
+
+// FetchDigest asks peer for its coverage digest and caches it, so
+// subsequent Queries can skip the peer when it cannot possibly help.
+// Call it periodically (the digest staleness trade-off is the usual
+// one: a stale digest only costs missed hits or wasted queries).
+func (c *Client) FetchDigest(peer string) (Digest, time.Duration, error) {
+	req, err := Encode(DigestReq{})
+	if err != nil {
+		return Digest{}, 0, fmt.Errorf("encode digest req: %w", err)
+	}
+	respB, rtt, err := c.transport.Call(peer, req)
+	if err != nil {
+		return Digest{}, rtt, err
+	}
+	msg, err := Decode(respB)
+	if err != nil {
+		return Digest{}, rtt, err
+	}
+	resp, ok := msg.(DigestResp)
+	if !ok {
+		return Digest{}, rtt, fmt.Errorf("p2p: unexpected %v reply to digest req", msg.MsgKind())
+	}
+	c.mu.Lock()
+	c.digests[peer] = resp.Digest
+	c.mu.Unlock()
+	return resp.Digest, rtt, nil
+}
+
+// DropDigest forgets a cached digest (e.g. after the peer churns).
+func (c *Client) DropDigest(peer string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.digests, peer)
+}
+
+// SkippedQueries returns how many per-peer queries digests avoided.
+func (c *Client) SkippedQueries() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.skipped
+}
+
+// digestAllows reports whether peer should be queried for vec: true
+// when no digest is cached, or when the digest says the peer may cover
+// the query.
+func (c *Client) digestAllows(peer string, vec feature.Vector) bool {
+	c.mu.Lock()
+	d, ok := c.digests[peer]
+	c.mu.Unlock()
+	if !ok {
+		return true
+	}
+	// Slack of one reuse radius absorbs cluster spread.
+	if d.MayCover(vec, c.cfg.MaxDistance, c.cfg.MaxDistance) {
+		return true
+	}
+	c.mu.Lock()
+	c.skipped++
+	c.mu.Unlock()
+	return false
+}
+
+// SetPeers replaces the peer set.
+func (c *Client) SetPeers(peers []string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.peers = append(c.peers[:0:0], peers...)
+}
+
+// Peers returns a copy of the current peer set.
+func (c *Client) Peers() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.peers...)
+}
+
+// Query asks every peer for vec and returns the best in-range answer.
+// Peers are queried concurrently in the real world, so the charged cost
+// is the slowest peer's RTT (all responses are awaited), not the sum.
+// found is false when no peer produced an acceptable hit; cost still
+// reflects the time spent asking.
+func (c *Client) Query(vec feature.Vector) (hit RemoteHit, cost time.Duration, found bool, err error) {
+	peers := c.Peers()
+	if len(peers) == 0 {
+		return RemoteHit{}, 0, false, nil
+	}
+	req, err := Encode(Query{Vec: vec, K: uint8(c.cfg.K)})
+	if err != nil {
+		return RemoteHit{}, 0, false, fmt.Errorf("encode query: %w", err)
+	}
+	var (
+		best     RemoteHit
+		haveBest bool
+		maxRTT   time.Duration
+	)
+	for _, peer := range peers {
+		if !c.digestAllows(peer, vec) {
+			continue // the peer's digest says it cannot help
+		}
+		respB, rtt, callErr := c.transport.Call(peer, req)
+		if rtt > maxRTT {
+			maxRTT = rtt
+		}
+		if callErr != nil {
+			// A lost or failed exchange is a per-peer miss, not a
+			// query failure: the requester simply proceeds with the
+			// answers it has.
+			continue
+		}
+		msg, decErr := Decode(respB)
+		if decErr != nil {
+			continue
+		}
+		resp, ok := msg.(QueryResp)
+		if !ok || !resp.Found || resp.Distance > c.cfg.MaxDistance {
+			continue
+		}
+		if !haveBest || resp.Distance < best.Distance {
+			best = RemoteHit{
+				Peer:       peer,
+				Label:      resp.Label,
+				Confidence: resp.Confidence,
+				Distance:   resp.Distance,
+				RTT:        rtt,
+			}
+			haveBest = true
+		}
+	}
+	return best, maxRTT, haveBest, nil
+}
+
+// Gossip shares a fresh recognition result with up to GossipFanout
+// peers (all peers when zero). Gossip is fire-and-forget: per-peer
+// failures are ignored, and the returned cost is the slowest delivery
+// (sends proceed concurrently on a real radio).
+func (c *Client) Gossip(vec feature.Vector, label string, confidence float64, savedCost time.Duration) (time.Duration, error) {
+	peers := c.Peers()
+	if len(peers) == 0 {
+		return 0, nil
+	}
+	if c.cfg.GossipFanout > 0 && len(peers) > c.cfg.GossipFanout {
+		peers = peers[:c.cfg.GossipFanout]
+	}
+	payload, err := Encode(Gossip{
+		Vec:        vec,
+		Label:      label,
+		Confidence: confidence,
+		SavedCost:  savedCost,
+	})
+	if err != nil {
+		return 0, fmt.Errorf("encode gossip: %w", err)
+	}
+	var maxCost time.Duration
+	for _, peer := range peers {
+		cost, sendErr := c.transport.Send(peer, payload)
+		if sendErr != nil {
+			continue
+		}
+		if cost > maxCost {
+			maxCost = cost
+		}
+	}
+	return maxCost, nil
+}
+
+// Ping probes peer and returns its advertised identity and cache size.
+func (c *Client) Ping(self, peer string) (Pong, time.Duration, error) {
+	req, err := Encode(Ping{From: self})
+	if err != nil {
+		return Pong{}, 0, fmt.Errorf("encode ping: %w", err)
+	}
+	respB, rtt, err := c.transport.Call(peer, req)
+	if err != nil {
+		return Pong{}, rtt, err
+	}
+	msg, err := Decode(respB)
+	if err != nil {
+		return Pong{}, rtt, err
+	}
+	pong, ok := msg.(Pong)
+	if !ok {
+		return Pong{}, rtt, fmt.Errorf("p2p: unexpected %v reply to ping", msg.MsgKind())
+	}
+	return pong, rtt, nil
+}
+
+// QueryWireSize returns the encoded size of a query for dim-dimensional
+// vectors, for energy accounting.
+func QueryWireSize(dim int) int { return 2 + 2 + 8*dim }
+
+// GossipWireSize returns the encoded size of a gossip message carrying
+// a dim-dimensional vector and a label of labelLen bytes.
+func GossipWireSize(dim, labelLen int) int { return 1 + 2 + 8*dim + 2 + labelLen + 8 + 8 }
+
+// SimnetTransport adapts a simnet.Network as a Transport for node self.
+type SimnetTransport struct {
+	self simnet.NodeID
+	net  *simnet.Network
+}
+
+var _ Transport = (*SimnetTransport)(nil)
+
+// NewSimnetTransport builds a transport sending as self over net.
+func NewSimnetTransport(self string, net *simnet.Network) (*SimnetTransport, error) {
+	if self == "" {
+		return nil, fmt.Errorf("p2p: empty self id")
+	}
+	if net == nil {
+		return nil, fmt.Errorf("p2p: nil network")
+	}
+	return &SimnetTransport{self: simnet.NodeID(self), net: net}, nil
+}
+
+// Call implements Transport.
+func (t *SimnetTransport) Call(peer string, req []byte) ([]byte, time.Duration, error) {
+	resp, rtt, err := t.net.Call(t.self, simnet.NodeID(peer), req)
+	if err != nil && !errors.Is(err, simnet.ErrLost) {
+		return nil, rtt, err
+	}
+	return resp, rtt, err
+}
+
+// Send implements Transport.
+func (t *SimnetTransport) Send(peer string, payload []byte) (time.Duration, error) {
+	return t.net.Send(t.self, simnet.NodeID(peer), payload)
+}
+
+// RegisterService wires svc into net under its own name, so peers can
+// reach it.
+func RegisterService(net *simnet.Network, svc *Service) error {
+	if net == nil {
+		return fmt.Errorf("p2p: nil network")
+	}
+	if svc == nil {
+		return fmt.Errorf("p2p: nil service")
+	}
+	return net.Register(simnet.NodeID(svc.Name()), func(from simnet.NodeID, req []byte) ([]byte, error) {
+		return svc.HandleRaw(string(from), req)
+	})
+}

@@ -1,0 +1,213 @@
+package p2p
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"approxcache/internal/feature"
+)
+
+func clusterVec(r *rand.Rand, center feature.Vector, spread float64) feature.Vector {
+	v := center.Clone()
+	for i := range v {
+		v[i] += r.NormFloat64() * spread
+	}
+	return v
+}
+
+func TestBuildDigestValidation(t *testing.T) {
+	if _, err := BuildDigest(nil, 0, 4); err == nil {
+		t.Fatal("zero radius accepted")
+	}
+	if _, err := BuildDigest(nil, 0.1, 0); err == nil {
+		t.Fatal("zero centroids accepted")
+	}
+	if _, err := BuildDigest(nil, 0.1, MaxDigestCentroids+1); err == nil {
+		t.Fatal("too many centroids accepted")
+	}
+	d, err := BuildDigest(nil, 0.1, 4)
+	if err != nil || len(d.Centroids) != 0 {
+		t.Fatalf("empty digest = %+v, %v", d, err)
+	}
+}
+
+func TestBuildDigestClusters(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	centerA := feature.Vector{1, 0, 0}
+	centerB := feature.Vector{0, 1, 0}
+	var vecs []feature.Vector
+	for i := 0; i < 20; i++ {
+		vecs = append(vecs, clusterVec(r, centerA, 0.02))
+		vecs = append(vecs, clusterVec(r, centerB, 0.02))
+	}
+	vecs = append(vecs, nil) // skipped
+	d, err := BuildDigest(vecs, 0.25, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Centroids) != 2 {
+		t.Fatalf("centroids = %d, want 2", len(d.Centroids))
+	}
+	// Each true center is near one centroid.
+	for _, center := range []feature.Vector{centerA, centerB} {
+		if !d.MayCover(center, 0.1, 0) {
+			t.Fatalf("center %v not covered by %v", center, d.Centroids)
+		}
+	}
+	// A far point is not covered.
+	if d.MayCover(feature.Vector{-1, -1, 0}, 0.25, 0.25) {
+		t.Fatal("far point covered")
+	}
+}
+
+func TestBuildDigestCapsOutliers(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	var vecs []feature.Vector
+	for i := 0; i < 40; i++ {
+		// Every vector far from every other: one cluster each.
+		v := make(feature.Vector, 8)
+		for d := range v {
+			v[d] = r.Float64() * 100
+		}
+		vecs = append(vecs, v)
+	}
+	d, err := BuildDigest(vecs, 0.1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Centroids) != 4 {
+		t.Fatalf("centroids = %d, want capped 4", len(d.Centroids))
+	}
+}
+
+func TestDigestWireRoundTrip(t *testing.T) {
+	in := DigestResp{Digest: Digest{Centroids: []feature.Vector{
+		{1, 2, 3},
+		{-0.5, 0.25, 0.125},
+	}}}
+	b, err := Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, ok := msg.(DigestResp)
+	if !ok || len(out.Digest.Centroids) != 2 {
+		t.Fatalf("out = %+v", msg)
+	}
+	for i, c := range in.Digest.Centroids {
+		for j := range c {
+			if out.Digest.Centroids[i][j] != c[j] {
+				t.Fatal("centroid mismatch")
+			}
+		}
+	}
+	// Request round trip.
+	rb, err := Encode(DigestReq{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := mustDecode(t, rb).(DigestReq); !ok {
+		t.Fatal("digest req round trip failed")
+	}
+	// Truncations rejected.
+	for cut := 1; cut < len(b); cut++ {
+		if _, err := Decode(b[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func mustDecode(t *testing.T, b []byte) Message {
+	t.Helper()
+	m, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestServiceHandleDigestReq(t *testing.T) {
+	svc := newService(t)
+	if _, err := svc.Store().Insert(feature.Vector{1, 0}, "cat", 0.9, "dnn", time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Store().Insert(feature.Vector{1, 0.01}, "cat", 0.9, "dnn", time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Store().Insert(feature.Vector{-1, 0}, "dog", 0.9, "dnn", time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := svc.HandleDigestReq(DigestReq{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two tight groups → two centroids.
+	if len(resp.Digest.Centroids) != 2 {
+		t.Fatalf("centroids = %d", len(resp.Digest.Centroids))
+	}
+	// Raw dispatch path works too.
+	req, err := Encode(DigestReq{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	respB, err := svc.HandleRaw("x", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := mustDecode(t, respB).(DigestResp); !ok {
+		t.Fatal("raw digest dispatch failed")
+	}
+}
+
+func TestClientDigestPrefilter(t *testing.T) {
+	cl, services, _ := newSimCluster(t, 2)
+	// peer-a only knows about the region near (1,0); peer-b near (0,1).
+	if _, err := services[0].Store().Insert(feature.Vector{1, 0}, "cat", 0.9, "dnn", time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := services[1].Store().Insert(feature.Vector{0, 1}, "dog", 0.9, "dnn", time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	for _, peer := range cl.Peers() {
+		if _, _, err := cl.FetchDigest(peer); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Query near (0,1): peer-a's digest rules it out, so only one
+	// query goes out, and it still hits.
+	hit, _, found, err := cl.Query(feature.Vector{0, 1.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found || hit.Peer != "peer-b" {
+		t.Fatalf("hit = %+v found=%v", hit, found)
+	}
+	if cl.SkippedQueries() != 1 {
+		t.Fatalf("skipped = %d, want 1", cl.SkippedQueries())
+	}
+	// Dropping the digest restores full fan-out.
+	cl.DropDigest("peer-a")
+	if _, _, _, err := cl.Query(feature.Vector{0, 1.01}); err != nil {
+		t.Fatal(err)
+	}
+	if cl.SkippedQueries() != 1 {
+		t.Fatalf("skipped after drop = %d, want still 1", cl.SkippedQueries())
+	}
+}
+
+func TestClientQueryWithoutDigestsUnchanged(t *testing.T) {
+	cl, services, _ := newSimCluster(t, 2)
+	if _, err := services[1].Store().Insert(feature.Vector{0, 1}, "dog", 0.9, "dnn", time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, found, err := cl.Query(feature.Vector{0, 1}); err != nil || !found {
+		t.Fatalf("found=%v err=%v", found, err)
+	}
+	if cl.SkippedQueries() != 0 {
+		t.Fatal("queries skipped without digests")
+	}
+}

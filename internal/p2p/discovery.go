@@ -1,0 +1,171 @@
+package p2p
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"approxcache/internal/simclock"
+)
+
+// PeerInfo is the roster's view of one peer.
+type PeerInfo struct {
+	// Name is the peer's address on the transport.
+	Name string
+	// Alive reports whether the last probe succeeded.
+	Alive bool
+	// Entries is the cache occupancy the peer advertised.
+	Entries uint32
+	// RTT is the last successful probe's round-trip time.
+	RTT time.Duration
+	// LastSeen is when the peer last answered.
+	LastSeen time.Time
+	// Failures counts consecutive failed probes.
+	Failures int
+}
+
+// Roster tracks the liveness and warmth of known peers via the
+// protocol's Ping, and ranks them so querying devices prefer warm,
+// close, alive caches. Roster is safe for concurrent use.
+type Roster struct {
+	self   string
+	client *Client
+	clock  simclock.Clock
+
+	mu    sync.Mutex
+	peers map[string]*PeerInfo
+}
+
+// NewRoster builds a roster probing through client, identifying as
+// self.
+func NewRoster(self string, client *Client, clock simclock.Clock) (*Roster, error) {
+	if self == "" {
+		return nil, fmt.Errorf("p2p: roster needs a self name")
+	}
+	if client == nil {
+		return nil, fmt.Errorf("p2p: nil client")
+	}
+	if clock == nil {
+		return nil, fmt.Errorf("p2p: nil clock")
+	}
+	return &Roster{
+		self:   self,
+		client: client,
+		clock:  clock,
+		peers:  make(map[string]*PeerInfo),
+	}, nil
+}
+
+// Add registers peers by name. Known names are kept.
+func (r *Roster) Add(names ...string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, n := range names {
+		if n == "" || n == r.self {
+			continue
+		}
+		if _, ok := r.peers[n]; !ok {
+			r.peers[n] = &PeerInfo{Name: n}
+		}
+	}
+}
+
+// Remove forgets a peer.
+func (r *Roster) Remove(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.peers, name)
+}
+
+// Known returns all tracked peer names, sorted.
+func (r *Roster) Known() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.peers))
+	for n := range r.peers {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Info returns a snapshot of one peer's state.
+func (r *Roster) Info(name string) (PeerInfo, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, ok := r.peers[name]
+	if !ok {
+		return PeerInfo{}, false
+	}
+	return *p, true
+}
+
+// Refresh probes every known peer once and updates liveness, RTT, and
+// advertised cache occupancy. It returns how many peers answered.
+func (r *Roster) Refresh() int {
+	names := r.Known()
+	alive := 0
+	for _, name := range names {
+		pong, rtt, err := r.client.Ping(r.self, name)
+		r.mu.Lock()
+		p, ok := r.peers[name]
+		if !ok { // removed concurrently
+			r.mu.Unlock()
+			continue
+		}
+		if err != nil {
+			p.Failures++
+			p.Alive = false
+		} else {
+			p.Failures = 0
+			p.Alive = true
+			p.Entries = pong.Entries
+			p.RTT = rtt
+			p.LastSeen = r.clock.Now()
+			alive++
+		}
+		r.mu.Unlock()
+	}
+	return alive
+}
+
+// Best returns up to n alive peers, warmest first (more advertised
+// entries, then lower RTT, then name for determinism). n <= 0 returns
+// all alive peers.
+func (r *Roster) Best(n int) []string {
+	r.mu.Lock()
+	infos := make([]PeerInfo, 0, len(r.peers))
+	for _, p := range r.peers {
+		if p.Alive {
+			infos = append(infos, *p)
+		}
+	}
+	r.mu.Unlock()
+	sort.Slice(infos, func(i, j int) bool {
+		if infos[i].Entries != infos[j].Entries {
+			return infos[i].Entries > infos[j].Entries
+		}
+		if infos[i].RTT != infos[j].RTT {
+			return infos[i].RTT < infos[j].RTT
+		}
+		return infos[i].Name < infos[j].Name
+	})
+	if n > 0 && len(infos) > n {
+		infos = infos[:n]
+	}
+	out := make([]string, len(infos))
+	for i, p := range infos {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// ApplyBest refreshes the roster and points the client at the best n
+// peers. It returns the selected peer list.
+func (r *Roster) ApplyBest(n int) []string {
+	r.Refresh()
+	best := r.Best(n)
+	r.client.SetPeers(best)
+	return best
+}

@@ -1,0 +1,54 @@
+package p2p
+
+import (
+	"testing"
+	"time"
+
+	"approxcache/internal/feature"
+)
+
+// FuzzDecode exercises the wire decoder with arbitrary bytes: it must
+// never panic, and anything it accepts must re-encode and re-decode to
+// the same kind (round-trip stability).
+func FuzzDecode(f *testing.F) {
+	// Seed corpus: every message kind plus hostile shapes.
+	seeds := []Message{
+		Query{Vec: feature.Vector{1, 2, 3}, K: 4},
+		QueryResp{Found: true, Label: "class-1", Confidence: 0.5, Distance: 0.1},
+		Gossip{Vec: feature.Vector{0.5}, Label: "x", Confidence: 1, SavedCost: time.Second},
+		Ack{},
+		Ping{From: "a"},
+		Pong{From: "b", Entries: 7},
+		DigestReq{},
+		DigestResp{Digest: Digest{Centroids: []feature.Vector{{1, 0}, {0, 1}}}},
+	}
+	for _, m := range seeds {
+		b, err := Encode(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0x00, 0x01})
+	f.Add([]byte{byte(KindQuery), 4, 0xFF, 0xFF})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := Decode(data)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		re, err := Encode(msg)
+		if err != nil {
+			t.Fatalf("decoded message failed to re-encode: %v", err)
+		}
+		msg2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded message failed to decode: %v", err)
+		}
+		if msg.MsgKind() != msg2.MsgKind() {
+			t.Fatalf("kind changed across round trip: %v vs %v",
+				msg.MsgKind(), msg2.MsgKind())
+		}
+	})
+}

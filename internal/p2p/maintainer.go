@@ -1,0 +1,124 @@
+package p2p
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// MaintainerConfig tunes the background roster maintenance loop.
+type MaintainerConfig struct {
+	// Interval is how often the roster is refreshed and the client's
+	// peer set re-ranked.
+	Interval time.Duration
+	// Fanout is how many best peers to keep on the client (0 = all
+	// alive peers).
+	Fanout int
+	// RefreshDigests also fetches each selected peer's coverage
+	// digest every round, enabling the client's query prefilter.
+	RefreshDigests bool
+}
+
+// Validate reports whether the configuration is usable.
+func (c MaintainerConfig) Validate() error {
+	if c.Interval <= 0 {
+		return fmt.Errorf("p2p: maintainer interval must be positive, got %v", c.Interval)
+	}
+	if c.Fanout < 0 {
+		return fmt.Errorf("p2p: maintainer fanout must be non-negative, got %d", c.Fanout)
+	}
+	return nil
+}
+
+// DefaultMaintainerConfig refreshes every 30 s keeping the 4 best
+// peers — device-to-device neighborhoods churn on a human timescale.
+func DefaultMaintainerConfig() MaintainerConfig {
+	return MaintainerConfig{Interval: 30 * time.Second, Fanout: 4}
+}
+
+// Maintainer periodically refreshes a Roster and points its client at
+// the best peers, so a long-running node tracks neighborhood churn
+// without the pipeline doing any discovery work. Construct with
+// StartMaintainer; stop with Shutdown.
+type Maintainer struct {
+	cfg    MaintainerConfig
+	roster *Roster
+
+	mu       sync.Mutex
+	refreshs int
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartMaintainer launches the maintenance goroutine. It performs one
+// synchronous refresh before returning, so the client starts with a
+// ranked peer set.
+func StartMaintainer(cfg MaintainerConfig, roster *Roster) (*Maintainer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if roster == nil {
+		return nil, fmt.Errorf("p2p: nil roster")
+	}
+	m := &Maintainer{
+		cfg:    cfg,
+		roster: roster,
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	m.refresh()
+	go m.loop()
+	return m, nil
+}
+
+// Refreshes returns how many maintenance rounds have run.
+func (m *Maintainer) Refreshes() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.refreshs
+}
+
+// Shutdown stops the maintenance goroutine and waits for it to exit.
+// Shutdown is idempotent.
+func (m *Maintainer) Shutdown() {
+	m.mu.Lock()
+	select {
+	case <-m.stop:
+		m.mu.Unlock()
+		<-m.done
+		return
+	default:
+		close(m.stop)
+	}
+	m.mu.Unlock()
+	<-m.done
+}
+
+func (m *Maintainer) loop() {
+	defer close(m.done)
+	ticker := time.NewTicker(m.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			m.refresh()
+		case <-m.stop:
+			return
+		}
+	}
+}
+
+func (m *Maintainer) refresh() {
+	best := m.roster.ApplyBest(m.cfg.Fanout)
+	if m.cfg.RefreshDigests {
+		for _, peer := range best {
+			// A failed digest fetch leaves any previous digest in
+			// place; the prefilter degrades gracefully either way.
+			_, _, _ = m.roster.client.FetchDigest(peer)
+		}
+	}
+	m.mu.Lock()
+	m.refreshs++
+	m.mu.Unlock()
+}

@@ -1,0 +1,387 @@
+// Package p2p implements the infrastructure-less peer-to-peer reuse
+// protocol: nearby devices answer approximate cache queries for each
+// other and gossip fresh recognition results so the collaborative cache
+// warms up.
+//
+// The protocol is transport-agnostic. Two transports are provided: a
+// simulated wireless network (internal/simnet) for deterministic
+// experiments, and a real TCP transport for live nodes
+// (cmd/cachenode, examples/livepeers).
+package p2p
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"approxcache/internal/feature"
+)
+
+// Kind discriminates wire messages.
+type Kind uint8
+
+// Wire message kinds.
+const (
+	KindQuery Kind = iota + 1
+	KindQueryResp
+	KindGossip
+	KindAck
+	KindPing
+	KindPong
+	KindDigestReq
+	KindDigestResp
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindQuery:
+		return "query"
+	case KindQueryResp:
+		return "query-resp"
+	case KindGossip:
+		return "gossip"
+	case KindAck:
+		return "ack"
+	case KindPing:
+		return "ping"
+	case KindPong:
+		return "pong"
+	case KindDigestReq:
+		return "digest-req"
+	case KindDigestResp:
+		return "digest-resp"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Message is any wire message.
+type Message interface {
+	// MsgKind returns the message's wire discriminator.
+	MsgKind() Kind
+}
+
+// Query asks a peer to look up Vec in its approximate cache.
+type Query struct {
+	// Vec is the query feature vector.
+	Vec feature.Vector
+	// K is how many neighbors the peer should consider in its vote.
+	K uint8
+}
+
+// MsgKind implements Message.
+func (Query) MsgKind() Kind { return KindQuery }
+
+// QueryResp answers a Query.
+type QueryResp struct {
+	// Found reports whether the peer's vote accepted a cached label.
+	Found bool
+	// Label is the cached label (valid only when Found).
+	Label string
+	// Confidence is the peer's vote confidence.
+	Confidence float64
+	// Distance is the best supporting neighbor's distance; the
+	// requester uses it to pick the best answer across peers.
+	Distance float64
+}
+
+// MsgKind implements Message.
+func (QueryResp) MsgKind() Kind { return KindQueryResp }
+
+// Gossip shares one fresh recognition result with a peer.
+type Gossip struct {
+	Vec        feature.Vector
+	Label      string
+	Confidence float64
+	// SavedCost is the inference cost the entry avoids, used by
+	// cost-aware eviction at the receiver.
+	SavedCost time.Duration
+}
+
+// MsgKind implements Message.
+func (Gossip) MsgKind() Kind { return KindGossip }
+
+// Ack acknowledges a Gossip.
+type Ack struct{}
+
+// MsgKind implements Message.
+func (Ack) MsgKind() Kind { return KindAck }
+
+// Ping probes a peer's liveness.
+type Ping struct {
+	// From identifies the sender.
+	From string
+}
+
+// MsgKind implements Message.
+func (Ping) MsgKind() Kind { return KindPing }
+
+// Pong answers a Ping.
+type Pong struct {
+	// From identifies the responder.
+	From string
+	// Entries is the responder's current cache size, advertised so
+	// requesters can prefer warm peers.
+	Entries uint32
+}
+
+// MsgKind implements Message.
+func (Pong) MsgKind() Kind { return KindPong }
+
+// Codec errors.
+var (
+	// ErrTruncated is returned when a payload ends mid-field.
+	ErrTruncated = errors.New("p2p: truncated message")
+	// ErrUnknownKind is returned for unrecognized discriminators.
+	ErrUnknownKind = errors.New("p2p: unknown message kind")
+)
+
+// MaxVectorDim bounds decoded vector sizes as a hostile-input guard.
+const MaxVectorDim = 4096
+
+// MaxLabelLen bounds decoded label sizes.
+const MaxLabelLen = 256
+
+// Encode serializes m into a compact binary payload: a kind byte
+// followed by fixed-width big-endian fields; vectors as a uint16 length
+// plus float64s; strings as a uint16 length plus raw bytes.
+func Encode(m Message) ([]byte, error) {
+	switch v := m.(type) {
+	case Query:
+		b := make([]byte, 0, 4+len(v.Vec)*8)
+		b = append(b, byte(KindQuery), v.K)
+		return appendVec(b, v.Vec)
+	case QueryResp:
+		b := make([]byte, 0, 20+len(v.Label))
+		b = append(b, byte(KindQueryResp), boolByte(v.Found))
+		b, err := appendString(b, v.Label)
+		if err != nil {
+			return nil, err
+		}
+		b = appendFloat(b, v.Confidence)
+		b = appendFloat(b, v.Distance)
+		return b, nil
+	case Gossip:
+		b := make([]byte, 0, 24+len(v.Label)+len(v.Vec)*8)
+		b = append(b, byte(KindGossip))
+		b, err := appendVec(b, v.Vec)
+		if err != nil {
+			return nil, err
+		}
+		b, err = appendString(b, v.Label)
+		if err != nil {
+			return nil, err
+		}
+		b = appendFloat(b, v.Confidence)
+		b = binary.BigEndian.AppendUint64(b, uint64(v.SavedCost))
+		return b, nil
+	case Ack:
+		return []byte{byte(KindAck)}, nil
+	case Ping:
+		b := []byte{byte(KindPing)}
+		return appendString(b, v.From)
+	case Pong:
+		b := []byte{byte(KindPong)}
+		b, err := appendString(b, v.From)
+		if err != nil {
+			return nil, err
+		}
+		return binary.BigEndian.AppendUint32(b, v.Entries), nil
+	case DigestReq:
+		return []byte{byte(KindDigestReq)}, nil
+	case DigestResp:
+		b := []byte{byte(KindDigestResp)}
+		return encodeDigest(b, v.Digest)
+	default:
+		return nil, fmt.Errorf("p2p: cannot encode %T", m)
+	}
+}
+
+// Decode parses a payload produced by Encode.
+func Decode(b []byte) (Message, error) {
+	if len(b) == 0 {
+		return nil, ErrTruncated
+	}
+	kind, rest := Kind(b[0]), b[1:]
+	switch kind {
+	case KindQuery:
+		if len(rest) < 1 {
+			return nil, ErrTruncated
+		}
+		k := rest[0]
+		vec, rest, err := readVec(rest[1:])
+		if err != nil {
+			return nil, err
+		}
+		if err := expectEmpty(rest); err != nil {
+			return nil, err
+		}
+		return Query{Vec: vec, K: k}, nil
+	case KindQueryResp:
+		if len(rest) < 1 {
+			return nil, ErrTruncated
+		}
+		found := rest[0] != 0
+		label, rest, err := readString(rest[1:])
+		if err != nil {
+			return nil, err
+		}
+		conf, rest, err := readFloat(rest)
+		if err != nil {
+			return nil, err
+		}
+		dist, rest, err := readFloat(rest)
+		if err != nil {
+			return nil, err
+		}
+		if err := expectEmpty(rest); err != nil {
+			return nil, err
+		}
+		return QueryResp{Found: found, Label: label, Confidence: conf, Distance: dist}, nil
+	case KindGossip:
+		vec, rest, err := readVec(rest)
+		if err != nil {
+			return nil, err
+		}
+		label, rest, err := readString(rest)
+		if err != nil {
+			return nil, err
+		}
+		conf, rest, err := readFloat(rest)
+		if err != nil {
+			return nil, err
+		}
+		if len(rest) < 8 {
+			return nil, ErrTruncated
+		}
+		cost := time.Duration(binary.BigEndian.Uint64(rest))
+		if err := expectEmpty(rest[8:]); err != nil {
+			return nil, err
+		}
+		return Gossip{Vec: vec, Label: label, Confidence: conf, SavedCost: cost}, nil
+	case KindAck:
+		if err := expectEmpty(rest); err != nil {
+			return nil, err
+		}
+		return Ack{}, nil
+	case KindPing:
+		from, rest, err := readString(rest)
+		if err != nil {
+			return nil, err
+		}
+		if err := expectEmpty(rest); err != nil {
+			return nil, err
+		}
+		return Ping{From: from}, nil
+	case KindPong:
+		from, rest, err := readString(rest)
+		if err != nil {
+			return nil, err
+		}
+		if len(rest) < 4 {
+			return nil, ErrTruncated
+		}
+		entries := binary.BigEndian.Uint32(rest)
+		if err := expectEmpty(rest[4:]); err != nil {
+			return nil, err
+		}
+		return Pong{From: from, Entries: entries}, nil
+	case KindDigestReq:
+		if err := expectEmpty(rest); err != nil {
+			return nil, err
+		}
+		return DigestReq{}, nil
+	case KindDigestResp:
+		d, rest, err := decodeDigest(rest)
+		if err != nil {
+			return nil, err
+		}
+		if err := expectEmpty(rest); err != nil {
+			return nil, err
+		}
+		return DigestResp{Digest: d}, nil
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownKind, uint8(kind))
+	}
+}
+
+func boolByte(v bool) byte {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+func appendFloat(b []byte, f float64) []byte {
+	return binary.BigEndian.AppendUint64(b, math.Float64bits(f))
+}
+
+func readFloat(b []byte) (float64, []byte, error) {
+	if len(b) < 8 {
+		return 0, nil, ErrTruncated
+	}
+	return math.Float64frombits(binary.BigEndian.Uint64(b)), b[8:], nil
+}
+
+func appendVec(b []byte, v feature.Vector) ([]byte, error) {
+	if len(v) > MaxVectorDim {
+		return nil, fmt.Errorf("p2p: vector dim %d exceeds %d", len(v), MaxVectorDim)
+	}
+	b = binary.BigEndian.AppendUint16(b, uint16(len(v)))
+	for _, x := range v {
+		b = appendFloat(b, x)
+	}
+	return b, nil
+}
+
+func readVec(b []byte) (feature.Vector, []byte, error) {
+	if len(b) < 2 {
+		return nil, nil, ErrTruncated
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if n > MaxVectorDim {
+		return nil, nil, fmt.Errorf("p2p: vector dim %d exceeds %d", n, MaxVectorDim)
+	}
+	if len(b) < n*8 {
+		return nil, nil, ErrTruncated
+	}
+	v := make(feature.Vector, n)
+	for i := 0; i < n; i++ {
+		v[i] = math.Float64frombits(binary.BigEndian.Uint64(b[i*8:]))
+	}
+	return v, b[n*8:], nil
+}
+
+func appendString(b []byte, s string) ([]byte, error) {
+	if len(s) > MaxLabelLen {
+		return nil, fmt.Errorf("p2p: string length %d exceeds %d", len(s), MaxLabelLen)
+	}
+	b = binary.BigEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...), nil
+}
+
+func readString(b []byte) (string, []byte, error) {
+	if len(b) < 2 {
+		return "", nil, ErrTruncated
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if n > MaxLabelLen {
+		return "", nil, fmt.Errorf("p2p: string length %d exceeds %d", n, MaxLabelLen)
+	}
+	if len(b) < n {
+		return "", nil, ErrTruncated
+	}
+	return string(b[:n]), b[n:], nil
+}
+
+func expectEmpty(b []byte) error {
+	if len(b) != 0 {
+		return fmt.Errorf("p2p: %d trailing bytes", len(b))
+	}
+	return nil
+}

@@ -1,0 +1,248 @@
+package p2p
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// MaxFrameSize bounds a single length-prefixed frame (hostile-input
+// guard and back-pressure limit).
+const MaxFrameSize = 1 << 20
+
+// ErrFrameTooLarge is returned for frames exceeding MaxFrameSize.
+var ErrFrameTooLarge = errors.New("p2p: frame too large")
+
+// writeFrame writes a 4-byte big-endian length prefix followed by
+// payload.
+func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one length-prefixed frame.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// TCPServer serves the peer protocol on a TCP listener. Each inbound
+// frame is dispatched to the Service and answered with one response
+// frame; connections carry any number of sequential exchanges.
+type TCPServer struct {
+	svc *Service
+	ln  net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// ListenAndServe starts serving svc on addr (e.g. "127.0.0.1:0") and
+// returns once the listener is bound.
+func ListenAndServe(addr string, svc *Service) (*TCPServer, error) {
+	if svc == nil {
+		return nil, fmt.Errorf("p2p: nil service")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("listen %s: %w", addr, err)
+	}
+	s := &TCPServer{svc: svc, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *TCPServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener, closes all connections, and waits for the
+// serving goroutines to exit.
+func (s *TCPServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.ln.Close()
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *TCPServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+func (s *TCPServer) serveConn(conn net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+		s.wg.Done()
+	}()
+	remote := conn.RemoteAddr().String()
+	for {
+		req, err := readFrame(conn)
+		if err != nil {
+			return // EOF or peer misbehaving: drop the connection
+		}
+		resp, err := s.svc.HandleRaw(remote, req)
+		if err != nil {
+			return
+		}
+		if err := writeFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+// TCPTransport is a Transport over real TCP connections. Peer names are
+// "host:port" addresses. Connections are pooled and re-dialed on error.
+type TCPTransport struct {
+	dialTimeout time.Duration
+	ioTimeout   time.Duration
+
+	mu    sync.Mutex
+	conns map[string]net.Conn
+}
+
+var _ Transport = (*TCPTransport)(nil)
+
+// NewTCPTransport builds a transport with the given dial and per-call
+// I/O timeouts.
+func NewTCPTransport(dialTimeout, ioTimeout time.Duration) (*TCPTransport, error) {
+	if dialTimeout <= 0 || ioTimeout <= 0 {
+		return nil, fmt.Errorf("p2p: timeouts must be positive (%v, %v)", dialTimeout, ioTimeout)
+	}
+	return &TCPTransport{
+		dialTimeout: dialTimeout,
+		ioTimeout:   ioTimeout,
+		conns:       make(map[string]net.Conn),
+	}, nil
+}
+
+// Close closes all pooled connections.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var first error
+	for addr, c := range t.conns {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(t.conns, addr)
+	}
+	return first
+}
+
+// conn returns a pooled or fresh connection to addr. The caller holds
+// exclusive use of the connection until release.
+func (t *TCPTransport) conn(addr string) (net.Conn, error) {
+	t.mu.Lock()
+	c, ok := t.conns[addr]
+	if ok {
+		delete(t.conns, addr) // checked out
+		t.mu.Unlock()
+		return c, nil
+	}
+	t.mu.Unlock()
+	c, err := net.DialTimeout("tcp", addr, t.dialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("dial %s: %w", addr, err)
+	}
+	return c, nil
+}
+
+// release returns a healthy connection to the pool.
+func (t *TCPTransport) release(addr string, c net.Conn) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, exists := t.conns[addr]; exists {
+		// Another connection is already pooled; drop this one.
+		_ = c.Close()
+		return
+	}
+	t.conns[addr] = c
+}
+
+// Call implements Transport over a pooled TCP connection, measuring the
+// real round-trip time.
+func (t *TCPTransport) Call(peer string, req []byte) ([]byte, time.Duration, error) {
+	c, err := t.conn(peer)
+	if err != nil {
+		return nil, 0, err
+	}
+	start := time.Now()
+	deadline := start.Add(t.ioTimeout)
+	if err := c.SetDeadline(deadline); err != nil {
+		_ = c.Close()
+		return nil, 0, err
+	}
+	if err := writeFrame(c, req); err != nil {
+		_ = c.Close()
+		return nil, time.Since(start), fmt.Errorf("write to %s: %w", peer, err)
+	}
+	resp, err := readFrame(c)
+	rtt := time.Since(start)
+	if err != nil {
+		_ = c.Close()
+		return nil, rtt, fmt.Errorf("read from %s: %w", peer, err)
+	}
+	t.release(peer, c)
+	return resp, rtt, nil
+}
+
+// Send implements Transport. The peer protocol acknowledges gossip, so
+// Send is a Call that discards the Ack; this keeps one-way messages
+// flow-controlled on real networks.
+func (t *TCPTransport) Send(peer string, payload []byte) (time.Duration, error) {
+	_, cost, err := t.Call(peer, payload)
+	return cost, err
+}

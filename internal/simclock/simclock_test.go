@@ -1,0 +1,104 @@
+package simclock
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestVirtualNowAndSleep(t *testing.T) {
+	start := time.Unix(100, 0)
+	v := NewVirtual(start)
+	if !v.Now().Equal(start) {
+		t.Fatalf("Now = %v, want %v", v.Now(), start)
+	}
+	v.Sleep(3 * time.Second)
+	if got := v.Now(); !got.Equal(start.Add(3 * time.Second)) {
+		t.Fatalf("after sleep Now = %v", got)
+	}
+}
+
+func TestVirtualSleepNegativeIgnored(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	v.Sleep(-time.Hour)
+	if !v.Now().Equal(time.Unix(0, 0)) {
+		t.Fatal("negative sleep moved time")
+	}
+	v.Sleep(0)
+	if !v.Now().Equal(time.Unix(0, 0)) {
+		t.Fatal("zero sleep moved time")
+	}
+}
+
+func TestVirtualAdvanceAlias(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	v.Advance(time.Minute)
+	if v.Now().Sub(time.Unix(0, 0)) != time.Minute {
+		t.Fatal("Advance did not move time")
+	}
+}
+
+func TestVirtualSetOnlyForward(t *testing.T) {
+	v := NewVirtual(time.Unix(100, 0))
+	v.Set(time.Unix(50, 0))
+	if !v.Now().Equal(time.Unix(100, 0)) {
+		t.Fatal("Set moved time backwards")
+	}
+	v.Set(time.Unix(200, 0))
+	if !v.Now().Equal(time.Unix(200, 0)) {
+		t.Fatal("Set did not move time forwards")
+	}
+}
+
+func TestVirtualConcurrent(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				v.Sleep(time.Millisecond)
+				_ = v.Now()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := v.Now().Sub(time.Unix(0, 0)); got != 8*time.Second {
+		t.Fatalf("concurrent sleeps lost time: %v", got)
+	}
+}
+
+// Property: any sequence of non-negative sleeps sums exactly.
+func TestVirtualSleepSumsProperty(t *testing.T) {
+	f := func(steps []uint16) bool {
+		v := NewVirtual(time.Unix(0, 0))
+		var want time.Duration
+		for _, s := range steps {
+			d := time.Duration(s) * time.Microsecond
+			v.Sleep(d)
+			want += d
+		}
+		return v.Now().Sub(time.Unix(0, 0)) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRealClock(t *testing.T) {
+	var c Real
+	before := time.Now()
+	got := c.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Fatalf("Real.Now %v outside [%v, %v]", got, before, after)
+	}
+	start := time.Now()
+	c.Sleep(5 * time.Millisecond)
+	if time.Since(start) < 5*time.Millisecond {
+		t.Fatal("Real.Sleep returned early")
+	}
+	c.Sleep(-time.Second) // must not block
+}

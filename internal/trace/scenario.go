@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Scenario describes a multi-device run: several workloads over a
+// shared object vocabulary on one wireless neighborhood. Like Spec it
+// is JSON-serializable, so whole peer experiments can be saved and
+// regenerated bit-exactly.
+type Scenario struct {
+	// Name identifies the scenario.
+	Name string `json:"name"`
+	// ClassSeed is the shared vocabulary seed, applied to every
+	// device (overriding any per-device value).
+	ClassSeed int64 `json:"classSeed"`
+	// NetSeed drives the simulated network's jitter and loss.
+	NetSeed int64 `json:"netSeed"`
+	// Devices are the per-device workloads. Names must be unique.
+	Devices []Spec `json:"devices"`
+}
+
+// Validate reports whether the scenario is usable.
+func (sc Scenario) Validate() error {
+	if sc.Name == "" {
+		return fmt.Errorf("trace: scenario needs a name")
+	}
+	if sc.ClassSeed == 0 {
+		return fmt.Errorf("trace: scenario needs a shared class seed")
+	}
+	if len(sc.Devices) == 0 {
+		return fmt.Errorf("trace: scenario needs at least one device")
+	}
+	seen := make(map[string]bool, len(sc.Devices))
+	for i, d := range sc.Devices {
+		if err := d.Validate(); err != nil {
+			return fmt.Errorf("trace: device %d: %w", i, err)
+		}
+		if seen[d.Name] {
+			return fmt.Errorf("trace: duplicate device name %q", d.Name)
+		}
+		seen[d.Name] = true
+	}
+	// All devices must agree on the vocabulary shape, or shared
+	// recognition results would be meaningless.
+	first := sc.Devices[0]
+	for _, d := range sc.Devices[1:] {
+		if d.NumClasses != first.NumClasses || d.ImageW != first.ImageW || d.ImageH != first.ImageH {
+			return fmt.Errorf("trace: device %q vocabulary shape differs from %q",
+				d.Name, first.Name)
+		}
+	}
+	return nil
+}
+
+// DeviceSpecs returns the device specs with the shared ClassSeed
+// applied, ready for generation.
+func (sc Scenario) DeviceSpecs() []Spec {
+	out := make([]Spec, len(sc.Devices))
+	for i, d := range sc.Devices {
+		d.ClassSeed = sc.ClassSeed
+		out[i] = d
+	}
+	return out
+}
+
+// EncodeScenario serializes sc to JSON.
+func EncodeScenario(sc Scenario) ([]byte, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(sc, "", "  ")
+}
+
+// DecodeScenario parses and validates a JSON scenario.
+func DecodeScenario(data []byte) (Scenario, error) {
+	var sc Scenario
+	if err := json.Unmarshal(data, &sc); err != nil {
+		return Scenario{}, fmt.Errorf("trace: parse scenario: %w", err)
+	}
+	if err := sc.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	return sc, nil
+}
+
+// CrowdScenario builds a standard N-device scenario: every device walks
+// its own route (distinct Seeds) past the same Zipf-popular exhibits.
+func CrowdScenario(devices, framesPerDevice int, seed int64) Scenario {
+	sc := Scenario{
+		Name:      fmt.Sprintf("crowd-%d", devices),
+		ClassSeed: seed + 100000,
+		NetSeed:   seed,
+	}
+	for i := 0; i < devices; i++ {
+		spec := WalkingTour(framesPerDevice, seed+int64(i+1)*101)
+		spec.Name = fmt.Sprintf("device-%d", i)
+		spec.ClassSkew = 0.8
+		sc.Devices = append(sc.Devices, spec)
+	}
+	return sc
+}

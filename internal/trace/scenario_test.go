@@ -1,0 +1,96 @@
+package trace
+
+import "testing"
+
+func TestScenarioValidate(t *testing.T) {
+	good := CrowdScenario(3, 60, 1)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mutations := []func(*Scenario){
+		func(sc *Scenario) { sc.Name = "" },
+		func(sc *Scenario) { sc.ClassSeed = 0 },
+		func(sc *Scenario) { sc.Devices = nil },
+		func(sc *Scenario) { sc.Devices[1].Name = sc.Devices[0].Name },
+		func(sc *Scenario) { sc.Devices[1].NumClasses++ },
+		func(sc *Scenario) { sc.Devices[1].ImageW++ },
+		func(sc *Scenario) { sc.Devices[0].FPS = 0 },
+	}
+	for i, mut := range mutations {
+		sc := CrowdScenario(3, 60, 1)
+		mut(&sc)
+		if err := sc.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestScenarioDeviceSpecsApplyClassSeed(t *testing.T) {
+	sc := CrowdScenario(2, 60, 7)
+	specs := sc.DeviceSpecs()
+	if len(specs) != 2 {
+		t.Fatalf("specs = %d", len(specs))
+	}
+	for _, s := range specs {
+		if s.ClassSeed != sc.ClassSeed {
+			t.Fatalf("device %q class seed = %d, want %d", s.Name, s.ClassSeed, sc.ClassSeed)
+		}
+	}
+	// Devices share one vocabulary: identical prototypes.
+	a, err := Generate(specs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(specs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, err := a.Classes.Prototype(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := b.Classes.Prototype(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pa.Pix {
+		if pa.Pix[i] != pb.Pix[i] {
+			t.Fatal("devices do not share a vocabulary")
+		}
+	}
+	// ...but distinct routes.
+	same := true
+	for i := range a.Frames {
+		if a.Frames[i].Class != b.Frames[i].Class {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("devices have identical routes")
+	}
+}
+
+func TestScenarioJSONRoundTrip(t *testing.T) {
+	sc := CrowdScenario(2, 45, 3)
+	data, err := EncodeScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeScenario(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Name != sc.Name || len(out.Devices) != 2 || out.ClassSeed != sc.ClassSeed {
+		t.Fatalf("round trip = %+v", out)
+	}
+	if _, err := DecodeScenario([]byte("{")); err == nil {
+		t.Fatal("bad json accepted")
+	}
+	if _, err := DecodeScenario([]byte(`{"name":"x"}`)); err == nil {
+		t.Fatal("invalid scenario accepted")
+	}
+	if _, err := EncodeScenario(Scenario{}); err == nil {
+		t.Fatal("invalid scenario encoded")
+	}
+}

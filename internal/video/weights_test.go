@@ -1,0 +1,136 @@
+package video
+
+import (
+	"math/rand"
+	"testing"
+
+	"approxcache/internal/imu"
+	"approxcache/internal/vision"
+)
+
+func TestZipfWeights(t *testing.T) {
+	if ZipfWeights(0, 1) != nil {
+		t.Fatal("zero classes should give nil")
+	}
+	w := ZipfWeights(4, 1)
+	if len(w) != 4 {
+		t.Fatalf("len = %d", len(w))
+	}
+	for i := 1; i < len(w); i++ {
+		if w[i] >= w[i-1] {
+			t.Fatalf("weights not decreasing: %v", w)
+		}
+	}
+	// s=0 is uniform.
+	u := ZipfWeights(4, 0)
+	for _, x := range u {
+		if x != 1 {
+			t.Fatalf("uniform weights = %v", u)
+		}
+	}
+}
+
+func TestClassWeightsValidation(t *testing.T) {
+	base := StreamConfig{
+		FPS:      15,
+		Segments: []Segment{{Regime: imu.Panning, Frames: 10}},
+	}
+	bad := base
+	bad.ClassWeights = []float64{1, -1}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	bad = base
+	bad.ClassWeights = []float64{0, 0}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero-sum weights accepted")
+	}
+	ok := base
+	ok.ClassWeights = []float64{1, 2, 3}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateRejectsWeightCountMismatch(t *testing.T) {
+	cs := classes(t, 4)
+	cfg := StreamConfig{
+		FPS:          15,
+		Segments:     []Segment{{Regime: imu.Panning, Frames: 10}},
+		ClassWeights: []float64{1, 2}, // 2 weights, 4 classes
+		Seed:         1,
+	}
+	if _, err := Generate(cfg, cs); err == nil {
+		t.Fatal("weight/class mismatch accepted")
+	}
+}
+
+func TestPickClassNeverReturnsExcluded(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	weights := ZipfWeights(6, 1.2)
+	for i := 0; i < 2000; i++ {
+		exclude := i % 6
+		got := pickClass(rng, weights, 6, exclude)
+		if got == exclude {
+			t.Fatalf("picked excluded class %d", exclude)
+		}
+		if got < 0 || got >= 6 {
+			t.Fatalf("class %d out of range", got)
+		}
+		// Uniform path too.
+		got = pickClass(rng, nil, 6, exclude)
+		if got == exclude || got < 0 || got >= 6 {
+			t.Fatalf("uniform pick %d invalid (exclude %d)", got, exclude)
+		}
+	}
+}
+
+func TestPickClassAllMassOnExcluded(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	weights := []float64{0, 1, 0} // all mass on class 1
+	for i := 0; i < 100; i++ {
+		got := pickClass(rng, weights, 3, 1)
+		if got == 1 {
+			t.Fatal("picked excluded class despite fallback")
+		}
+	}
+}
+
+func TestSkewConcentratesClasses(t *testing.T) {
+	cs := classes(t, 6)
+	gen := func(weights []float64) map[int]int {
+		cfg := StreamConfig{
+			FPS:          15,
+			Segments:     []Segment{{Regime: imu.Panning, Frames: 300}},
+			Perturb:      vision.Perturbation{},
+			ClassWeights: weights,
+			SceneHold:    3,
+			Seed:         5,
+		}
+		frames, err := Generate(cfg, cs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := map[int]int{}
+		for _, f := range frames {
+			counts[f.Class]++
+		}
+		return counts
+	}
+	uniform := gen(nil)
+	skewed := gen(ZipfWeights(6, 1.5))
+	maxShare := func(counts map[int]int) float64 {
+		total, max := 0, 0
+		for _, n := range counts {
+			total += n
+			if n > max {
+				max = n
+			}
+		}
+		return float64(max) / float64(total)
+	}
+	if maxShare(skewed) <= maxShare(uniform) {
+		t.Fatalf("skew did not concentrate: uniform %v skewed %v",
+			maxShare(uniform), maxShare(skewed))
+	}
+}

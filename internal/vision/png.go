@@ -1,0 +1,47 @@
+package vision
+
+import (
+	"fmt"
+	"image"
+	"image/png"
+	"io"
+)
+
+// EncodePNG writes im as an 8-bit grayscale PNG, for visual inspection
+// of synthetic workloads (cmd/tracegen -render).
+func EncodePNG(w io.Writer, im *Image) error {
+	if im == nil || len(im.Pix) == 0 {
+		return fmt.Errorf("vision: empty image")
+	}
+	gray := image.NewGray(image.Rect(0, 0, im.W, im.H))
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			v := im.Pix[y*im.W+x]
+			gray.Pix[y*gray.Stride+x] = uint8(clamp01(v)*254 + 0.5)
+		}
+	}
+	if err := png.Encode(w, gray); err != nil {
+		return fmt.Errorf("vision: encode png: %w", err)
+	}
+	return nil
+}
+
+// DecodePNG reads an 8-bit grayscale PNG back into an Image; lossy
+// round trip within 1/254 per pixel.
+func DecodePNG(r io.Reader) (*Image, error) {
+	src, err := png.Decode(r)
+	if err != nil {
+		return nil, fmt.Errorf("vision: decode png: %w", err)
+	}
+	bounds := src.Bounds()
+	im := NewImage(bounds.Dx(), bounds.Dy())
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			r16, g16, b16, _ := src.At(bounds.Min.X+x, bounds.Min.Y+y).RGBA()
+			// Luma for non-gray inputs; exact for gray.
+			lum := (0.299*float64(r16) + 0.587*float64(g16) + 0.114*float64(b16)) / 65535
+			im.Pix[y*im.W+x] = clamp01(lum)
+		}
+	}
+	return im, nil
+}

@@ -1,0 +1,58 @@
+package vision
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestEncodePNGErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodePNG(&buf, nil); err == nil {
+		t.Fatal("nil image accepted")
+	}
+	if err := EncodePNG(&buf, &Image{}); err == nil {
+		t.Fatal("empty image accepted")
+	}
+}
+
+func TestPNGRoundTrip(t *testing.T) {
+	cs, err := NewClassSet(2, 32, 32, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := cs.Prototype(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := EncodePNG(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty png")
+	}
+	back, err := DecodePNG(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.W != 32 || back.H != 32 {
+		t.Fatalf("size = %dx%d", back.W, back.H)
+	}
+	var worst float64
+	for i := range src.Pix {
+		if d := math.Abs(src.Pix[i] - back.Pix[i]); d > worst {
+			worst = d
+		}
+	}
+	if worst > 1.0/100 {
+		t.Fatalf("round-trip error %v too large", worst)
+	}
+}
+
+func TestDecodePNGGarbage(t *testing.T) {
+	if _, err := DecodePNG(strings.NewReader("not a png")); err == nil {
+		t.Fatal("garbage decoded")
+	}
+}

@@ -1,0 +1,132 @@
+package approxcache
+
+import (
+	"fmt"
+	"time"
+
+	"approxcache/internal/p2p"
+	"approxcache/internal/simnet"
+)
+
+// NewSimNetwork builds a simulated device-to-device wireless network
+// with the default short-range link profile (~6 ms one-way, 1% loss),
+// seeding jitter and loss from seed.
+func NewSimNetwork(seed int64) (*SimNetwork, error) {
+	return simnet.New(simnet.DefaultLinkProfile(), seed)
+}
+
+// JoinSimNetwork exposes this cache's store to peers on net under name
+// and installs a peer client on the pipeline. Use ConnectAll (or
+// client.SetPeers) to point the returned client at the other nodes.
+// The cache must be in ModeApprox.
+func (c *Cache) JoinSimNetwork(net *SimNetwork, name string) (*PeerClient, error) {
+	if c.store == nil {
+		return nil, fmt.Errorf("approxcache: peer sharing requires ModeApprox")
+	}
+	if net == nil {
+		return nil, fmt.Errorf("approxcache: nil network")
+	}
+	svc, err := p2p.NewService(p2p.DefaultServiceConfig(name), c.store)
+	if err != nil {
+		return nil, fmt.Errorf("approxcache: peer service: %w", err)
+	}
+	if err := p2p.RegisterService(net, svc); err != nil {
+		return nil, fmt.Errorf("approxcache: register: %w", err)
+	}
+	tr, err := p2p.NewSimnetTransport(name, net)
+	if err != nil {
+		return nil, fmt.Errorf("approxcache: transport: %w", err)
+	}
+	client, err := p2p.NewClient(p2p.DefaultClientConfig(), tr)
+	if err != nil {
+		return nil, fmt.Errorf("approxcache: peer client: %w", err)
+	}
+	c.engine.SetPeers(client)
+	return client, nil
+}
+
+// ConnectAll points every client at all the *other* named nodes,
+// forming a full mesh. Call it after each cache has joined the network.
+func ConnectAll(clients map[string]*PeerClient) {
+	names := make([]string, 0, len(clients))
+	for name := range clients {
+		names = append(names, name)
+	}
+	for self, client := range clients {
+		peers := make([]string, 0, len(names)-1)
+		for _, name := range names {
+			if name != self {
+				peers = append(peers, name)
+			}
+		}
+		client.SetPeers(peers)
+	}
+}
+
+// PeerRoster tracks peer liveness and warmth via protocol pings and
+// ranks peers so clients query the most useful caches first.
+type PeerRoster = p2p.Roster
+
+// PeerInfo is a roster's view of one peer.
+type PeerInfo = p2p.PeerInfo
+
+// NewPeerRoster builds a roster probing through client, identifying as
+// self in pings and timestamping liveness with clock.
+func NewPeerRoster(self string, client *PeerClient, clock Clock) (*PeerRoster, error) {
+	return p2p.NewRoster(self, client, clock)
+}
+
+// PeerMaintainer periodically refreshes a roster (and optionally peer
+// coverage digests) in the background and re-points the client at the
+// best peers. Stop it with Shutdown.
+type PeerMaintainer = p2p.Maintainer
+
+// StartPeerMaintainer launches background roster maintenance: every
+// interval the roster is re-probed, the client's peer set re-ranked to
+// the fanout best peers, and (when refreshDigests) each selected peer's
+// coverage digest refreshed so queries can skip peers that cannot help.
+func StartPeerMaintainer(roster *PeerRoster, interval time.Duration, fanout int, refreshDigests bool) (*PeerMaintainer, error) {
+	return p2p.StartMaintainer(p2p.MaintainerConfig{
+		Interval:       interval,
+		Fanout:         fanout,
+		RefreshDigests: refreshDigests,
+	}, roster)
+}
+
+// ServeTCP exposes this cache's store to peers over real TCP on addr
+// (e.g. "127.0.0.1:0"), identifying as name in pings. The cache must be
+// in ModeApprox. Close the returned server when done.
+func (c *Cache) ServeTCP(name, addr string) (*PeerServer, error) {
+	if c.store == nil {
+		return nil, fmt.Errorf("approxcache: peer sharing requires ModeApprox")
+	}
+	svc, err := p2p.NewService(p2p.DefaultServiceConfig(name), c.store)
+	if err != nil {
+		return nil, fmt.Errorf("approxcache: peer service: %w", err)
+	}
+	srv, err := p2p.ListenAndServe(addr, svc)
+	if err != nil {
+		return nil, fmt.Errorf("approxcache: %w", err)
+	}
+	return srv, nil
+}
+
+// DialPeers installs a TCP peer client pointing at addrs
+// ("host:port"), enabling the P2P gate against live nodes. The cache
+// must be in ModeApprox.
+func (c *Cache) DialPeers(addrs ...string) (*PeerClient, error) {
+	if c.store == nil {
+		return nil, fmt.Errorf("approxcache: peer sharing requires ModeApprox")
+	}
+	tr, err := p2p.NewTCPTransport(2*time.Second, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("approxcache: transport: %w", err)
+	}
+	client, err := p2p.NewClient(p2p.DefaultClientConfig(), tr)
+	if err != nil {
+		return nil, fmt.Errorf("approxcache: peer client: %w", err)
+	}
+	client.SetPeers(addrs)
+	c.engine.SetPeers(client)
+	return client, nil
+}

@@ -1,0 +1,26 @@
+package approxcache
+
+import (
+	"fmt"
+	"io"
+)
+
+// SaveSnapshot writes the cache's live entries to w as JSON, so a later
+// session (or another device) can warm-start from them. The cache must
+// be in ModeApprox.
+func (c *Cache) SaveSnapshot(w io.Writer) error {
+	if c.store == nil {
+		return fmt.Errorf("approxcache: snapshots require ModeApprox")
+	}
+	return c.store.Export(w)
+}
+
+// LoadSnapshot reads a snapshot from r into the cache, subject to its
+// capacity and eviction policy, and returns how many entries were
+// inserted. The cache must be in ModeApprox.
+func (c *Cache) LoadSnapshot(r io.Reader) (int, error) {
+	if c.store == nil {
+		return 0, fmt.Errorf("approxcache: snapshots require ModeApprox")
+	}
+	return c.store.Import(r)
+}
