@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: check build test race vet fmt bench
+
+check: vet fmt test race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...

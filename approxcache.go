@@ -172,6 +172,11 @@ type Options struct {
 	// KeyframeCapacity is how many recent recognized scenes the video
 	// gate remembers (default 4). 1 reproduces a single-keyframe gate.
 	KeyframeCapacity int
+	// PeerBudget caps the time a frame may spend waiting on peers;
+	// late answers are discarded and charged to the peer as timeouts.
+	// Zero derives the budget as a quarter of the classifier's mean
+	// inference latency; negative disables the cap.
+	PeerBudget time.Duration
 	// Peers installs a peer client at construction. JoinSimNetwork /
 	// DialPeers can add one later.
 	Peers *PeerClient
@@ -213,6 +218,12 @@ func New(classifier Classifier, opts Options) (*Cache, error) {
 	}
 	if opts.KeyframeCapacity > 0 {
 		cfg.KeyframeCapacity = opts.KeyframeCapacity
+	}
+	if opts.PeerBudget > 0 {
+		cfg.PeerBudget = opts.PeerBudget
+	} else if opts.PeerBudget < 0 {
+		cfg.PeerBudget = 0
+		cfg.PeerBudgetFraction = -1
 	}
 
 	clock := opts.Clock

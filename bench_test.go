@@ -278,6 +278,24 @@ func BenchmarkE17PeerChurn(b *testing.B) {
 	}
 }
 
+// BenchmarkE18ChaosResilience regenerates the chaos table and reports
+// how much cheaper the guarded client's crash window is than the
+// unguarded one's.
+func BenchmarkE18ChaosResilience(b *testing.B) {
+	report := runExperiment(b, "E18")
+	guarded, err := strconv.ParseFloat(strings.TrimSuffix(report.Rows[0][1], "ms"), 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	unguarded, err := strconv.ParseFloat(strings.TrimSuffix(report.Rows[1][1], "ms"), 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if guarded > 0 {
+		b.ReportMetric(unguarded/guarded, "crash-cost-x")
+	}
+}
+
 // ---------------------------------------------------------------------------
 // Micro-benchmarks: the real compute cost of each pipeline stage.
 // ---------------------------------------------------------------------------

@@ -1,4 +1,4 @@
-// Command approxbench runs the evaluation suite (experiments E1–E8 from
+// Command approxbench runs the evaluation suite (experiments E1–E18 from
 // DESIGN.md) and prints the tables recorded in EXPERIMENTS.md.
 //
 // Usage:

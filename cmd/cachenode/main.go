@@ -42,6 +42,7 @@ func run(args []string) error {
 		classSeed = fs.Int64("class-seed", 424242, "shared class vocabulary seed")
 		model     = fs.String("model", "mobilenet-v2", "dnn profile (mobilenet-v2|squeezenet|inception-v3|resnet-50)")
 		serve     = fs.Bool("serve", false, "keep serving after processing until interrupted")
+		budget    = fs.Duration("peer-budget", 0, "per-frame peer time budget (0 = quarter of mean inference latency, negative = unbounded)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -62,7 +63,8 @@ func run(args []string) error {
 		return fmt.Errorf("classifier: %w", err)
 	}
 	cache, err := approxcache.New(classifier, approxcache.Options{
-		Clock: approxcache.NewVirtualClock(),
+		Clock:      approxcache.NewVirtualClock(),
+		PeerBudget: *budget,
 	})
 	if err != nil {
 		return err
@@ -80,9 +82,10 @@ func run(args []string) error {
 	fmt.Printf("%s listening on %s (model %s, %d classes)\n",
 		*name, srv.Addr(), profile.Name, spec.NumClasses)
 
+	var client *approxcache.PeerClient
 	if *peersFlag != "" {
 		addrs := splitComma(*peersFlag)
-		client, err := cache.DialPeers(addrs...)
+		client, err = cache.DialPeers(addrs...)
 		if err != nil {
 			return err
 		}
@@ -127,7 +130,7 @@ func run(args []string) error {
 		}
 	}
 
-	printStats(cache)
+	printStats(cache, client)
 	if *serve {
 		fmt.Println("serving peers; ctrl-c to exit")
 		sig := make(chan os.Signal, 1)
@@ -137,7 +140,7 @@ func run(args []string) error {
 	return nil
 }
 
-func printStats(cache *approxcache.Cache) {
+func printStats(cache *approxcache.Cache, client *approxcache.PeerClient) {
 	stats := cache.Stats()
 	fmt.Printf("frames: %d  hit-rate: %.1f%%  accuracy: %.1f%%  cache entries: %d\n",
 		stats.Frames(), stats.HitRate()*100, stats.Accuracy()*100, cache.Len())
@@ -151,6 +154,16 @@ func printStats(cache *approxcache.Cache) {
 	q, h := stats.PeerQueries()
 	if q > 0 {
 		fmt.Printf("peer queries: %d (%d hits)\n", q, h)
+	}
+	if trips, recoveries := stats.BreakerEvents(); trips > 0 || stats.PeerTimeouts() > 0 || stats.DegradedFrames() > 0 {
+		fmt.Printf("resilience: %d timeouts, %d breaker trips, %d recoveries, %d degraded frames\n",
+			stats.PeerTimeouts(), trips, recoveries, stats.DegradedFrames())
+	}
+	if client != nil {
+		for _, p := range client.Health().Peers {
+			fmt.Printf("  peer %s: %s, %d ok / %d failed, rtt ewma %v\n",
+				p.Peer, p.State, p.Successes, p.Failures, p.LatencyEWMA.Round(10*time.Microsecond))
+		}
 	}
 	ss := cache.StoreStats()
 	fmt.Printf("store: %d entries (dnn=%d peer=%d), %d evictions, feature-cache reuse saved %v of inference\n",

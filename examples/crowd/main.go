@@ -84,7 +84,9 @@ func run() error {
 		clients[name] = client
 		vs = append(vs, &visitor{name: name, cache: cache, workload: w, client: client})
 	}
-	approxcache.ConnectAll(clients)
+	if err := approxcache.ConnectAll(clients); err != nil {
+		return err
+	}
 
 	// Interleave the visitors' frames in timestamp order so sharing
 	// happens causally: whoever sees an exhibit first recognizes it

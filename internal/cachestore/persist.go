@@ -2,6 +2,7 @@ package cachestore
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -11,6 +12,12 @@ import (
 
 // snapshotFormatVersion guards against incompatible snapshot files.
 const snapshotFormatVersion = 1
+
+// ErrCorruptSnapshot is returned by Import when the snapshot cannot be
+// decoded or fails validation — a truncated write, a partial download,
+// bit rot. The store is left exactly as it was: a damaged warm-start
+// file must never poison a running cache, it just means a cold start.
+var ErrCorruptSnapshot = errors.New("cachestore: corrupt snapshot")
 
 // wireEntry is the serialized form of one cache entry. Timestamps and
 // hit counts are deliberately not persisted: an imported entry starts a
@@ -59,21 +66,27 @@ func (s *Store) Export(w io.Writer) error {
 // the store's normal capacity and eviction rules. It returns how many
 // entries were inserted. Imported entries keep their labels and costs
 // but start with fresh recency/frequency state.
+//
+// The snapshot is fully decoded and validated before anything is
+// inserted: a truncated or corrupt file returns ErrCorruptSnapshot
+// (wrapped, with detail) and leaves the store untouched.
 func (s *Store) Import(r io.Reader) (int, error) {
 	var in wireSnapshot
 	dec := json.NewDecoder(r)
 	if err := dec.Decode(&in); err != nil {
-		return 0, fmt.Errorf("cachestore: import: %w", err)
+		return 0, fmt.Errorf("%w: %v", ErrCorruptSnapshot, err)
 	}
 	if in.Version != snapshotFormatVersion {
-		return 0, fmt.Errorf("cachestore: snapshot version %d, want %d",
-			in.Version, snapshotFormatVersion)
+		return 0, fmt.Errorf("%w: version %d, want %d",
+			ErrCorruptSnapshot, in.Version, snapshotFormatVersion)
+	}
+	for i, e := range in.Entries {
+		if len(e.Vec) == 0 || e.Label == "" {
+			return 0, fmt.Errorf("%w: entry %d invalid", ErrCorruptSnapshot, i)
+		}
 	}
 	inserted := 0
 	for i, e := range in.Entries {
-		if len(e.Vec) == 0 || e.Label == "" {
-			return inserted, fmt.Errorf("cachestore: snapshot entry %d invalid", i)
-		}
 		if _, err := s.Insert(feature.Vector(e.Vec), e.Label, e.Confidence, e.Source,
 			time.Duration(e.SavedCostMicros)*time.Microsecond); err != nil {
 			return inserted, fmt.Errorf("cachestore: import entry %d: %w", i, err)

@@ -2,6 +2,7 @@ package cachestore
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -96,17 +97,52 @@ func TestImportErrors(t *testing.T) {
 	}
 }
 
-func TestImportPartialFailureReportsCount(t *testing.T) {
+func TestImportCorruptSnapshotLeavesStoreEmpty(t *testing.T) {
+	// One good entry followed by one bad: all-or-nothing validation
+	// must reject the whole file and insert nothing.
 	dst, _ := newTestStore(t, Config{Capacity: 8})
 	payload := `{"version":1,"entries":[
 		{"vec":[1,0],"label":"ok","confidence":1,"source":"dnn","savedCostMicros":1000},
 		{"vec":[],"label":"bad"}
 	]}`
 	n, err := dst.Import(strings.NewReader(payload))
-	if err == nil {
-		t.Fatal("invalid entry accepted")
+	if !errors.Is(err, ErrCorruptSnapshot) {
+		t.Fatalf("err = %v, want ErrCorruptSnapshot", err)
 	}
-	if n != 1 {
-		t.Fatalf("inserted before failure = %d, want 1", n)
+	if n != 0 || dst.Len() != 0 {
+		t.Fatalf("corrupt snapshot inserted %d entries (store len %d), want 0", n, dst.Len())
+	}
+}
+
+func TestImportTruncatedSnapshot(t *testing.T) {
+	// A snapshot cut off mid-write (crash, full disk, partial
+	// download) must leave the store empty and identify itself as
+	// corrupt, whatever prefix length survived.
+	src, _ := newTestStore(t, Config{Capacity: 8})
+	if _, err := src.Insert(vec(1, 0), "door", 0.9, "dnn", 100*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Insert(vec(0, 1), "sign", 0.8, "dnn", 100*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := src.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.String()
+	for _, cut := range []int{1, len(full) / 4, len(full) / 2, len(full) - 2} {
+		dst, _ := newTestStore(t, Config{Capacity: 8})
+		n, err := dst.Import(strings.NewReader(full[:cut]))
+		if !errors.Is(err, ErrCorruptSnapshot) {
+			t.Fatalf("cut at %d: err = %v, want ErrCorruptSnapshot", cut, err)
+		}
+		if n != 0 || dst.Len() != 0 {
+			t.Fatalf("cut at %d: inserted %d entries (store len %d), want 0", cut, n, dst.Len())
+		}
+	}
+	// Sanity: the untruncated snapshot still loads.
+	dst, _ := newTestStore(t, Config{Capacity: 8})
+	if n, err := dst.Import(strings.NewReader(full)); err != nil || n != 2 {
+		t.Fatalf("full snapshot: n=%d err=%v, want 2, nil", n, err)
 	}
 }

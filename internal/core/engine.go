@@ -150,20 +150,33 @@ type Config struct {
 	// in the best case — the source of the "up to ~94%" latency
 	// reduction ceiling.
 	MaxReuseStreak int
+	// PeerBudget caps the time a frame may spend waiting on the P2P
+	// gate. Peer answers arriving later are discarded (the peer is
+	// charged a timeout) and the gate's cost is clipped to the budget,
+	// so a slow or dead peer can never stall a frame past it. Zero
+	// derives the budget from PeerBudgetFraction.
+	PeerBudget time.Duration
+	// PeerBudgetFraction, when PeerBudget is zero, sets the budget to
+	// this fraction of the classifier's mean inference latency — the
+	// cache must stay cheaper than the work it avoids. The default
+	// (0.25) allows ~25 ms against a 100 ms-class model. Negative
+	// disables the budget entirely.
+	PeerBudgetFraction float64
 }
 
 // DefaultConfig returns the standard pipeline configuration.
 func DefaultConfig() Config {
 	return Config{
-		Mode:             ModeApprox,
-		Extractor:        feature.DefaultExtractor(),
-		Vote:             lsh.DefaultVoteConfig(),
-		IMU:              imu.DefaultDetectorConfig(),
-		Diff:             video.DefaultDiffGateConfig(),
-		Costs:            DefaultCostModel(),
-		Radio:            p2p.DefaultRadioEnergyModel(),
-		MaxReuseStreak:   20,
-		KeyframeCapacity: 4,
+		Mode:               ModeApprox,
+		Extractor:          feature.DefaultExtractor(),
+		Vote:               lsh.DefaultVoteConfig(),
+		IMU:                imu.DefaultDetectorConfig(),
+		Diff:               video.DefaultDiffGateConfig(),
+		Costs:              DefaultCostModel(),
+		Radio:              p2p.DefaultRadioEnergyModel(),
+		MaxReuseStreak:     20,
+		KeyframeCapacity:   4,
+		PeerBudgetFraction: 0.25,
 	}
 }
 
@@ -197,6 +210,9 @@ func (c Config) Validate() error {
 	}
 	if c.KeyframeCapacity <= 0 {
 		return fmt.Errorf("core: KeyframeCapacity must be positive, got %d", c.KeyframeCapacity)
+	}
+	if c.PeerBudget < 0 {
+		return fmt.Errorf("core: PeerBudget must be non-negative, got %v", c.PeerBudget)
 	}
 	return c.Costs.Validate()
 }
@@ -275,6 +291,9 @@ func New(cfg Config, deps Deps) (*Engine, error) {
 		return nil, fmt.Errorf("core: nil classifier")
 	}
 	e := &Engine{cfg: cfg, deps: deps, stats: metrics.NewSessionStats()}
+	if deps.Peers != nil {
+		deps.Peers.SetObserver(statsObserver{s: e.stats})
+	}
 	if cfg.Mode == ModeExactCache {
 		e.exact = make(map[uint64]exactEntry)
 	}
@@ -299,12 +318,36 @@ func New(cfg Config, deps Deps) (*Engine, error) {
 // Stats returns the engine's session statistics.
 func (e *Engine) Stats() *metrics.SessionStats { return e.stats }
 
-// SetPeers installs (or replaces) the peer client used by the P2P gate.
-// Passing nil disables the gate.
+// statsObserver forwards the peer client's resilience events into the
+// engine's session stats.
+type statsObserver struct{ s *metrics.SessionStats }
+
+func (o statsObserver) PeerTimeout(string)     { o.s.ObservePeerTimeout() }
+func (o statsObserver) BreakerTrip(string)     { o.s.ObserveBreakerTrip() }
+func (o statsObserver) BreakerRecovery(string) { o.s.ObserveBreakerRecovery() }
+
+// SetPeers installs (or replaces) the peer client used by the P2P gate
+// and wires its resilience events (timeouts, breaker trips/recoveries)
+// into the session stats. Passing nil disables the gate.
 func (e *Engine) SetPeers(p *p2p.Client) {
+	if p != nil {
+		p.SetObserver(statsObserver{s: e.stats})
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.deps.Peers = p
+}
+
+// peerBudget returns the per-frame time budget for the P2P gate.
+func (e *Engine) peerBudget() time.Duration {
+	if e.cfg.PeerBudget > 0 {
+		return e.cfg.PeerBudget
+	}
+	if e.cfg.PeerBudgetFraction > 0 {
+		mean := e.deps.Classifier.Profile().MeanLatency
+		return time.Duration(e.cfg.PeerBudgetFraction * float64(mean))
+	}
+	return 0
 }
 
 // peers snapshots the current peer client.
@@ -539,17 +582,27 @@ func (e *Engine) processApprox(im *vision.Image, imuWindow []imu.Sample) (Result
 			return res, nil
 		}
 
-		// Gate 4: peer-to-peer reuse.
+		// Gate 4: peer-to-peer reuse, under a per-frame time budget so
+		// a dead or slow peer can never stall the frame past it. When
+		// every peer's circuit is open the gate is skipped at zero
+		// cost: the local gates and the DNN keep serving while the
+		// breaker re-probes peers on its backoff schedule.
 		if peers != nil {
-			hit, rtt, found, err := peers.Query(vec)
+			out, err := peers.QueryFrame(vec, e.peerBudget())
 			if err != nil {
 				return Result{}, fmt.Errorf("peer query: %w", err)
 			}
-			latency += rtt
-			reqSize := p2p.QueryWireSize(len(vec))
-			energy += e.cfg.Radio.RTTCost(reqSize, 32)
-			e.stats.ObservePeerQuery(found)
-			if found {
+			if out.Degraded {
+				e.stats.ObserveDegradedFrame()
+			}
+			if out.Queried > 0 {
+				latency += out.Cost
+				reqSize := p2p.QueryWireSize(len(vec))
+				energy += e.cfg.Radio.RTTCost(reqSize, 32)
+				e.stats.ObservePeerQuery(out.Found)
+			}
+			if out.Found {
+				hit := out.Hit
 				// Adopt the peer's answer locally so the next similar
 				// frame hits gate 3.
 				if _, err := e.deps.Store.Insert(vec, hit.Label, hit.Confidence, "peer",

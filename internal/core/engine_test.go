@@ -629,3 +629,36 @@ func TestLastResult(t *testing.T) {
 		t.Fatal("mode accessor wrong")
 	}
 }
+
+// TestSetPeersConcurrentWithProcess swaps the peer client while frames
+// are in flight. Run under -race this pins down that SetPeers and the
+// P2P gate's client snapshot never race.
+func TestSetPeersConcurrentWithProcess(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DisableIMUGate = true
+	cfg.DisableVideoGate = true
+	client, _ := newPeerCluster(t, 2, cfg.Extractor.Dim())
+	f := newFixture(t, cfg, nil)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			if i%2 == 0 {
+				f.engine.SetPeers(client)
+			} else {
+				f.engine.SetPeers(nil)
+			}
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		proto, err := f.classes.Prototype(i % 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.engine.Process(proto, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+}

@@ -1,0 +1,259 @@
+// Chaos harness: replays one device's workload against a peer set that
+// crashes mid-session and heals later, per a scheduled FaultPlan, and
+// windows the per-frame results into pre-crash / crash / post-heal
+// phases. E18 and the acceptance chaos test both run on it.
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"approxcache/internal/core"
+	"approxcache/internal/metrics"
+	"approxcache/internal/p2p"
+	"approxcache/internal/simclock"
+	"approxcache/internal/simnet"
+	"approxcache/internal/trace"
+)
+
+// Chaos phase windows, delimited by the fault plan's crash and heal
+// offsets.
+const (
+	// PhasePre is before every peer crashes.
+	PhasePre = iota
+	// PhaseCrash is while every peer is down.
+	PhaseCrash
+	// PhaseHeal is after the scheduled heal.
+	PhaseHeal
+	chaosPhases
+)
+
+// ChaosConfig sizes a chaos run.
+type ChaosConfig struct {
+	// Frames is the main device's workload length (default 240).
+	Frames int
+	// Peers is how many warm peers surround the main device (default 2).
+	Peers int
+	// Seed anchors all randomness (default 1).
+	Seed int64
+	// DeadCost is the radio timeout charged for exchanges with a
+	// crashed peer (default 80 ms) — what an unguarded client keeps
+	// paying, frame after frame.
+	DeadCost time.Duration
+	// Budget is the main device's per-frame P2P time budget (default
+	// 12 ms): just above the healthy link round trip (~10.6 ms at the
+	// 5 ms / 1 MB/s profile), so a live peer always answers in budget
+	// while trips and re-probes against dead peers cost at most the
+	// budget instead of DeadCost. Negative disables the budget — the
+	// fully unguarded configuration.
+	Budget time.Duration
+	// Breaker is the main device's breaker policy. The zero value
+	// selects the defaults; Disabled runs the unguarded baseline.
+	Breaker p2p.BreakerConfig
+}
+
+func (c *ChaosConfig) defaults() {
+	if c.Frames == 0 {
+		c.Frames = 240
+	}
+	if c.Peers == 0 {
+		c.Peers = 2
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.DeadCost == 0 {
+		c.DeadCost = 80 * time.Millisecond
+	}
+	if c.Budget == 0 {
+		c.Budget = 12 * time.Millisecond
+	}
+}
+
+// ChaosPhase aggregates one window of frames.
+type ChaosPhase struct {
+	// Frames is how many frames fell in the window.
+	Frames int
+	// Mean is the window's mean frame latency.
+	Mean time.Duration
+	// PeerHits counts frames served by the P2P gate.
+	PeerHits int
+}
+
+// ChaosResult is the outcome of one chaos run.
+type ChaosResult struct {
+	// Baseline is the same device and workload with no peers at all —
+	// the latency the pipeline owes regardless of the network.
+	Baseline [chaosPhases]ChaosPhase
+	// Run is the device under test: peers attached, fault plan active.
+	Run [chaosPhases]ChaosPhase
+	// Stats is the run's session stats (trips, timeouts, degraded
+	// frames, hit sources).
+	Stats *metrics.SessionStats
+	// Health is the client's final health snapshot.
+	Health p2p.HealthSnapshot
+}
+
+// RunChaos warms cfg.Peers peer caches on the main device's exact
+// workload, then replays the main device while a FaultScheduler crashes
+// every peer ~40% in and restarts them ~70% in (offsets on the
+// workload's arrival timeline). A no-peers baseline run of the same
+// workload provides the reference latency per phase.
+func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
+	cfg.defaults()
+	if cfg.Frames < 30 {
+		return ChaosResult{}, fmt.Errorf("eval: chaos needs ≥ 30 frames, got %d", cfg.Frames)
+	}
+
+	// An all-panning route over a vocabulary much larger than the main
+	// device's cache: constant scene changes defeat the IMU/video
+	// gates and evictions defeat the local gate, so frames reach the
+	// P2P gate (and, without peers, the DNN) at a steady rate in every
+	// phase. A stationary or handheld tail would be absorbed by the
+	// IMU gate — whose periodic revalidation frames bypass gate 4 by
+	// design — and post-heal peer reuse could never show up.
+	spec := trace.PanningSweep(cfg.Frames, cfg.Seed)
+	spec.NumClasses = 24
+	spec.Segments = []trace.SegmentSpec{{Regime: "panning", Frames: cfg.Frames}}
+	// A near-empty local cache keeps the main device's gate composition
+	// identical with and without peers (the local gate serves almost
+	// nothing either way), so the crash-window latency comparison
+	// isolates the resilience layer's own overhead.
+	const mainCapacity = 2
+
+	// Fault offsets on the arrival timeline (the replay pins the clock
+	// to each frame's arrival, so these fire mid-session for any
+	// pipeline speed).
+	w, err := trace.Generate(spec)
+	if err != nil {
+		return ChaosResult{}, err
+	}
+	crashAt := w.Frames[cfg.Frames*2/5].Offset
+	healAt := w.Frames[cfg.Frames*7/10].Offset
+
+	classify := func(elapsed time.Duration) int {
+		switch {
+		case elapsed < crashAt:
+			return PhasePre
+		case elapsed < healAt:
+			return PhaseCrash
+		default:
+			return PhaseHeal
+		}
+	}
+
+	// replay runs dev's whole workload, pinning the clock to each
+	// frame's arrival offset and ticking the scheduler (if any) between
+	// frames.
+	replay := func(dev *device, clock *simclock.Virtual, sched *simnet.FaultScheduler) ([chaosPhases]ChaosPhase, error) {
+		var sums [chaosPhases]time.Duration
+		var phases [chaosPhases]ChaosPhase
+		start := clock.Now()
+		for dev.next < len(dev.work.Frames) {
+			clock.Set(start.Add(dev.work.Frames[dev.next].Offset))
+			if sched != nil {
+				sched.Tick()
+			}
+			phase := classify(clock.Now().Sub(start))
+			res, ok, err := dev.stepResult()
+			if err != nil {
+				return phases, err
+			}
+			if !ok {
+				break
+			}
+			phases[phase].Frames++
+			sums[phase] += res.Latency
+			if res.Source == metrics.SourcePeer {
+				phases[phase].PeerHits++
+			}
+		}
+		for i := range phases {
+			if phases[i].Frames > 0 {
+				phases[i].Mean = sums[i] / time.Duration(phases[i].Frames)
+			}
+		}
+		return phases, nil
+	}
+
+	var out ChaosResult
+
+	// No-peers baseline.
+	baseClock := simclock.NewVirtual(time.Unix(0, 0))
+	baseDev, err := buildDevice(DeviceConfig{
+		Name: "main", Spec: spec, Engine: core.DefaultConfig(),
+		Capacity: mainCapacity, Seed: cfg.Seed,
+	}, baseClock, nil)
+	if err != nil {
+		return ChaosResult{}, err
+	}
+	if out.Baseline, err = replay(baseDev, baseClock, nil); err != nil {
+		return ChaosResult{}, err
+	}
+
+	// Faulted run: warm peers first (identical workload, so their
+	// caches cover exactly what the main device will ask), then replay
+	// the main device under the fault plan.
+	clock := simclock.NewVirtual(time.Unix(0, 0))
+	net, err := simnet.New(simnet.LinkProfile{
+		Latency: 5 * time.Millisecond, BandwidthBps: 1 << 20,
+	}, cfg.Seed)
+	if err != nil {
+		return ChaosResult{}, err
+	}
+	net.SetDeadCost(cfg.DeadCost)
+	peerNames := make([]string, cfg.Peers)
+	for i := range peerNames {
+		peerNames[i] = fmt.Sprintf("peer-%d", i)
+		peer, err := buildDevice(DeviceConfig{
+			Name: peerNames[i], Spec: spec, Engine: core.DefaultConfig(),
+			Seed: cfg.Seed,
+		}, clock, net)
+		if err != nil {
+			return ChaosResult{}, err
+		}
+		for {
+			ok, err := peer.step()
+			if err != nil {
+				return ChaosResult{}, err
+			}
+			if !ok {
+				break
+			}
+		}
+	}
+	ccfg := p2p.DefaultClientConfig()
+	ccfg.Breaker = cfg.Breaker
+	ecfg := core.DefaultConfig()
+	if cfg.Budget > 0 {
+		ecfg.PeerBudget = cfg.Budget
+	} else {
+		ecfg.PeerBudgetFraction = -1 // unbounded
+	}
+	dev, err := buildDevice(DeviceConfig{
+		Name: "main", Spec: spec, Engine: ecfg,
+		Capacity: mainCapacity, Seed: cfg.Seed, Client: &ccfg,
+	}, clock, net)
+	if err != nil {
+		return ChaosResult{}, err
+	}
+	dev.client.SetPeers(peerNames)
+
+	var plan simnet.FaultPlan
+	for _, name := range peerNames {
+		plan = append(plan,
+			simnet.FaultEvent{At: crashAt, Kind: simnet.FaultCrash, Node: simnet.NodeID(name)},
+			simnet.FaultEvent{At: healAt, Kind: simnet.FaultRestart, Node: simnet.NodeID(name)},
+		)
+	}
+	sched, err := simnet.NewFaultScheduler(net, clock, plan)
+	if err != nil {
+		return ChaosResult{}, err
+	}
+	if out.Run, err = replay(dev, clock, sched); err != nil {
+		return ChaosResult{}, err
+	}
+	out.Stats = dev.engine.Stats()
+	out.Health = dev.client.Health()
+	return out, nil
+}

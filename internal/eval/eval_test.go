@@ -68,8 +68,8 @@ func TestAllHaveUniqueIDs(t *testing.T) {
 			t.Fatalf("%s has no runner", e.ID)
 		}
 	}
-	if len(seen) != 17 {
-		t.Fatalf("suite has %d experiments, want 17", len(seen))
+	if len(seen) != 18 {
+		t.Fatalf("suite has %d experiments, want 18", len(seen))
 	}
 }
 

@@ -66,6 +66,7 @@ func All() []Experiment {
 		{ID: "E15", Name: "latency-cdf", Run: E15LatencyCDF},
 		{ID: "E16", Name: "digest-filter", Run: E16DigestFilter},
 		{ID: "E17", Name: "peer-churn", Run: E17PeerChurn},
+		{ID: "E18", Name: "chaos-resilience", Run: E18ChaosResilience},
 	}
 }
 

@@ -654,7 +654,12 @@ func E17PeerChurn(s Scale) (Report, error) {
 		if err != nil {
 			return 0, 0, err
 		}
-		client, err := p2p.NewClient(p2p.DefaultClientConfig(), tr)
+		// The breaker is disabled here so the experiment isolates what
+		// roster maintenance alone buys; the resilience layer's own
+		// effect is measured by E18.
+		ccfg := p2p.DefaultClientConfig()
+		ccfg.Breaker.Disabled = true
+		client, err := p2p.NewClient(ccfg, tr)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -716,6 +721,63 @@ func E17PeerChurn(s Scale) (Report, error) {
 			mode,
 			fmtDur(mean),
 			fmt.Sprintf("%d", hits),
+		})
+	}
+	return report, nil
+}
+
+// E18ChaosResilience crashes every peer mid-session and heals them
+// later, comparing the guarded client (breaker + per-frame budget)
+// against a fully unguarded one on the crash-window latency. The
+// bound the resilience layer must meet: crash-window mean within 10%
+// of the no-peers baseline.
+func E18ChaosResilience(s Scale) (Report, error) {
+	if err := s.validate(); err != nil {
+		return Report{}, err
+	}
+	frames := s.Frames
+	if frames < 30 {
+		frames = 30
+	}
+
+	report := Report{
+		ID: "E18",
+		Title: fmt.Sprintf(
+			"Chaos resilience: all peers crash 40%% in, heal 70%% in (%d frames, 80 ms dead-peer timeout)",
+			frames),
+		Headers: []string{"client", "crash mean", "vs baseline", "peer-hits pre/heal",
+			"trips", "recoveries", "degraded frames"},
+		Notes: []string{
+			"baseline is the same device with no peers at all; the guarded client must stay within 10% of it through the crash window",
+			"the unguarded client keeps paying the dead-peer timeout on every P2P-gate frame until the heal",
+		},
+	}
+	for _, guarded := range []bool{true, false} {
+		cfg := ChaosConfig{Frames: frames, Seed: s.Seed}
+		name := "guarded (breaker + budget)"
+		if !guarded {
+			cfg.Breaker = p2p.BreakerConfig{Disabled: true}
+			cfg.Budget = -1
+			name = "unguarded"
+		}
+		res, err := RunChaos(cfg)
+		if err != nil {
+			return Report{}, err
+		}
+		base := res.Baseline[PhaseCrash].Mean
+		over := "n/a"
+		if base > 0 {
+			over = fmtPct(float64(res.Run[PhaseCrash].Mean)/float64(base) - 1)
+		}
+		trips, recoveries := res.Stats.BreakerEvents()
+		report.Rows = append(report.Rows, []string{
+			name,
+			fmtDur(res.Run[PhaseCrash].Mean),
+			over,
+			fmt.Sprintf("%d / %d", res.Run[PhasePre].PeerHits, res.Run[PhaseHeal].PeerHits),
+			fmt.Sprintf("%d", trips),
+			fmt.Sprintf("%d", recoveries),
+			fmt.Sprintf("%d", res.Stats.DegradedFrames()),
 		})
 	}
 	return report, nil

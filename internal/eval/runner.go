@@ -31,6 +31,10 @@ type DeviceConfig struct {
 	Profile dnn.Profile
 	// Seed drives the device's classifier and LSH index.
 	Seed int64
+	// Client, when non-nil, overrides the peer-client policy (breaker,
+	// budget, health smoothing). The clock is always bound to the
+	// run's virtual clock regardless.
+	Client *p2p.ClientConfig
 }
 
 // defaults fills zero fields.
@@ -97,7 +101,15 @@ func buildDevice(cfg DeviceConfig, clock simclock.Clock, net *simnet.Network) (*
 			if err != nil {
 				return nil, fmt.Errorf("device %s transport: %w", cfg.Name, err)
 			}
-			peers, err = p2p.NewClient(p2p.DefaultClientConfig(), tr)
+			ccfg := p2p.DefaultClientConfig()
+			if cfg.Client != nil {
+				ccfg = *cfg.Client
+			}
+			// Breaker backoffs must elapse in the run's virtual time, or
+			// circuits would (nondeterministically) heal on the wall
+			// clock instead.
+			ccfg.Clock = clock
+			peers, err = p2p.NewClient(ccfg, tr)
 			if err != nil {
 				return nil, fmt.Errorf("device %s client: %w", cfg.Name, err)
 			}
@@ -118,17 +130,25 @@ func buildDevice(cfg DeviceConfig, clock simclock.Clock, net *simnet.Network) (*
 // step processes the device's next frame. Returns false when the
 // workload is exhausted.
 func (d *device) step() (bool, error) {
+	_, ok, err := d.stepResult()
+	return ok, err
+}
+
+// stepResult is step exposing the frame's pipeline result, for harnesses
+// that classify frames (e.g. the chaos runner's phase windows).
+func (d *device) stepResult() (core.Result, bool, error) {
 	if d.next >= len(d.work.Frames) {
-		return false, nil
+		return core.Result{}, false, nil
 	}
 	fr := d.work.Frames[d.next]
 	win := d.work.IMUWindow(d.prev, fr.Offset)
 	d.prev = fr.Offset
 	d.next++
-	if _, err := d.engine.ProcessWithTruth(fr.Image, win, dnn.LabelOf(fr.Class)); err != nil {
-		return false, fmt.Errorf("device %s frame %d: %w", d.name, fr.Index, err)
+	res, err := d.engine.ProcessWithTruth(fr.Image, win, dnn.LabelOf(fr.Class))
+	if err != nil {
+		return core.Result{}, false, fmt.Errorf("device %s frame %d: %w", d.name, fr.Index, err)
 	}
-	return true, nil
+	return res, true, nil
 }
 
 // RunSingle replays one device's workload to completion and returns its

@@ -153,15 +153,19 @@ func (r *LatencyRecorder) Summary() LatencySummary {
 // latency, energy, and recognition accuracy. SessionStats is safe for
 // concurrent use.
 type SessionStats struct {
-	mu        sync.Mutex
-	frames    int
-	hits      map[Source]int
-	correct   int
-	energyMJ  float64
-	peerQs    int
-	peerHits  int
-	repairs   int
-	latencies *LatencyRecorder
+	mu             sync.Mutex
+	frames         int
+	hits           map[Source]int
+	correct        int
+	energyMJ       float64
+	peerQs         int
+	peerHits       int
+	peerTimeouts   int
+	breakerTrips   int
+	breakerRecover int
+	degradedFrames int
+	repairs        int
+	latencies      *LatencyRecorder
 }
 
 // NewSessionStats returns an empty aggregate.
@@ -193,6 +197,61 @@ func (s *SessionStats) ObservePeerQuery(hit bool) {
 	if hit {
 		s.peerHits++
 	}
+}
+
+// ObservePeerTimeout records one peer exchange that overran its
+// deadline or the per-frame peer budget.
+func (s *SessionStats) ObservePeerTimeout() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.peerTimeouts++
+}
+
+// ObserveBreakerTrip records one circuit-breaker trip (a peer excluded
+// from the fan-out after repeated failures).
+func (s *SessionStats) ObserveBreakerTrip() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.breakerTrips++
+}
+
+// ObserveBreakerRecovery records one circuit closing again (a tripped
+// peer healed).
+func (s *SessionStats) ObserveBreakerRecovery() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.breakerRecover++
+}
+
+// ObserveDegradedFrame records one frame whose P2P gate was skipped
+// because every peer's circuit was open (local-only degradation).
+func (s *SessionStats) ObserveDegradedFrame() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.degradedFrames++
+}
+
+// PeerTimeouts returns how many peer exchanges timed out.
+func (s *SessionStats) PeerTimeouts() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.peerTimeouts
+}
+
+// BreakerEvents returns (trips, recoveries) of the peer circuit
+// breaker.
+func (s *SessionStats) BreakerEvents() (trips, recoveries int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.breakerTrips, s.breakerRecover
+}
+
+// DegradedFrames returns how many frames ran local-only because every
+// peer was tripped open.
+func (s *SessionStats) DegradedFrames() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.degradedFrames
 }
 
 // ObserveRepairs records n cache entries purged because a revalidation

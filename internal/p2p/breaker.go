@@ -1,0 +1,308 @@
+package p2p
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"approxcache/internal/simclock"
+)
+
+// BreakerState is one peer's circuit state.
+type BreakerState int
+
+// Circuit states.
+const (
+	// StateClosed admits traffic normally.
+	StateClosed BreakerState = iota
+	// StateOpen rejects traffic until a backoff elapses.
+	StateOpen
+	// StateHalfOpen admits a single probe to test recovery.
+	StateHalfOpen
+)
+
+// String returns the state name.
+func (s BreakerState) String() string {
+	switch s {
+	case StateClosed:
+		return "closed"
+	case StateOpen:
+		return "open"
+	case StateHalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("BreakerState(%d)", int(s))
+	}
+}
+
+// BreakerConfig tunes the per-peer circuit breaker.
+type BreakerConfig struct {
+	// FailureThreshold is how many consecutive failures trip the
+	// circuit open. Zero selects the default (3).
+	FailureThreshold int
+	// BaseBackoff is the first open interval. Zero selects the default
+	// (250 ms). Each re-trip from half-open doubles the interval.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the doubling. Zero selects the default (10 s).
+	MaxBackoff time.Duration
+	// JitterFrac randomizes each backoff by ±JitterFrac so a fleet of
+	// devices does not re-probe a healed peer in lockstep. Zero selects
+	// the default (0.2); negative disables jitter.
+	JitterFrac float64
+	// Seed drives the (deterministic) jitter. Zero selects 1.
+	Seed int64
+	// Disabled turns the breaker off: every peer always reads closed.
+	// Used by the chaos experiment's unguarded baseline.
+	Disabled bool
+}
+
+// Validate reports whether the configuration is usable.
+func (c BreakerConfig) Validate() error {
+	if c.FailureThreshold < 0 {
+		return fmt.Errorf("p2p: breaker FailureThreshold must be non-negative, got %d", c.FailureThreshold)
+	}
+	if c.BaseBackoff < 0 || c.MaxBackoff < 0 {
+		return fmt.Errorf("p2p: breaker backoffs must be non-negative (%v, %v)", c.BaseBackoff, c.MaxBackoff)
+	}
+	if c.JitterFrac > 1 {
+		return fmt.Errorf("p2p: breaker JitterFrac must be at most 1, got %v", c.JitterFrac)
+	}
+	return nil
+}
+
+// DefaultBreakerConfig returns the standard tripping policy: 3
+// consecutive failures open the circuit for 250 ms, doubling up to 10 s
+// with ±20% jitter.
+func DefaultBreakerConfig() BreakerConfig {
+	return BreakerConfig{
+		FailureThreshold: 3,
+		BaseBackoff:      250 * time.Millisecond,
+		MaxBackoff:       10 * time.Second,
+		JitterFrac:       0.2,
+		Seed:             1,
+	}
+}
+
+// withDefaults fills zero fields.
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	def := DefaultBreakerConfig()
+	if c.FailureThreshold == 0 {
+		c.FailureThreshold = def.FailureThreshold
+	}
+	if c.BaseBackoff == 0 {
+		c.BaseBackoff = def.BaseBackoff
+	}
+	if c.MaxBackoff == 0 {
+		c.MaxBackoff = def.MaxBackoff
+	}
+	if c.JitterFrac == 0 {
+		c.JitterFrac = def.JitterFrac
+	}
+	if c.Seed == 0 {
+		c.Seed = def.Seed
+	}
+	return c
+}
+
+// breakerEntry is one peer's circuit.
+type breakerEntry struct {
+	state     BreakerState
+	fails     int           // consecutive failures while closed
+	backoff   time.Duration // current open interval
+	openUntil time.Time
+	probing   bool // a half-open probe is in flight
+}
+
+// Breaker is a set of per-peer circuit breakers driven by an injected
+// clock (virtual in experiments, wall in live use). A peer trips open
+// after FailureThreshold consecutive failures; once its backoff
+// elapses, the next Allow admits exactly one half-open probe. A probe
+// success closes the circuit; a probe failure re-opens it with doubled
+// backoff. Breaker is safe for concurrent use.
+type Breaker struct {
+	cfg   BreakerConfig
+	clock simclock.Clock
+
+	mu         sync.Mutex
+	rng        *rand.Rand
+	peers      map[string]*breakerEntry
+	trips      int
+	recoveries int
+}
+
+// NewBreaker builds a breaker on clock (nil selects the wall clock).
+func NewBreaker(cfg BreakerConfig, clock simclock.Clock) (*Breaker, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	if clock == nil {
+		clock = simclock.Real{}
+	}
+	return &Breaker{
+		cfg:   cfg,
+		clock: clock,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		peers: make(map[string]*breakerEntry),
+	}, nil
+}
+
+// entry returns (creating if needed) peer's circuit. Caller holds b.mu.
+func (b *Breaker) entry(peer string) *breakerEntry {
+	e := b.peers[peer]
+	if e == nil {
+		e = &breakerEntry{backoff: b.cfg.BaseBackoff}
+		b.peers[peer] = e
+	}
+	return e
+}
+
+// Allow reports whether an exchange with peer may proceed now. An open
+// circuit whose backoff has elapsed transitions to half-open and admits
+// this one call as the probe; further calls are rejected until the
+// probe resolves via OnSuccess/OnFailure.
+func (b *Breaker) Allow(peer string) bool {
+	if b.cfg.Disabled {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.entry(peer)
+	switch e.state {
+	case StateClosed:
+		return true
+	case StateOpen:
+		if b.clock.Now().Before(e.openUntil) {
+			return false
+		}
+		e.state = StateHalfOpen
+		e.probing = true
+		return true
+	default: // StateHalfOpen
+		if e.probing {
+			return false
+		}
+		e.probing = true
+		return true
+	}
+}
+
+// OnSuccess records a successful exchange with peer. Any non-closed
+// circuit closes (a recovery), whatever state it was in: evidence the
+// peer answered beats the backoff schedule.
+func (b *Breaker) OnSuccess(peer string) (recovered bool) {
+	if b.cfg.Disabled {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.entry(peer)
+	recovered = e.state != StateClosed
+	e.state = StateClosed
+	e.fails = 0
+	e.probing = false
+	e.backoff = b.cfg.BaseBackoff
+	if recovered {
+		b.recoveries++
+	}
+	return recovered
+}
+
+// OnFailure records a failed exchange with peer and reports whether it
+// tripped the circuit open (from closed) or re-opened it (a failed
+// half-open probe).
+func (b *Breaker) OnFailure(peer string) (tripped bool) {
+	if b.cfg.Disabled {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.entry(peer)
+	switch e.state {
+	case StateClosed:
+		e.fails++
+		if e.fails < b.cfg.FailureThreshold {
+			return false
+		}
+		b.openLocked(e, b.cfg.BaseBackoff)
+		return true
+	case StateHalfOpen:
+		// The probe failed: re-open with doubled backoff.
+		next := e.backoff * 2
+		if next > b.cfg.MaxBackoff {
+			next = b.cfg.MaxBackoff
+		}
+		b.openLocked(e, next)
+		return true
+	default: // StateOpen: a straggler failure; no state change.
+		return false
+	}
+}
+
+// openLocked trips e open for backoff (± jitter). Caller holds b.mu.
+func (b *Breaker) openLocked(e *breakerEntry, backoff time.Duration) {
+	e.state = StateOpen
+	e.fails = 0
+	e.probing = false
+	e.backoff = backoff
+	d := backoff
+	if b.cfg.JitterFrac > 0 {
+		f := 1 + b.cfg.JitterFrac*(2*b.rng.Float64()-1)
+		d = time.Duration(float64(d) * f)
+	}
+	e.openUntil = b.clock.Now().Add(d)
+	b.trips++
+}
+
+// State returns peer's current circuit state (closed if never seen).
+// An open circuit whose backoff has elapsed reads as half-open.
+func (b *Breaker) State(peer string) BreakerState {
+	if b.cfg.Disabled {
+		return StateClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e, ok := b.peers[peer]
+	if !ok {
+		return StateClosed
+	}
+	if e.state == StateOpen && !b.clock.Now().Before(e.openUntil) {
+		return StateHalfOpen
+	}
+	return e.state
+}
+
+// Open returns the peers whose circuits are currently open (still
+// inside backoff), sorted by name.
+func (b *Breaker) Open() []string {
+	if b.cfg.Disabled {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.clock.Now()
+	var out []string
+	for name, e := range b.peers {
+		if e.state == StateOpen && now.Before(e.openUntil) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Counts returns how many times circuits tripped open and recovered.
+func (b *Breaker) Counts() (trips, recoveries int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips, b.recoveries
+}
+
+// Forget drops all circuit state for peer.
+func (b *Breaker) Forget(peer string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.peers, peer)
+}

@@ -1,0 +1,219 @@
+package p2p
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"approxcache/internal/simclock"
+	"approxcache/internal/simnet"
+)
+
+func newTestBreaker(t *testing.T, clock simclock.Clock) *Breaker {
+	t.Helper()
+	b, err := NewBreaker(BreakerConfig{JitterFrac: -1}, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestBreakerTripsAfterConsecutiveFailures(t *testing.T) {
+	clock := simclock.NewVirtual(time.Unix(0, 0))
+	b := newTestBreaker(t, clock)
+
+	if !b.Allow("p") {
+		t.Fatal("fresh peer not allowed")
+	}
+	if b.OnFailure("p") {
+		t.Fatal("tripped on first failure")
+	}
+	if b.OnFailure("p") {
+		t.Fatal("tripped on second failure")
+	}
+	if !b.OnFailure("p") {
+		t.Fatal("did not trip on third failure")
+	}
+	if b.Allow("p") {
+		t.Fatal("open circuit allowed traffic")
+	}
+	if got := b.State("p"); got != StateOpen {
+		t.Fatalf("state = %v, want open", got)
+	}
+	trips, recoveries := b.Counts()
+	if trips != 1 || recoveries != 0 {
+		t.Fatalf("counts = (%d,%d), want (1,0)", trips, recoveries)
+	}
+}
+
+func TestBreakerSuccessResetsFailureCount(t *testing.T) {
+	clock := simclock.NewVirtual(time.Unix(0, 0))
+	b := newTestBreaker(t, clock)
+	b.OnFailure("p")
+	b.OnFailure("p")
+	b.OnSuccess("p")
+	if b.OnFailure("p") || b.OnFailure("p") {
+		t.Fatal("tripped before threshold after a reset")
+	}
+	if got := b.State("p"); got != StateClosed {
+		t.Fatalf("state = %v, want closed", got)
+	}
+}
+
+func TestBreakerHalfOpenProbeAndRecovery(t *testing.T) {
+	clock := simclock.NewVirtual(time.Unix(0, 0))
+	b := newTestBreaker(t, clock)
+	for i := 0; i < 3; i++ {
+		b.OnFailure("p")
+	}
+	if b.Allow("p") {
+		t.Fatal("open circuit allowed before backoff")
+	}
+	clock.Advance(251 * time.Millisecond)
+	if got := b.State("p"); got != StateHalfOpen {
+		t.Fatalf("state after backoff = %v, want half-open", got)
+	}
+	if !b.Allow("p") {
+		t.Fatal("half-open did not admit a probe")
+	}
+	if b.Allow("p") {
+		t.Fatal("second concurrent probe admitted")
+	}
+	if !b.OnSuccess("p") {
+		t.Fatal("probe success did not count as recovery")
+	}
+	if got := b.State("p"); got != StateClosed {
+		t.Fatalf("state after recovery = %v, want closed", got)
+	}
+	_, recoveries := b.Counts()
+	if recoveries != 1 {
+		t.Fatalf("recoveries = %d, want 1", recoveries)
+	}
+}
+
+func TestBreakerFailedProbeDoublesBackoff(t *testing.T) {
+	clock := simclock.NewVirtual(time.Unix(0, 0))
+	b := newTestBreaker(t, clock)
+	for i := 0; i < 3; i++ {
+		b.OnFailure("p")
+	}
+	clock.Advance(251 * time.Millisecond)
+	if !b.Allow("p") {
+		t.Fatal("no probe admitted")
+	}
+	if !b.OnFailure("p") {
+		t.Fatal("failed probe did not re-trip")
+	}
+	// Backoff doubled to 500 ms: after 251 ms it is still open...
+	clock.Advance(251 * time.Millisecond)
+	if b.Allow("p") {
+		t.Fatal("re-opened circuit allowed before doubled backoff")
+	}
+	// ...but after the full 500 ms a probe is admitted again.
+	clock.Advance(250 * time.Millisecond)
+	if !b.Allow("p") {
+		t.Fatal("no probe after doubled backoff")
+	}
+}
+
+func TestBreakerBackoffCapped(t *testing.T) {
+	clock := simclock.NewVirtual(time.Unix(0, 0))
+	b, err := NewBreaker(BreakerConfig{
+		BaseBackoff: 100 * time.Millisecond,
+		MaxBackoff:  200 * time.Millisecond,
+		JitterFrac:  -1,
+	}, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		b.OnFailure("p")
+	}
+	// Fail many probes; backoff must never exceed MaxBackoff.
+	for i := 0; i < 6; i++ {
+		clock.Advance(201 * time.Millisecond)
+		if !b.Allow("p") {
+			t.Fatalf("probe %d not admitted within MaxBackoff", i)
+		}
+		b.OnFailure("p")
+	}
+}
+
+func TestBreakerOpenListsTrippedPeers(t *testing.T) {
+	clock := simclock.NewVirtual(time.Unix(0, 0))
+	b := newTestBreaker(t, clock)
+	for i := 0; i < 3; i++ {
+		b.OnFailure("b")
+		b.OnFailure("a")
+	}
+	b.OnSuccess("c")
+	open := b.Open()
+	if len(open) != 2 || open[0] != "a" || open[1] != "b" {
+		t.Fatalf("open = %v, want [a b]", open)
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	b, err := NewBreaker(BreakerConfig{Disabled: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if b.OnFailure("p") {
+			t.Fatal("disabled breaker tripped")
+		}
+	}
+	if !b.Allow("p") || b.State("p") != StateClosed {
+		t.Fatal("disabled breaker blocked traffic")
+	}
+}
+
+func TestBreakerJitterStaysInBounds(t *testing.T) {
+	clock := simclock.NewVirtual(time.Unix(0, 0))
+	b, err := NewBreaker(BreakerConfig{
+		BaseBackoff: 100 * time.Millisecond,
+		JitterFrac:  0.2,
+		Seed:        7,
+	}, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		b.OnFailure("p")
+	}
+	// Open interval is within [80ms, 120ms]: definitely open at 79 ms,
+	// definitely probing at 121 ms.
+	clock.Advance(79 * time.Millisecond)
+	if b.Allow("p") {
+		t.Fatal("allowed below jitter lower bound")
+	}
+	clock.Advance(42 * time.Millisecond)
+	if !b.Allow("p") {
+		t.Fatal("not allowed past jitter upper bound")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err  error
+		want ErrClass
+	}{
+		{nil, ErrClassNone},
+		{simnet.ErrLost, ErrClassLost},
+		{fmt.Errorf("wrap: %w", simnet.ErrPartitioned), ErrClassUnreachable},
+		{fmt.Errorf("wrap: %w", simnet.ErrCrashed), ErrClassUnreachable},
+		{fmt.Errorf("wrap: %w", simnet.ErrUnknownNode), ErrClassUnreachable},
+		{fmt.Errorf("budget: %w", ErrBudgetExceeded), ErrClassTimeout},
+		{os.ErrDeadlineExceeded, ErrClassTimeout},
+		{ErrTruncated, ErrClassBadResponse},
+		{fmt.Errorf("decode: %w", ErrUnknownKind), ErrClassBadResponse},
+		{errors.New("anything else"), ErrClassOther},
+	}
+	for i, c := range cases {
+		if got := Classify(c.err); got != c.want {
+			t.Errorf("case %d: Classify(%v) = %v, want %v", i, c.err, got, c.want)
+		}
+	}
+}

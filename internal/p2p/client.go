@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"approxcache/internal/feature"
+	"approxcache/internal/simclock"
 	"approxcache/internal/simnet"
 )
 
@@ -34,6 +35,19 @@ type RemoteHit struct {
 	RTT time.Duration
 }
 
+// Observer receives resilience events as the client produces them, so
+// the pipeline's session stats can surface them. All methods may be
+// called concurrently; a nil observer is never invoked.
+type Observer interface {
+	// PeerTimeout fires when an exchange with peer overran its
+	// deadline or the per-frame budget.
+	PeerTimeout(peer string)
+	// BreakerTrip fires when peer's circuit trips (or re-trips) open.
+	BreakerTrip(peer string)
+	// BreakerRecovery fires when peer's circuit closes again.
+	BreakerRecovery(peer string)
+}
+
 // ClientConfig parameterizes the querying side.
 type ClientConfig struct {
 	// K is the neighbor count requested from each peer.
@@ -44,6 +58,26 @@ type ClientConfig struct {
 	// GossipFanout caps how many peers each fresh result is shared
 	// with. Zero shares with all peers.
 	GossipFanout int
+	// GossipAttempts is the per-peer delivery attempt bound for
+	// gossip, including the first try. Zero selects the default (2).
+	// Retries happen off the recognition hot path: their backoff is
+	// not charged to the frame.
+	GossipAttempts int
+	// QueryBudget is the default per-query time budget applied by
+	// Query: answers arriving later are discarded (and charged to the
+	// peer as a timeout), and the charged cost is capped at the
+	// budget. Zero disables the cap. The engine overrides it per frame
+	// via QueryFrame with a budget derived from DNN latency.
+	QueryBudget time.Duration
+	// Health tunes the per-peer health EWMAs (zero value = defaults).
+	Health HealthConfig
+	// Breaker tunes the per-peer circuit breaker (zero value =
+	// defaults). Set Breaker.Disabled to bypass it entirely.
+	Breaker BreakerConfig
+	// Clock drives breaker backoff timing. Nil selects the wall
+	// clock; experiments inject their virtual clock so circuits heal
+	// in simulated time.
+	Clock simclock.Clock
 }
 
 // Validate reports whether the configuration is usable.
@@ -57,24 +91,43 @@ func (c ClientConfig) Validate() error {
 	if c.GossipFanout < 0 {
 		return fmt.Errorf("p2p: GossipFanout must be non-negative, got %d", c.GossipFanout)
 	}
-	return nil
+	if c.GossipAttempts < 0 {
+		return fmt.Errorf("p2p: GossipAttempts must be non-negative, got %d", c.GossipAttempts)
+	}
+	if c.QueryBudget < 0 {
+		return fmt.Errorf("p2p: QueryBudget must be non-negative, got %v", c.QueryBudget)
+	}
+	if err := c.Health.Validate(); err != nil {
+		return err
+	}
+	return c.Breaker.Validate()
 }
 
 // DefaultClientConfig returns the standard querying policy.
 func DefaultClientConfig() ClientConfig {
-	return ClientConfig{K: 4, MaxDistance: 0.25, GossipFanout: 0}
+	return ClientConfig{K: 4, MaxDistance: 0.25, GossipFanout: 0, GossipAttempts: 2}
 }
 
 // Client queries and gossips to a set of peers over a Transport.
-// Client is safe for concurrent use.
+//
+// Client is the guarded side of the P2P reuse path: every exchange
+// feeds a per-peer health tracker, and a circuit breaker excludes
+// misbehaving peers from the fan-out until a backed-off half-open
+// probe shows them healthy again. When every peer is open the client
+// degrades to local-only operation at zero cost instead of stalling
+// the frame. Client is safe for concurrent use.
 type Client struct {
 	cfg       ClientConfig
 	transport Transport
+	health    *HealthTracker
+	breaker   *Breaker
 
-	mu      sync.Mutex
-	peers   []string
-	digests map[string]Digest
-	skipped int
+	mu       sync.Mutex
+	peers    []string
+	digests  map[string]Digest
+	skipped  int
+	degraded int
+	observer Observer
 }
 
 // NewClient builds a client over transport.
@@ -85,8 +138,62 @@ func NewClient(cfg ClientConfig, transport Transport) (*Client, error) {
 	if transport == nil {
 		return nil, fmt.Errorf("p2p: nil transport")
 	}
-	return &Client{cfg: cfg, transport: transport, digests: make(map[string]Digest)}, nil
+	if cfg.GossipAttempts == 0 {
+		cfg.GossipAttempts = 2
+	}
+	health, err := NewHealthTracker(cfg.Health)
+	if err != nil {
+		return nil, err
+	}
+	breaker, err := NewBreaker(cfg.Breaker, cfg.Clock)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		cfg:       cfg,
+		transport: transport,
+		health:    health,
+		breaker:   breaker,
+		digests:   make(map[string]Digest),
+	}, nil
 }
+
+// SetObserver installs (or, with nil, removes) the resilience-event
+// sink. The engine installs its session stats here.
+func (c *Client) SetObserver(o Observer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.observer = o
+}
+
+// getObserver snapshots the observer.
+func (c *Client) getObserver() Observer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.observer
+}
+
+// record books one exchange outcome into the health tracker, breaker,
+// and observer. It returns the failure class of err.
+func (c *Client) record(peer string, rtt time.Duration, err error) ErrClass {
+	class := Classify(err)
+	c.health.Observe(peer, rtt, class)
+	obs := c.getObserver()
+	if class.Failure() {
+		if class == ErrClassTimeout && obs != nil {
+			obs.PeerTimeout(peer)
+		}
+		if c.breaker.OnFailure(peer) && obs != nil {
+			obs.BreakerTrip(peer)
+		}
+	} else if c.breaker.OnSuccess(peer) && obs != nil {
+		obs.BreakerRecovery(peer)
+	}
+	return class
+}
+
+// Breaker exposes the client's circuit breaker (for tests and tools).
+func (c *Client) Breaker() *Breaker { return c.breaker }
 
 // FetchDigest asks peer for its coverage digest and caches it, so
 // subsequent Queries can skip the peer when it cannot possibly help.
@@ -99,16 +206,21 @@ func (c *Client) FetchDigest(peer string) (Digest, time.Duration, error) {
 	}
 	respB, rtt, err := c.transport.Call(peer, req)
 	if err != nil {
+		c.record(peer, rtt, err)
 		return Digest{}, rtt, err
 	}
 	msg, err := Decode(respB)
 	if err != nil {
+		c.record(peer, rtt, err)
 		return Digest{}, rtt, err
 	}
 	resp, ok := msg.(DigestResp)
 	if !ok {
-		return Digest{}, rtt, fmt.Errorf("p2p: unexpected %v reply to digest req", msg.MsgKind())
+		err := fmt.Errorf("%w: %v reply to digest req", ErrUnknownKind, msg.MsgKind())
+		c.record(peer, rtt, err)
+		return Digest{}, rtt, err
 	}
+	c.record(peer, rtt, nil)
 	c.mu.Lock()
 	c.digests[peer] = resp.Digest
 	c.mu.Unlock()
@@ -163,72 +275,140 @@ func (c *Client) Peers() []string {
 	return append([]string(nil), c.peers...)
 }
 
-// Query asks every peer for vec and returns the best in-range answer.
-// Peers are queried concurrently in the real world, so the charged cost
-// is the slowest peer's RTT (all responses are awaited), not the sum.
-// found is false when no peer produced an acceptable hit; cost still
-// reflects the time spent asking.
+// QueryOutcome is the result of one budgeted peer-set query.
+type QueryOutcome struct {
+	// Hit is the best in-range answer; meaningful when Found.
+	Hit RemoteHit
+	// Found reports whether any peer produced an acceptable hit.
+	Found bool
+	// Cost is the simulated time the query charged to the frame: the
+	// slowest queried peer's RTT (peers are asked concurrently on a
+	// real radio), capped at the budget.
+	Cost time.Duration
+	// Queried is how many peers were actually asked.
+	Queried int
+	// Degraded reports that peers were configured but every one was
+	// excluded by its open circuit: the P2P gate was skipped at zero
+	// cost and the pipeline ran local-only.
+	Degraded bool
+}
+
+// Query asks every admitted peer for vec and returns the best in-range
+// answer, applying the configured default budget. found is false when
+// no peer produced an acceptable hit; cost still reflects the time
+// spent asking. See QueryFrame for the full outcome.
 func (c *Client) Query(vec feature.Vector) (hit RemoteHit, cost time.Duration, found bool, err error) {
+	out, err := c.QueryFrame(vec, c.cfg.QueryBudget)
+	return out.Hit, out.Cost, out.Found, err
+}
+
+// QueryFrame asks the peer set for vec under a time budget (zero =
+// unbounded). Peers whose circuit is open are excluded; peers are
+// queried concurrently in the real world, so the charged cost is the
+// slowest admitted peer's RTT, capped at the budget. An answer whose
+// RTT overruns the budget is discarded and charged to the peer as a
+// timeout — the caller keeps the best answer that arrived in time
+// (fail partial, not fail total). When every peer is excluded the
+// query returns immediately with Degraded set.
+func (c *Client) QueryFrame(vec feature.Vector, budget time.Duration) (QueryOutcome, error) {
 	peers := c.Peers()
 	if len(peers) == 0 {
-		return RemoteHit{}, 0, false, nil
+		return QueryOutcome{}, nil
+	}
+	admitted := peers[:0:0]
+	for _, peer := range peers {
+		if c.breaker.Allow(peer) {
+			admitted = append(admitted, peer)
+		}
+	}
+	if len(admitted) == 0 {
+		c.mu.Lock()
+		c.degraded++
+		c.mu.Unlock()
+		return QueryOutcome{Degraded: true}, nil
 	}
 	req, err := Encode(Query{Vec: vec, K: uint8(c.cfg.K)})
 	if err != nil {
-		return RemoteHit{}, 0, false, fmt.Errorf("encode query: %w", err)
+		return QueryOutcome{}, fmt.Errorf("encode query: %w", err)
 	}
-	var (
-		best     RemoteHit
-		haveBest bool
-		maxRTT   time.Duration
-	)
-	for _, peer := range peers {
+	var out QueryOutcome
+	var maxRTT time.Duration
+	for _, peer := range admitted {
 		if !c.digestAllows(peer, vec) {
-			continue // the peer's digest says it cannot help
+			// The peer's digest says it cannot help. Resolve a
+			// half-open probe admission without an exchange.
+			c.breaker.OnSuccess(peer)
+			continue
 		}
 		respB, rtt, callErr := c.transport.Call(peer, req)
 		if rtt > maxRTT {
 			maxRTT = rtt
 		}
-		if callErr != nil {
+		if callErr == nil && budget > 0 && rtt > budget {
+			// The answer exists but arrived after the frame's peer
+			// deadline: discard it and charge the overrun.
+			callErr = fmt.Errorf("%w: %v > %v from %s", ErrBudgetExceeded, rtt, budget, peer)
+		}
+		out.Queried++
+		var msg Message
+		if callErr == nil {
+			var decErr error
+			msg, decErr = Decode(respB)
+			if decErr != nil {
+				callErr = decErr
+			}
+		}
+		if c.record(peer, rtt, callErr); callErr != nil {
 			// A lost or failed exchange is a per-peer miss, not a
 			// query failure: the requester simply proceeds with the
 			// answers it has.
-			continue
-		}
-		msg, decErr := Decode(respB)
-		if decErr != nil {
 			continue
 		}
 		resp, ok := msg.(QueryResp)
 		if !ok || !resp.Found || resp.Distance > c.cfg.MaxDistance {
 			continue
 		}
-		if !haveBest || resp.Distance < best.Distance {
-			best = RemoteHit{
+		if !out.Found || resp.Distance < out.Hit.Distance {
+			out.Hit = RemoteHit{
 				Peer:       peer,
 				Label:      resp.Label,
 				Confidence: resp.Confidence,
 				Distance:   resp.Distance,
 				RTT:        rtt,
 			}
-			haveBest = true
+			out.Found = true
 		}
 	}
-	return best, maxRTT, haveBest, nil
+	out.Cost = maxRTT
+	if budget > 0 && out.Cost > budget {
+		out.Cost = budget
+	}
+	return out, nil
 }
 
 // Gossip shares a fresh recognition result with up to GossipFanout
-// peers (all peers when zero). Gossip is fire-and-forget: per-peer
-// failures are ignored, and the returned cost is the slowest delivery
-// (sends proceed concurrently on a real radio).
+// admitted peers (all peers when zero). Gossip is fire-and-forget:
+// per-peer failures are ignored after GossipAttempts bounded retries,
+// peers with open circuits are skipped, and the returned cost is the
+// slowest successful delivery (sends proceed concurrently on a real
+// radio). Retry pacing happens off the recognition hot path, so no
+// backoff is charged to the returned cost.
 func (c *Client) Gossip(vec feature.Vector, label string, confidence float64, savedCost time.Duration) (time.Duration, error) {
 	peers := c.Peers()
 	if len(peers) == 0 {
 		return 0, nil
 	}
-	if c.cfg.GossipFanout > 0 && len(peers) > c.cfg.GossipFanout {
-		peers = peers[:c.cfg.GossipFanout]
+	admitted := peers[:0:0]
+	for _, peer := range peers {
+		if c.breaker.Allow(peer) {
+			admitted = append(admitted, peer)
+		}
+	}
+	if c.cfg.GossipFanout > 0 && len(admitted) > c.cfg.GossipFanout {
+		admitted = admitted[:c.cfg.GossipFanout]
+	}
+	if len(admitted) == 0 {
+		return 0, nil
 	}
 	payload, err := Encode(Gossip{
 		Vec:        vec,
@@ -240,19 +420,29 @@ func (c *Client) Gossip(vec feature.Vector, label string, confidence float64, sa
 		return 0, fmt.Errorf("encode gossip: %w", err)
 	}
 	var maxCost time.Duration
-	for _, peer := range peers {
-		cost, sendErr := c.transport.Send(peer, payload)
-		if sendErr != nil {
-			continue
-		}
-		if cost > maxCost {
-			maxCost = cost
+	for _, peer := range admitted {
+		for attempt := 0; attempt < c.cfg.GossipAttempts; attempt++ {
+			cost, sendErr := c.transport.Send(peer, payload)
+			c.record(peer, cost, sendErr)
+			if sendErr == nil {
+				if cost > maxCost {
+					maxCost = cost
+				}
+				break
+			}
+			// Only transient loss is worth a retry; a crashed or
+			// partitioned peer fails the same way immediately.
+			if !errors.Is(sendErr, simnet.ErrLost) {
+				break
+			}
 		}
 	}
 	return maxCost, nil
 }
 
 // Ping probes peer and returns its advertised identity and cache size.
+// The outcome feeds the health tracker and breaker, so background
+// roster refreshes double as recovery probes for open circuits.
 func (c *Client) Ping(self, peer string) (Pong, time.Duration, error) {
 	req, err := Encode(Ping{From: self})
 	if err != nil {
@@ -260,17 +450,84 @@ func (c *Client) Ping(self, peer string) (Pong, time.Duration, error) {
 	}
 	respB, rtt, err := c.transport.Call(peer, req)
 	if err != nil {
+		c.record(peer, rtt, err)
 		return Pong{}, rtt, err
 	}
 	msg, err := Decode(respB)
 	if err != nil {
+		c.record(peer, rtt, err)
 		return Pong{}, rtt, err
 	}
 	pong, ok := msg.(Pong)
 	if !ok {
-		return Pong{}, rtt, fmt.Errorf("p2p: unexpected %v reply to ping", msg.MsgKind())
+		err := fmt.Errorf("%w: %v reply to ping", ErrUnknownKind, msg.MsgKind())
+		c.record(peer, rtt, err)
+		return Pong{}, rtt, err
 	}
+	c.record(peer, rtt, nil)
 	return pong, rtt, nil
+}
+
+// ProbeOpen pings every peer whose circuit is currently open,
+// identifying as self. It is the explicit background re-probe hook:
+// call it from a maintenance loop to heal circuits without waiting for
+// the hot path to trip over them. It returns how many probes
+// succeeded (each success closes that peer's circuit).
+func (c *Client) ProbeOpen(self string) int {
+	recovered := 0
+	for _, peer := range c.breaker.Open() {
+		if _, _, err := c.Ping(self, peer); err == nil {
+			recovered++
+		}
+	}
+	return recovered
+}
+
+// HealthSnapshot is a point-in-time view of the client's resilience
+// state.
+type HealthSnapshot struct {
+	// Peers holds per-peer health, sorted by name, with breaker
+	// states filled in.
+	Peers []PeerHealth
+	// Trips and Recoveries count breaker transitions so far.
+	Trips, Recoveries int
+	// DegradedQueries counts queries skipped because every peer's
+	// circuit was open.
+	DegradedQueries int
+	// Degraded reports whether, right now, peers are configured but
+	// every one of them has an open circuit.
+	Degraded bool
+}
+
+// Health returns a snapshot of per-peer health and breaker state.
+func (c *Client) Health() HealthSnapshot {
+	var snap HealthSnapshot
+	snap.Peers = c.health.Snapshot()
+	seen := make(map[string]bool, len(snap.Peers))
+	for i := range snap.Peers {
+		snap.Peers[i].State = c.breaker.State(snap.Peers[i].Peer)
+		seen[snap.Peers[i].Peer] = true
+	}
+	peers := c.Peers()
+	for _, peer := range peers {
+		if !seen[peer] {
+			snap.Peers = append(snap.Peers, PeerHealth{Peer: peer, State: c.breaker.State(peer)})
+		}
+	}
+	snap.Trips, snap.Recoveries = c.breaker.Counts()
+	c.mu.Lock()
+	snap.DegradedQueries = c.degraded
+	c.mu.Unlock()
+	if len(peers) > 0 {
+		snap.Degraded = true
+		for _, peer := range peers {
+			if c.breaker.State(peer) != StateOpen {
+				snap.Degraded = false
+				break
+			}
+		}
+	}
+	return snap
 }
 
 // QueryWireSize returns the encoded size of a query for dim-dimensional

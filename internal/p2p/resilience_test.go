@@ -1,0 +1,362 @@
+package p2p
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"approxcache/internal/feature"
+	"approxcache/internal/simclock"
+	"approxcache/internal/simnet"
+)
+
+// newResilientCluster is newSimCluster with the client's breaker driven
+// by a virtual clock, so tests can heal circuits by advancing time.
+func newResilientCluster(t *testing.T, n int) (*Client, []*Service, *simnet.Network, *simclock.Virtual) {
+	t.Helper()
+	net, err := simnet.New(simnet.LinkProfile{
+		Latency: 5 * time.Millisecond, BandwidthBps: 1 << 20,
+	}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	services := make([]*Service, n)
+	peerNames := make([]string, n)
+	for i := 0; i < n; i++ {
+		name := "peer-" + string(rune('a'+i))
+		svc, err := NewService(DefaultServiceConfig(name), newStore(t, 32))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := RegisterService(net, svc); err != nil {
+			t.Fatal(err)
+		}
+		services[i] = svc
+		peerNames[i] = name
+	}
+	tr, err := NewSimnetTransport("self", net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := simclock.NewVirtual(time.Unix(0, 0))
+	cfg := DefaultClientConfig()
+	cfg.Clock = clock
+	cl, err := NewClient(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.SetPeers(peerNames)
+	return cl, services, net, clock
+}
+
+// countObserver tallies resilience events.
+type countObserver struct {
+	mu                          sync.Mutex
+	timeouts, trips, recoveries int
+}
+
+func (o *countObserver) PeerTimeout(string) { o.mu.Lock(); o.timeouts++; o.mu.Unlock() }
+func (o *countObserver) BreakerTrip(string) { o.mu.Lock(); o.trips++; o.mu.Unlock() }
+func (o *countObserver) BreakerRecovery(string) {
+	o.mu.Lock()
+	o.recoveries++
+	o.mu.Unlock()
+}
+
+func TestClientBreakerExcludesCrashedPeer(t *testing.T) {
+	cl, services, net, _ := newResilientCluster(t, 2)
+	if _, err := services[1].Store().Insert(feature.Vector{1, 0}, "cat", 0.9, "dnn", time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	net.SetDeadCost(100 * time.Millisecond)
+	net.Crash("peer-a")
+
+	// Three queries trip peer-a's circuit (FailureThreshold = 3); each
+	// still succeeds through peer-b.
+	for i := 0; i < 3; i++ {
+		out, err := cl.QueryFrame(feature.Vector{1, 0}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Queried != 2 || !out.Found {
+			t.Fatalf("query %d: %+v", i, out)
+		}
+		// The dead peer's radio timeout dominates the frame cost.
+		if out.Cost != 100*time.Millisecond {
+			t.Fatalf("query %d cost = %v, want dead cost", i, out.Cost)
+		}
+	}
+	if got := cl.Breaker().State("peer-a"); got != StateOpen {
+		t.Fatalf("peer-a state = %v, want open", got)
+	}
+
+	// With the circuit open the dead peer is excluded: only peer-b is
+	// asked and the frame no longer pays the dead cost.
+	out, err := cl.QueryFrame(feature.Vector{1, 0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Queried != 1 || !out.Found || out.Hit.Peer != "peer-b" {
+		t.Fatalf("post-trip query: %+v", out)
+	}
+	if out.Cost >= 100*time.Millisecond {
+		t.Fatalf("post-trip cost %v still pays dead peer", out.Cost)
+	}
+
+	snap := cl.Health()
+	if snap.Trips != 1 || snap.Recoveries != 0 {
+		t.Fatalf("trips/recoveries = %d/%d", snap.Trips, snap.Recoveries)
+	}
+	if snap.Degraded {
+		t.Fatal("degraded with a healthy peer remaining")
+	}
+}
+
+func TestClientDegradedWhenAllPeersOpen(t *testing.T) {
+	cl, _, net, _ := newResilientCluster(t, 1)
+	net.Crash("peer-a")
+	for i := 0; i < 3; i++ {
+		if _, err := cl.QueryFrame(feature.Vector{1, 0}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := cl.QueryFrame(feature.Vector{1, 0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Degraded || out.Queried != 0 || out.Cost != 0 || out.Found {
+		t.Fatalf("expected degraded zero-cost outcome, got %+v", out)
+	}
+	snap := cl.Health()
+	if !snap.Degraded {
+		t.Fatal("snapshot not degraded with every circuit open")
+	}
+	if snap.DegradedQueries != 1 {
+		t.Fatalf("degraded queries = %d, want 1", snap.DegradedQueries)
+	}
+}
+
+func TestClientBreakerRecoversAfterHeal(t *testing.T) {
+	cl, services, net, clock := newResilientCluster(t, 1)
+	if _, err := services[0].Store().Insert(feature.Vector{1, 0}, "cat", 0.9, "dnn", time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	net.Crash("peer-a")
+	for i := 0; i < 3; i++ {
+		if _, err := cl.QueryFrame(feature.Vector{1, 0}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Restart("peer-a")
+
+	// Still inside the backoff window: the query degrades.
+	out, err := cl.QueryFrame(feature.Vector{1, 0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Degraded {
+		t.Fatalf("expected degraded inside backoff, got %+v", out)
+	}
+
+	// Past the backoff (250 ms ± 20% jitter) a half-open probe is
+	// admitted, succeeds, and closes the circuit.
+	clock.Advance(301 * time.Millisecond)
+	out, err = cl.QueryFrame(feature.Vector{1, 0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Found || out.Hit.Peer != "peer-a" {
+		t.Fatalf("probe query: %+v", out)
+	}
+	snap := cl.Health()
+	if snap.Recoveries != 1 {
+		t.Fatalf("recoveries = %d, want 1", snap.Recoveries)
+	}
+	if got := cl.Breaker().State("peer-a"); got != StateClosed {
+		t.Fatalf("peer-a state = %v, want closed", got)
+	}
+}
+
+func TestClientProbeOpenHealsCircuit(t *testing.T) {
+	cl, _, net, _ := newResilientCluster(t, 1)
+	net.Crash("peer-a")
+	for i := 0; i < 3; i++ {
+		cl.QueryFrame(feature.Vector{1, 0}, 0)
+	}
+	if got := cl.Breaker().State("peer-a"); got != StateOpen {
+		t.Fatalf("state = %v, want open", got)
+	}
+	net.Restart("peer-a")
+	// ProbeOpen pings open circuits without waiting out the backoff —
+	// that is the background re-probe's whole job.
+	if n := cl.ProbeOpen("self"); n != 1 {
+		t.Fatalf("ProbeOpen recovered %d peers, want 1", n)
+	}
+	if got := cl.Breaker().State("peer-a"); got != StateClosed {
+		t.Fatalf("state after probe = %v, want closed", got)
+	}
+}
+
+func TestClientQueryBudgetDiscardsLateAnswer(t *testing.T) {
+	cl, services, _, _ := newResilientCluster(t, 1)
+	if _, err := services[0].Store().Insert(feature.Vector{1, 0}, "cat", 0.9, "dnn", time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	obs := &countObserver{}
+	cl.SetObserver(obs)
+
+	// One RTT on this cluster is ≥ 10 ms; a 1 ms budget discards the
+	// answer and charges the peer a timeout.
+	out, err := cl.QueryFrame(feature.Vector{1, 0}, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Found {
+		t.Fatal("late answer was not discarded")
+	}
+	if out.Cost != time.Millisecond {
+		t.Fatalf("cost = %v, want capped at budget", out.Cost)
+	}
+	ph, ok := cl.health.Peer("peer-a")
+	if !ok || ph.Timeouts != 1 {
+		t.Fatalf("peer health = %+v ok=%v, want 1 timeout", ph, ok)
+	}
+	if obs.timeouts != 1 {
+		t.Fatalf("observer timeouts = %d, want 1", obs.timeouts)
+	}
+
+	// A generous budget admits the same answer.
+	out, err = cl.QueryFrame(feature.Vector{1, 0}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Found || out.Hit.Label != "cat" {
+		t.Fatalf("in-budget query: %+v", out)
+	}
+}
+
+func TestClientObserverEvents(t *testing.T) {
+	cl, _, net, clock := newResilientCluster(t, 1)
+	obs := &countObserver{}
+	cl.SetObserver(obs)
+	net.Crash("peer-a")
+	for i := 0; i < 3; i++ {
+		cl.QueryFrame(feature.Vector{1, 0}, 0)
+	}
+	net.Restart("peer-a")
+	clock.Advance(301 * time.Millisecond)
+	cl.QueryFrame(feature.Vector{1, 0}, 0)
+	if obs.trips != 1 || obs.recoveries != 1 {
+		t.Fatalf("observer trips/recoveries = %d/%d, want 1/1", obs.trips, obs.recoveries)
+	}
+}
+
+func TestClientHealthIncludesUnobservedPeers(t *testing.T) {
+	cl, _, _, _ := newResilientCluster(t, 2)
+	snap := cl.Health()
+	if len(snap.Peers) != 2 {
+		t.Fatalf("snapshot peers = %d, want 2", len(snap.Peers))
+	}
+	for _, p := range snap.Peers {
+		if p.State != StateClosed || p.Successes != 0 || p.Failures != 0 {
+			t.Fatalf("fresh peer health = %+v", p)
+		}
+	}
+	if snap.Degraded {
+		t.Fatal("fresh client reads degraded")
+	}
+}
+
+// scriptTransport replays a scripted error per Send and rejects Call.
+type scriptTransport struct {
+	errs  []error
+	sends int
+}
+
+func (s *scriptTransport) Call(string, []byte) ([]byte, time.Duration, error) {
+	return nil, 0, errors.New("script: no call support")
+}
+
+func (s *scriptTransport) Send(string, []byte) (time.Duration, error) {
+	var err error
+	if s.sends < len(s.errs) {
+		err = s.errs[s.sends]
+	}
+	s.sends++
+	return time.Millisecond, err
+}
+
+func TestClientGossipRetriesOnLoss(t *testing.T) {
+	tr := &scriptTransport{errs: []error{simnet.ErrLost, nil}}
+	cfg := DefaultClientConfig()
+	cl, err := NewClient(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.SetPeers([]string{"p"})
+	cost, err := cl.Gossip(feature.Vector{1, 0}, "cat", 0.9, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.sends != 2 {
+		t.Fatalf("sends = %d, want a retry after loss", tr.sends)
+	}
+	if cost != time.Millisecond {
+		t.Fatalf("cost = %v, want the successful send's", cost)
+	}
+}
+
+func TestClientGossipDoesNotRetryHardFailures(t *testing.T) {
+	tr := &scriptTransport{errs: []error{simnet.ErrCrashed, nil}}
+	cl, err := NewClient(DefaultClientConfig(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.SetPeers([]string{"p"})
+	if _, err := cl.Gossip(feature.Vector{1, 0}, "cat", 0.9, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if tr.sends != 1 {
+		t.Fatalf("sends = %d, want no retry on crash", tr.sends)
+	}
+}
+
+func TestClientGossipRetryBound(t *testing.T) {
+	tr := &scriptTransport{errs: []error{simnet.ErrLost, simnet.ErrLost, simnet.ErrLost}}
+	cfg := DefaultClientConfig()
+	cfg.GossipAttempts = 3
+	cl, err := NewClient(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.SetPeers([]string{"p"})
+	cost, err := cl.Gossip(feature.Vector{1, 0}, "cat", 0.9, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.sends != 3 {
+		t.Fatalf("sends = %d, want exactly GossipAttempts", tr.sends)
+	}
+	if cost != 0 {
+		t.Fatalf("cost = %v, want 0 for all-lost gossip", cost)
+	}
+}
+
+func TestResilienceConfigValidate(t *testing.T) {
+	base := DefaultClientConfig()
+	bad := []func(*ClientConfig){
+		func(c *ClientConfig) { c.GossipAttempts = -1 },
+		func(c *ClientConfig) { c.QueryBudget = -time.Second },
+		func(c *ClientConfig) { c.Health.Alpha = 2 },
+		func(c *ClientConfig) { c.Breaker.JitterFrac = 2 },
+		func(c *ClientConfig) { c.Breaker.FailureThreshold = -1 },
+	}
+	for i, mutate := range bad {
+		cfg := base
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package p2p
 
 import (
 	"bytes"
+	"net"
 	"strings"
 	"sync"
 	"testing"
@@ -223,5 +224,48 @@ func TestTCPServerDropsGarbageConnection(t *testing.T) {
 	}
 	if _, _, err := tr.Call(srv.Addr(), req); err != nil {
 		t.Fatalf("post-garbage call failed: %v", err)
+	}
+}
+
+func TestTCPCallSilentPeerTimesOut(t *testing.T) {
+	// A peer that accepts the connection and then never responds is
+	// the nastiest failure mode: without an I/O deadline the call
+	// would hang forever. The deadline must fire, and the error must
+	// classify as a timeout so the health tracker charges the right
+	// failure class.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		<-done // hold the connection open, never write a byte
+	}()
+
+	tr, err := NewTCPTransport(time.Second, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	start := time.Now()
+	_, rtt, err := tr.Call(ln.Addr().String(), []byte{1})
+	if err == nil {
+		t.Fatal("silent peer produced a response")
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("deadline took %v to fire, want ~50ms", elapsed)
+	}
+	if rtt < 50*time.Millisecond {
+		t.Fatalf("rtt %v below the io timeout", rtt)
+	}
+	if got := Classify(err); got != ErrClassTimeout {
+		t.Fatalf("Classify(%v) = %v, want timeout", err, got)
 	}
 }

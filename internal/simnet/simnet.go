@@ -29,6 +29,9 @@ var (
 	ErrLost = errors.New("simnet: message lost")
 	// ErrPartitioned is returned when the two nodes are disconnected.
 	ErrPartitioned = errors.New("simnet: nodes partitioned")
+	// ErrCrashed is returned when the destination node is crashed by
+	// fault injection (registered, but down).
+	ErrCrashed = errors.New("simnet: node crashed")
 )
 
 // LinkProfile describes one directed link's cost model.
@@ -79,14 +82,24 @@ type Handler func(from NodeID, req []byte) (resp []byte, err error)
 type Network struct {
 	defaultLink LinkProfile
 
-	mu       sync.Mutex
-	rng      *rand.Rand
-	nodes    map[NodeID]Handler
-	links    map[[2]NodeID]LinkProfile
-	cut      map[[2]NodeID]bool
-	deadCost time.Duration
-	delivers int
-	losses   int
+	mu        sync.Mutex
+	rng       *rand.Rand
+	nodes     map[NodeID]Handler
+	links     map[[2]NodeID]LinkProfile
+	cut       map[[2]NodeID]bool
+	crashed   map[NodeID]bool
+	corrupt   map[NodeID]bool
+	linkFault map[[2]NodeID]faultOverlay
+	nodeFault map[NodeID]faultOverlay
+	deadCost  time.Duration
+	delivers  int
+	losses    int
+}
+
+// faultOverlay is injected link degradation stacked on a link profile.
+type faultOverlay struct {
+	extraLatency time.Duration
+	extraLoss    float64
 }
 
 // New builds a network whose unconfigured links use def, seeding all
@@ -101,6 +114,10 @@ func New(def LinkProfile, seed int64) (*Network, error) {
 		nodes:       make(map[NodeID]Handler),
 		links:       make(map[[2]NodeID]LinkProfile),
 		cut:         make(map[[2]NodeID]bool),
+		crashed:     make(map[NodeID]bool),
+		corrupt:     make(map[NodeID]bool),
+		linkFault:   make(map[[2]NodeID]faultOverlay),
+		nodeFault:   make(map[NodeID]faultOverlay),
 	}, nil
 }
 
@@ -184,12 +201,30 @@ func (n *Network) Stats() (delivered, lost int) {
 	return n.delivers, n.losses
 }
 
-// linkFor returns the profile of a→b.
+// linkFor returns the profile of a→b with any injected fault overlays
+// (per-link, plus per-node on either endpoint) applied.
 func (n *Network) linkFor(a, b NodeID) LinkProfile {
-	if p, ok := n.links[[2]NodeID{a, b}]; ok {
-		return p
+	p, ok := n.links[[2]NodeID{a, b}]
+	if !ok {
+		p = n.defaultLink
 	}
-	return n.defaultLink
+	apply := func(o faultOverlay) {
+		p.Latency += o.extraLatency
+		p.LossProb += o.extraLoss
+	}
+	if o, ok := n.linkFault[[2]NodeID{a, b}]; ok {
+		apply(o)
+	}
+	if o, ok := n.nodeFault[a]; ok {
+		apply(o)
+	}
+	if o, ok := n.nodeFault[b]; ok && b != a {
+		apply(o)
+	}
+	if p.LossProb > maxInjectedLoss {
+		p.LossProb = maxInjectedLoss
+	}
+	return p
 }
 
 // oneWayCost draws the simulated delay for size bytes over p, or ErrLost.
@@ -227,6 +262,11 @@ func (n *Network) Call(from, to NodeID, req []byte) (resp []byte, rtt time.Durat
 		n.mu.Unlock()
 		return nil, dead, fmt.Errorf("%w: %q", ErrUnknownNode, to)
 	}
+	if n.crashed[to] {
+		dead := n.deadCost
+		n.mu.Unlock()
+		return nil, dead, fmt.Errorf("%w: %q", ErrCrashed, to)
+	}
 	if n.cut[[2]NodeID{from, to}] {
 		dead := n.deadCost
 		n.mu.Unlock()
@@ -245,6 +285,9 @@ func (n *Network) Call(from, to NodeID, req []byte) (resp []byte, rtt time.Durat
 	}
 
 	n.mu.Lock()
+	if n.corrupt[to] {
+		resp = corruptPayload(resp)
+	}
 	rev := n.linkFor(to, from)
 	revCost, revErr := n.oneWayCost(rev, len(resp))
 	n.mu.Unlock()
@@ -263,6 +306,11 @@ func (n *Network) Send(from, to NodeID, payload []byte) (time.Duration, error) {
 		dead := n.deadCost
 		n.mu.Unlock()
 		return dead, fmt.Errorf("%w: %q", ErrUnknownNode, to)
+	}
+	if n.crashed[to] {
+		dead := n.deadCost
+		n.mu.Unlock()
+		return dead, fmt.Errorf("%w: %q", ErrCrashed, to)
 	}
 	if n.cut[[2]NodeID{from, to}] {
 		dead := n.deadCost

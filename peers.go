@@ -15,6 +15,15 @@ func NewSimNetwork(seed int64) (*SimNetwork, error) {
 	return simnet.New(simnet.DefaultLinkProfile(), seed)
 }
 
+// clientConfig returns the peer-client policy bound to this cache's
+// clock, so breaker backoffs elapse in the cache's (possibly virtual)
+// time.
+func (c *Cache) clientConfig() p2p.ClientConfig {
+	cfg := p2p.DefaultClientConfig()
+	cfg.Clock = c.clock
+	return cfg
+}
+
 // JoinSimNetwork exposes this cache's store to peers on net under name
 // and installs a peer client on the pipeline. Use ConnectAll (or
 // client.SetPeers) to point the returned client at the other nodes.
@@ -37,7 +46,7 @@ func (c *Cache) JoinSimNetwork(net *SimNetwork, name string) (*PeerClient, error
 	if err != nil {
 		return nil, fmt.Errorf("approxcache: transport: %w", err)
 	}
-	client, err := p2p.NewClient(p2p.DefaultClientConfig(), tr)
+	client, err := p2p.NewClient(c.clientConfig(), tr)
 	if err != nil {
 		return nil, fmt.Errorf("approxcache: peer client: %w", err)
 	}
@@ -46,8 +55,15 @@ func (c *Cache) JoinSimNetwork(net *SimNetwork, name string) (*PeerClient, error
 }
 
 // ConnectAll points every client at all the *other* named nodes,
-// forming a full mesh. Call it after each cache has joined the network.
-func ConnectAll(clients map[string]*PeerClient) {
+// forming a full mesh. Call it after **every** node has joined the
+// network: a client added later is invisible to the mesh until
+// ConnectAll runs again. It errors on an empty or single-entry map —
+// a mesh of one cannot share anything, and silently accepting it has
+// historically hidden setup-ordering bugs.
+func ConnectAll(clients map[string]*PeerClient) error {
+	if len(clients) < 2 {
+		return fmt.Errorf("approxcache: ConnectAll needs at least 2 clients, got %d", len(clients))
+	}
 	names := make([]string, 0, len(clients))
 	for name := range clients {
 		names = append(names, name)
@@ -61,6 +77,7 @@ func ConnectAll(clients map[string]*PeerClient) {
 		}
 		client.SetPeers(peers)
 	}
+	return nil
 }
 
 // PeerRoster tracks peer liveness and warmth via protocol pings and
@@ -69,6 +86,54 @@ type PeerRoster = p2p.Roster
 
 // PeerInfo is a roster's view of one peer.
 type PeerInfo = p2p.PeerInfo
+
+// PeerHealth is the resilience layer's view of one peer: success and
+// latency EWMAs, failure classification, and circuit-breaker state.
+type PeerHealth = p2p.PeerHealth
+
+// PeerHealthSnapshot is a point-in-time view of a client's peer health
+// and breaker activity; obtain one with PeerClient.Health.
+type PeerHealthSnapshot = p2p.HealthSnapshot
+
+// BreakerState is one peer's circuit state (closed, open, half-open).
+type BreakerState = p2p.BreakerState
+
+// Circuit-breaker states.
+const (
+	BreakerClosed   = p2p.StateClosed
+	BreakerOpen     = p2p.StateOpen
+	BreakerHalfOpen = p2p.StateHalfOpen
+)
+
+// FaultPlan schedules faults (crash, partition, latency spike, loss
+// burst, corrupt responses, heal) against a SimNetwork for chaos
+// experiments.
+type FaultPlan = simnet.FaultPlan
+
+// FaultEvent is one scheduled fault.
+type FaultEvent = simnet.FaultEvent
+
+// FaultScheduler replays a FaultPlan on a clock; Tick it between
+// frames.
+type FaultScheduler = simnet.FaultScheduler
+
+// Fault kinds for FaultEvent.
+const (
+	FaultCrash        = simnet.FaultCrash
+	FaultRestart      = simnet.FaultRestart
+	FaultPartition    = simnet.FaultPartition
+	FaultHeal         = simnet.FaultHeal
+	FaultLatencySpike = simnet.FaultLatencySpike
+	FaultLossBurst    = simnet.FaultLossBurst
+	FaultCorrupt      = simnet.FaultCorrupt
+	FaultClear        = simnet.FaultClear
+)
+
+// NewFaultScheduler builds a scheduler replaying plan against net,
+// with event offsets measured from clock.Now().
+func NewFaultScheduler(net *SimNetwork, clock Clock, plan FaultPlan) (*FaultScheduler, error) {
+	return simnet.NewFaultScheduler(net, clock, plan)
+}
 
 // NewPeerRoster builds a roster probing through client, identifying as
 // self in pings and timestamping liveness with clock.
@@ -85,6 +150,8 @@ type PeerMaintainer = p2p.Maintainer
 // interval the roster is re-probed, the client's peer set re-ranked to
 // the fanout best peers, and (when refreshDigests) each selected peer's
 // coverage digest refreshed so queries can skip peers that cannot help.
+// Probe outcomes also feed the client's health tracker and circuit
+// breaker, so maintenance doubles as background recovery probing.
 func StartPeerMaintainer(roster *PeerRoster, interval time.Duration, fanout int, refreshDigests bool) (*PeerMaintainer, error) {
 	return p2p.StartMaintainer(p2p.MaintainerConfig{
 		Interval:       interval,
@@ -122,7 +189,7 @@ func (c *Cache) DialPeers(addrs ...string) (*PeerClient, error) {
 	if err != nil {
 		return nil, fmt.Errorf("approxcache: transport: %w", err)
 	}
-	client, err := p2p.NewClient(p2p.DefaultClientConfig(), tr)
+	client, err := p2p.NewClient(c.clientConfig(), tr)
 	if err != nil {
 		return nil, fmt.Errorf("approxcache: peer client: %w", err)
 	}

@@ -3,7 +3,15 @@ package approxcache
 import (
 	"fmt"
 	"io"
+
+	"approxcache/internal/cachestore"
 )
+
+// ErrCorruptSnapshot is returned by LoadSnapshot when the snapshot file
+// cannot be decoded or fails validation (truncated write, partial
+// download, bit rot). The cache is left untouched — a damaged
+// warm-start file just means a cold start.
+var ErrCorruptSnapshot = cachestore.ErrCorruptSnapshot
 
 // SaveSnapshot writes the cache's live entries to w as JSON, so a later
 // session (or another device) can warm-start from them. The cache must
@@ -18,6 +26,10 @@ func (c *Cache) SaveSnapshot(w io.Writer) error {
 // LoadSnapshot reads a snapshot from r into the cache, subject to its
 // capacity and eviction policy, and returns how many entries were
 // inserted. The cache must be in ModeApprox.
+//
+// The snapshot is validated in full before anything is inserted: a
+// corrupt or truncated file returns ErrCorruptSnapshot and leaves the
+// cache exactly as it was.
 func (c *Cache) LoadSnapshot(r io.Reader) (int, error) {
 	if c.store == nil {
 		return 0, fmt.Errorf("approxcache: snapshots require ModeApprox")
