@@ -1,8 +1,13 @@
 GO ?= go
 
-.PHONY: check build test race vet fmt bench
+# Alloc budgets for the hot-path benchmarks, enforced by cmd/benchgate.
+# NearestInto/ExtractInto with a reused buffer must stay allocation-free;
+# Candidates returns one slice. Substring-matched against benchmark names.
+HOTPATH_BUDGETS = HotPathNearest=0,HotPathExactNearest=0,HotPathSignature=0,HotPathTopK=0,HotPathCandidates=1,HotPathFusedExtract=0,HotPathGridIntegral=0,HotPathHistogram=0
 
-check: vet fmt test race
+.PHONY: check build test race vet fmt bench bench-hotpath bench-gate
+
+check: vet fmt test race bench-gate
 
 build:
 	$(GO) build ./...
@@ -24,3 +29,17 @@ fmt:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+# Full hot-path benchmark run; records results in BENCH_hotpath.json and
+# enforces the allocation budgets.
+bench-hotpath:
+	$(GO) test -run '^$$' -bench 'HotPath|GridNaive' -benchmem \
+		./internal/lsh/ ./internal/feature/ | \
+		$(GO) run ./cmd/benchgate -json BENCH_hotpath.json -budgets '$(HOTPATH_BUDGETS)'
+
+# Fast allocation gate for `make check`: short benchtime is enough to
+# measure allocs/op exactly (it is iteration-count independent).
+bench-gate:
+	$(GO) test -run '^$$' -bench HotPath -benchmem -benchtime 100x \
+		./internal/lsh/ ./internal/feature/ | \
+		$(GO) run ./cmd/benchgate -budgets '$(HOTPATH_BUDGETS)'

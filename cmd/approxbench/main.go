@@ -6,13 +6,21 @@
 //	approxbench                 # run every experiment at full scale
 //	approxbench -exp E1         # run one experiment
 //	approxbench -frames 500     # smaller/faster runs
+//	approxbench -parallel 8     # fan experiments/sweeps across workers
 //	approxbench -list           # list the suite
+//
+// Independent experiments and sweep points run concurrently under
+// -parallel; tables are printed in suite order and are identical to a
+// serial run. -cpuprofile/-memprofile write pprof profiles so hot-path
+// work can be driven by data.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"approxcache/internal/eval"
@@ -28,11 +36,14 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("approxbench", flag.ContinueOnError)
 	var (
-		exp    = fs.String("exp", "all", "experiment id (E1..E16), name, or \"all\"")
-		frames = fs.Int("frames", eval.DefaultScale().Frames, "per-device workload length in frames")
-		seed   = fs.Int64("seed", eval.DefaultScale().Seed, "root random seed")
-		format = fs.String("format", "table", "output format: table | csv | markdown")
-		list   = fs.Bool("list", false, "list experiments and exit")
+		exp      = fs.String("exp", "all", "experiment id (E1..E18), name, or \"all\"")
+		frames   = fs.Int("frames", eval.DefaultScale().Frames, "per-device workload length in frames")
+		seed     = fs.Int64("seed", eval.DefaultScale().Seed, "root random seed")
+		format   = fs.String("format", "table", "output format: table | csv | markdown")
+		list     = fs.Bool("list", false, "list experiments and exit")
+		parallel = fs.Int("parallel", 1, "worker count for experiments and sweep points (1 = serial, -1 = NumCPU)")
+		cpuprof  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof  = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -43,7 +54,18 @@ func run(args []string) error {
 		}
 		return nil
 	}
-	scale := eval.Scale{Frames: *frames, Seed: *seed}
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	scale := eval.Scale{Frames: *frames, Seed: *seed, Workers: *parallel}
 	experiments := eval.All()
 	if *exp != "all" {
 		e, err := eval.ByID(*exp)
@@ -55,12 +77,12 @@ func run(args []string) error {
 	if *format != "table" && *format != "csv" && *format != "markdown" {
 		return fmt.Errorf("unknown format %q", *format)
 	}
-	for _, e := range experiments {
-		start := time.Now()
-		report, err := e.Run(scale)
-		if err != nil {
-			return fmt.Errorf("%s: %w", e.ID, err)
-		}
+	start := time.Now()
+	reports, err := eval.RunExperiments(experiments, scale)
+	if err != nil {
+		return err
+	}
+	for _, report := range reports {
 		switch *format {
 		case "csv":
 			fmt.Printf("# %s — %s\n%s\n", report.ID, report.Title, report.CSV())
@@ -68,7 +90,22 @@ func run(args []string) error {
 			fmt.Println(report.Markdown())
 		default:
 			fmt.Println(report)
-			fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+			fmt.Println()
+		}
+	}
+	if *format == "table" {
+		fmt.Printf("(%d experiment(s) completed in %v, parallel=%d)\n",
+			len(reports), time.Since(start).Round(time.Millisecond), *parallel)
+	}
+	if *memprof != "" {
+		f, err := os.Create(*memprof)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("memprofile: %w", err)
 		}
 	}
 	return nil

@@ -1,0 +1,168 @@
+// Command benchgate turns `go test -bench` output into a JSON record
+// and enforces allocation budgets on the hot-path benchmarks, so a PR
+// that quietly reintroduces per-query allocation fails `make check`
+// instead of shipping. It has no dependencies beyond the standard
+// library: benchmark output is piped in on stdin.
+//
+// Usage:
+//
+//	go test -run '^$' -bench HotPath -benchmem ./... | \
+//	    benchgate -json BENCH_hotpath.json -budgets 'HotPathNearest=0,HotPathFusedExtract=0'
+//
+// Budgets name a benchmark (substring match, sub-benchmarks included)
+// and pin its maximum allowed allocs/op. A budgeted benchmark missing
+// from the input is an error — a silently deleted benchmark must not
+// pass the gate.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// HasMem records whether -benchmem columns were present, so a zero
+	// AllocsPerOp is distinguishable from an unmeasured one.
+	HasMem bool `json:"has_mem"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, in io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	var (
+		jsonPath = fs.String("json", "", "write parsed results to this file as JSON")
+		budgets  = fs.String("budgets", "", "comma-separated Name=maxAllocsPerOp gates")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	results, err := parseBench(in)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark lines on stdin")
+	}
+	if *jsonPath != "" {
+		blob, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	for _, r := range results {
+		fmt.Fprintf(out, "%-48s %12.1f ns/op %8.0f allocs/op\n", r.Name, r.NsPerOp, r.AllocsPerOp)
+	}
+	return checkBudgets(*budgets, results)
+}
+
+// parseBench extracts benchmark result lines from `go test -bench`
+// output. Lines look like:
+//
+//	BenchmarkName-8   500000   2100 ns/op   16 B/op   1 allocs/op
+func parseBench(in io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // e.g. "BenchmarkFoo 	--- FAIL"
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			// Strip the -GOMAXPROCS suffix.
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		r := Result{Name: strings.TrimPrefix(name, "Benchmark"), Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.NsPerOp = v
+			case "B/op":
+				r.BytesPerOp = v
+				r.HasMem = true
+			case "allocs/op":
+				r.AllocsPerOp = v
+				r.HasMem = true
+			}
+		}
+		out = append(out, r)
+	}
+	return out, sc.Err()
+}
+
+// checkBudgets enforces Name=maxAllocs gates against results.
+func checkBudgets(spec string, results []Result) error {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil
+	}
+	var failures []string
+	for _, gate := range strings.Split(spec, ",") {
+		gate = strings.TrimSpace(gate)
+		if gate == "" {
+			continue
+		}
+		name, limitStr, ok := strings.Cut(gate, "=")
+		if !ok {
+			return fmt.Errorf("bad budget %q (want Name=maxAllocs)", gate)
+		}
+		limit, err := strconv.ParseFloat(limitStr, 64)
+		if err != nil {
+			return fmt.Errorf("bad budget limit %q: %v", gate, err)
+		}
+		matched := false
+		for _, r := range results {
+			if !strings.Contains(r.Name, name) {
+				continue
+			}
+			matched = true
+			if !r.HasMem {
+				failures = append(failures,
+					fmt.Sprintf("%s: no allocs/op column (run with -benchmem)", r.Name))
+				continue
+			}
+			if r.AllocsPerOp > limit {
+				failures = append(failures,
+					fmt.Sprintf("%s: %.0f allocs/op exceeds budget %.0f", r.Name, r.AllocsPerOp, limit))
+			}
+		}
+		if !matched {
+			failures = append(failures, fmt.Sprintf("budget %q matched no benchmark", name))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("allocation budget violations:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}

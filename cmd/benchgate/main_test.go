@@ -1,0 +1,108 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: approxcache/internal/lsh
+cpu: Some CPU
+BenchmarkHotPathNearest-8      	  487447	      2100.5 ns/op	       0 B/op	       0 allocs/op
+BenchmarkHotPathTopK/k=4-8     	 1000000	       900 ns/op	       0 B/op	       0 allocs/op
+BenchmarkOldPath-8             	   10000	    150073 ns/op	   12376 B/op	       5 allocs/op
+BenchmarkNoMem-8               	   10000	       100 ns/op
+PASS
+ok  	approxcache/internal/lsh	6.0s
+`
+
+func TestParseBench(t *testing.T) {
+	rs, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 4 {
+		t.Fatalf("parsed %d results, want 4: %+v", len(rs), rs)
+	}
+	if rs[0].Name != "HotPathNearest" || rs[0].NsPerOp != 2100.5 || rs[0].AllocsPerOp != 0 || !rs[0].HasMem {
+		t.Fatalf("first result = %+v", rs[0])
+	}
+	if rs[1].Name != "HotPathTopK/k=4" {
+		t.Fatalf("sub-benchmark name = %q", rs[1].Name)
+	}
+	if rs[2].AllocsPerOp != 5 || rs[2].BytesPerOp != 12376 {
+		t.Fatalf("mem columns = %+v", rs[2])
+	}
+	if rs[3].HasMem {
+		t.Fatalf("NoMem flagged as measured: %+v", rs[3])
+	}
+}
+
+func TestCheckBudgetsPass(t *testing.T) {
+	rs, _ := parseBench(strings.NewReader(sample))
+	if err := checkBudgets("HotPathNearest=0,HotPathTopK=0,OldPath=5", rs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckBudgetsExceeded(t *testing.T) {
+	rs, _ := parseBench(strings.NewReader(sample))
+	err := checkBudgets("OldPath=0", rs)
+	if err == nil || !strings.Contains(err.Error(), "exceeds budget") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCheckBudgetsMissingBenchmark(t *testing.T) {
+	rs, _ := parseBench(strings.NewReader(sample))
+	if err := checkBudgets("Vanished=0", rs); err == nil {
+		t.Fatal("missing benchmark passed the gate")
+	}
+}
+
+func TestCheckBudgetsUnmeasured(t *testing.T) {
+	rs, _ := parseBench(strings.NewReader(sample))
+	err := checkBudgets("NoMem=0", rs)
+	if err == nil || !strings.Contains(err.Error(), "-benchmem") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCheckBudgetsBadSpec(t *testing.T) {
+	rs, _ := parseBench(strings.NewReader(sample))
+	if err := checkBudgets("NoEquals", rs); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+	if err := checkBudgets("X=notanumber", rs); err == nil {
+		t.Fatal("bad limit accepted")
+	}
+}
+
+func TestRunWritesJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var out strings.Builder
+	if err := run([]string{"-json", path, "-budgets", "HotPathNearest=0"},
+		strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(blob), `"HotPathNearest"`) {
+		t.Fatalf("json missing result: %s", blob)
+	}
+	if !strings.Contains(out.String(), "HotPathNearest") {
+		t.Fatalf("summary missing: %s", out.String())
+	}
+}
+
+func TestRunEmptyInput(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, strings.NewReader("no benches here\n"), &out); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}

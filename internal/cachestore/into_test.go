@@ -1,0 +1,108 @@
+package cachestore
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"approxcache/internal/lsh"
+	"approxcache/internal/simclock"
+)
+
+func TestNearestIntoMatchesNearest(t *testing.T) {
+	s, _ := newTestStore(t, Config{Capacity: 16})
+	for i := 0; i < 8; i++ {
+		if _, err := s.Insert(vec(float64(i), 0), "label", 0.9, "local", 10*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := vec(3.2, 0)
+	want, err := s.Nearest(q, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]lsh.Neighbor, 0, 4)
+	got, err := s.NearestInto(q, 4, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d neighbors, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("neighbor %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if len(got) > 0 && &got[0] != &dst[:1][0] {
+		t.Fatal("NearestInto did not reuse dst")
+	}
+}
+
+// TestNearestIntoPurgesExpired checks the RLock-scan/Lock-purge upgrade:
+// a lookup after TTL expiry must not see stale entries.
+func TestNearestIntoPurgesExpired(t *testing.T) {
+	s, clk := newTestStore(t, Config{Capacity: 16, TTL: time.Second})
+	if _, err := s.Insert(vec(1, 0), "stale", 0.9, "local", 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(2 * time.Second)
+	ns, err := s.NearestInto(vec(1, 0), 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns) != 0 {
+		t.Fatalf("expired entry surfaced: %+v", ns)
+	}
+	if got := s.Expiries(); got != 1 {
+		t.Fatalf("Expiries = %d, want 1", got)
+	}
+}
+
+// TestStoreConcurrentAccess exercises the read/write lock split under
+// -race: lookups, stats snapshots, and inserts in parallel.
+func TestStoreConcurrentAccess(t *testing.T) {
+	idx, err := lsh.NewHyperplane(2, 4, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := simclock.NewVirtual(time.Unix(0, 0))
+	s, err := New(Config{Capacity: 64, TTL: time.Minute}, idx, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if _, err := s.Insert(vec(float64(w), float64(i%17)), "l", 0.9, "local", time.Millisecond); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			dst := make([]lsh.Neighbor, 0, 4)
+			for i := 0; i < 200; i++ {
+				ns, err := s.NearestInto(vec(float64(r), float64(i%17)), 4, dst)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				dst = ns[:0]
+				s.Stats()
+				s.Len()
+			}
+		}(r)
+	}
+	wg.Wait()
+	if s.Len() == 0 {
+		t.Fatal("store empty after concurrent inserts")
+	}
+}

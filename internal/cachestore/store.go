@@ -93,7 +93,7 @@ type Store struct {
 	clock simclock.Clock
 	index lsh.Index
 
-	mu        sync.Mutex
+	mu        sync.RWMutex
 	entries   map[lsh.ID]*Entry
 	nextID    lsh.ID
 	evictions int
@@ -125,22 +125,22 @@ func New(cfg Config, index lsh.Index, clock simclock.Clock) (*Store, error) {
 
 // Len returns the number of live entries.
 func (s *Store) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return len(s.entries)
 }
 
 // Evictions returns how many entries capacity pressure has evicted.
 func (s *Store) Evictions() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.evictions
 }
 
 // Expiries returns how many entries TTL expiry has removed.
 func (s *Store) Expiries() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.expiries
 }
 
@@ -189,8 +189,8 @@ func (s *Store) Insert(vec feature.Vector, label string, confidence float64, sou
 // and unexpired). Get does not count as a use for eviction purposes.
 func (s *Store) Get(id lsh.ID) (Entry, bool) {
 	now := s.clock.Now()
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	e, ok := s.entries[id]
 	if !ok || s.expiredLocked(e, now) {
 		return Entry{}, false
@@ -230,11 +230,43 @@ func (s *Store) Label(id lsh.ID) (string, bool) {
 // Nearest returns up to k neighbors of q among live entries, ordered by
 // distance. Expired entries are removed before searching.
 func (s *Store) Nearest(q feature.Vector, k int) ([]lsh.Neighbor, error) {
-	now := s.clock.Now()
+	return s.NearestInto(q, k, nil)
+}
+
+// NearestInto is Nearest writing into dst's backing array. With a
+// TTL-free store over an IntoIndex — the standard pipeline shape — a
+// lookup takes no store lock and performs no allocation, so read-mostly
+// lookups never contend with each other.
+func (s *Store) NearestInto(q feature.Vector, k int, dst []lsh.Neighbor) ([]lsh.Neighbor, error) {
+	s.purgeExpired(s.clock.Now())
+	if ii, ok := s.index.(lsh.IntoIndex); ok {
+		return ii.NearestInto(q, k, dst)
+	}
+	return s.index.Nearest(q, k)
+}
+
+// purgeExpired removes expired entries, taking the write lock only when
+// a read-locked scan actually finds one, so TTL-enabled stores still
+// serve concurrent lookups without serializing on expiry checks.
+func (s *Store) purgeExpired(now time.Time) {
+	if s.cfg.TTL <= 0 {
+		return
+	}
+	s.mu.RLock()
+	stale := false
+	for _, e := range s.entries {
+		if s.expiredLocked(e, now) {
+			stale = true
+			break
+		}
+	}
+	s.mu.RUnlock()
+	if !stale {
+		return
+	}
 	s.mu.Lock()
 	s.expireLocked(now)
 	s.mu.Unlock()
-	return s.index.Nearest(q, k)
 }
 
 // Remove deletes id from the store and index.
@@ -260,12 +292,13 @@ type StoreStats struct {
 	SavedTotal time.Duration
 }
 
-// Stats returns an occupancy/churn summary.
+// Stats returns an occupancy/churn summary. A snapshot of a store with
+// nothing expired runs entirely under the read lock, so periodic stats
+// scraping cannot stall the lookup path.
 func (s *Store) Stats() StoreStats {
-	now := s.clock.Now()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.expireLocked(now)
+	s.purgeExpired(s.clock.Now())
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	st := StoreStats{
 		Entries:   len(s.entries),
 		Evictions: s.evictions,
@@ -280,12 +313,12 @@ func (s *Store) Stats() StoreStats {
 	return st
 }
 
-// Snapshot returns copies of all live entries, for export/gossip.
+// Snapshot returns copies of all live entries, for export/gossip. Like
+// Stats, it only needs the read lock unless entries have expired.
 func (s *Store) Snapshot() []Entry {
-	now := s.clock.Now()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.expireLocked(now)
+	s.purgeExpired(s.clock.Now())
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]Entry, 0, len(s.entries))
 	for _, e := range s.entries {
 		out = append(out, snapshotEntry(e))

@@ -266,12 +266,32 @@ type Engine struct {
 	deps  Deps
 	stats *metrics.SessionStats
 
-	mu        sync.Mutex
+	// scratch pools per-frame working memory (feature vector, neighbor
+	// buffer) so the steady-state lookup path allocates nothing even
+	// under concurrent Process calls.
+	scratch sync.Pool
+
+	mu        sync.RWMutex
 	detector  *imu.Detector
 	keyframes *video.KeyframeLibrary
 	last      *Result
 	streak    int // consecutive frames served by reuse sources
 	exact     map[uint64]exactEntry
+}
+
+// frameScratch is one frame's reusable working memory. The feature
+// vector is safe to recycle because every downstream consumer (store
+// insert, peer query/gossip encoding) copies it before returning.
+type frameScratch struct {
+	vec feature.Vector
+	ns  []lsh.Neighbor
+}
+
+func (e *Engine) getScratch() *frameScratch {
+	if sc, ok := e.scratch.Get().(*frameScratch); ok {
+		return sc
+	}
+	return &frameScratch{}
 }
 
 type exactEntry struct {
@@ -352,8 +372,8 @@ func (e *Engine) peerBudget() time.Duration {
 
 // peers snapshots the current peer client.
 func (e *Engine) peers() *p2p.Client {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return e.deps.Peers
 }
 
@@ -362,8 +382,8 @@ func (e *Engine) Mode() Mode { return e.cfg.Mode }
 
 // LastResult returns the most recent result, if any.
 func (e *Engine) LastResult() (Result, bool) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	if e.last == nil {
 		return Result{}, false
 	}
@@ -548,21 +568,28 @@ func (e *Engine) processApprox(im *vision.Image, imuWindow []imu.Sample) (Result
 	}
 	e.mu.Unlock()
 
-	// Gate 3: local approximate cache.
+	// Gate 3: local approximate cache. The feature vector and neighbor
+	// buffer come from the engine's scratch pool: the extractor writes
+	// into the reused vector and the index ranks into the reused
+	// buffer, so a steady-state frame allocates nothing here.
 	latency += e.cfg.Costs.FeatureLatency
 	energy += e.cfg.Costs.FeatureEnergyMJ
-	vec, err := e.cfg.Extractor.Extract(im)
+	sc := e.getScratch()
+	defer e.scratch.Put(sc)
+	vec, err := feature.ExtractInto(e.cfg.Extractor, im, sc.vec)
 	if err != nil {
 		return Result{}, fmt.Errorf("extract: %w", err)
 	}
+	sc.vec = vec
 	peers := e.peers()
 	if !revalidate {
 		latency += e.cfg.Costs.LookupLatency
 		energy += e.cfg.Costs.LookupEnergyMJ
-		ns, err := e.deps.Store.Nearest(vec, e.cfg.Vote.K)
+		ns, err := e.deps.Store.NearestInto(vec, e.cfg.Vote.K, sc.ns)
 		if err != nil {
 			return Result{}, fmt.Errorf("nearest: %w", err)
 		}
+		sc.ns = ns[:0]
 		verdict, err := lsh.Vote(ns, e.deps.Store.Label, e.cfg.Vote)
 		if err != nil {
 			return Result{}, fmt.Errorf("vote: %w", err)
@@ -634,7 +661,7 @@ func (e *Engine) processApprox(im *vision.Image, imuWindow []imu.Sample) (Result
 		// Cache repair: entries sitting where we just looked, carrying
 		// a different label, are contradicted by fresh evidence —
 		// purge them so they stop winning votes.
-		e.stats.ObserveRepairs(e.repairContradicted(vec, inf.Label))
+		e.stats.ObserveRepairs(e.repairContradicted(vec, inf.Label, sc))
 	}
 	if _, err := e.deps.Store.Insert(vec, inf.Label, inf.Confidence, "dnn", inf.Latency); err != nil {
 		return Result{}, fmt.Errorf("cache insert: %w", err)
@@ -660,12 +687,14 @@ func (e *Engine) processApprox(im *vision.Image, imuWindow []imu.Sample) (Result
 
 // repairContradicted removes cached entries within half the reuse
 // radius of vec whose label differs from freshLabel. Any such entry
-// would have claimed this very lookup, and the DNN just disagreed.
-func (e *Engine) repairContradicted(vec feature.Vector, freshLabel string) int {
-	ns, err := e.deps.Store.Nearest(vec, e.cfg.Vote.K)
+// would have claimed this very lookup, and the DNN just disagreed. The
+// frame's scratch buffer is reused for the neighbor scan.
+func (e *Engine) repairContradicted(vec feature.Vector, freshLabel string, sc *frameScratch) int {
+	ns, err := e.deps.Store.NearestInto(vec, e.cfg.Vote.K, sc.ns)
 	if err != nil {
 		return 0
 	}
+	sc.ns = ns[:0]
 	removed := 0
 	for _, n := range ns {
 		if n.Distance > e.cfg.Vote.MaxDistance/2 {

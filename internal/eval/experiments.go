@@ -21,6 +21,11 @@ type Scale struct {
 	Frames int
 	// Seed anchors all randomness.
 	Seed int64
+	// Workers is how many experiments/sweep points may run
+	// concurrently. 0 or 1 is serial; negative means one per CPU.
+	// Results are identical at any worker count — each work item is an
+	// independent simulation on its own virtual clock.
+	Workers int
 }
 
 // DefaultScale is the size used by cmd/approxbench.
@@ -189,7 +194,10 @@ func E2ThresholdSweep(s Scale) (Report, error) {
 			"small thresholds barely reuse; large thresholds reuse across class boundaries and accuracy degrades",
 		},
 	}
-	for _, th := range []float64{0.05, 0.10, 0.15, 0.25, 0.35, 0.50, 0.70} {
+	thresholds := []float64{0.05, 0.10, 0.15, 0.25, 0.35, 0.50, 0.70}
+	rows := make([][]string, len(thresholds))
+	err := parallelEach(len(thresholds), s.workers(), func(i int) error {
+		th := thresholds[i]
 		cfg := core.DefaultConfig()
 		cfg.Vote.MaxDistance = th
 		// Isolate the feature-space decision: cheap gates off.
@@ -199,17 +207,22 @@ func E2ThresholdSweep(s Scale) (Report, error) {
 			Name: "main", Spec: spec, Engine: cfg, Seed: s.Seed,
 		})
 		if err != nil {
-			return Report{}, fmt.Errorf("threshold %v: %w", th, err)
+			return fmt.Errorf("threshold %v: %w", th, err)
 		}
 		counts := stats.CountBySource()
-		report.Rows = append(report.Rows, []string{
+		rows[i] = []string{
 			fmtF(th),
 			fmtPct(stats.HitRate()),
 			fmt.Sprintf("%d", counts[metrics.SourceLocal]),
 			fmtPct(stats.Accuracy()),
 			fmtDur(stats.Latency().Mean()),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return Report{}, err
 	}
+	report.Rows = append(report.Rows, rows...)
 	return report, nil
 }
 
@@ -321,28 +334,43 @@ func E5CapacitySweep(s Scale) (Report, error) {
 			"cost-aware eviction keeps the entries whose reuse saves the most inference time",
 		},
 	}
+	type point struct {
+		capacity int
+		policy   cachestore.Policy
+	}
+	var points []point
 	for _, capacity := range []int{8, 16, 32, 64, 128} {
 		for _, policy := range []cachestore.Policy{cachestore.LRU, cachestore.LFU, cachestore.CostAware} {
-			stats, store, err := RunSingle(DeviceConfig{
-				Name:     "main",
-				Spec:     spec,
-				Engine:   core.DefaultConfig(),
-				Capacity: capacity,
-				Policy:   policy,
-				Seed:     s.Seed,
-			})
-			if err != nil {
-				return Report{}, fmt.Errorf("cap %d %v: %w", capacity, policy, err)
-			}
-			report.Rows = append(report.Rows, []string{
-				fmt.Sprintf("%d", capacity),
-				policy.String(),
-				fmtPct(stats.HitRate()),
-				fmtDur(stats.Latency().Mean()),
-				fmt.Sprintf("%d", store.Evictions()),
-			})
+			points = append(points, point{capacity, policy})
 		}
 	}
+	rows := make([][]string, len(points))
+	err := parallelEach(len(points), s.workers(), func(i int) error {
+		p := points[i]
+		stats, store, err := RunSingle(DeviceConfig{
+			Name:     "main",
+			Spec:     spec,
+			Engine:   core.DefaultConfig(),
+			Capacity: p.capacity,
+			Policy:   p.policy,
+			Seed:     s.Seed,
+		})
+		if err != nil {
+			return fmt.Errorf("cap %d %v: %w", p.capacity, p.policy, err)
+		}
+		rows[i] = []string{
+			fmt.Sprintf("%d", p.capacity),
+			p.policy.String(),
+			fmtPct(stats.HitRate()),
+			fmtDur(stats.Latency().Mean()),
+			fmt.Sprintf("%d", store.Evictions()),
+		}
+		return nil
+	})
+	if err != nil {
+		return Report{}, err
+	}
+	report.Rows = append(report.Rows, rows...)
 	return report, nil
 }
 
@@ -457,6 +485,9 @@ func E7LSHAblation(s Scale) (Report, error) {
 			"more tables recover recall lost to narrower buckets; lookup time tracks candidate volume",
 		},
 	}
+	// This grid stays serial even when Scale.Workers allows more: the
+	// lookup column is a wall-clock measurement, and concurrent sweep
+	// points would contend for cores and skew it.
 	for _, bits := range []int{8, 12, 16, 20} {
 		for _, tables := range []int{1, 2, 4, 8} {
 			idx, err := lsh.NewHyperplane(dim, bits, tables, s.Seed)
@@ -513,7 +544,10 @@ func E8MotionGate(s Scale) (Report, error) {
 		},
 	}
 	spec := trace.HandheldMix(s.Frames, s.Seed)
-	for _, scale := range []float64{0.25, 0.5, 1, 2, 4, 8} {
+	scales := []float64{0.25, 0.5, 1, 2, 4, 8}
+	rows := make([][]string, len(scales))
+	err := parallelEach(len(scales), s.workers(), func(i int) error {
+		scale := scales[i]
 		cfg := core.DefaultConfig()
 		base := imu.DefaultDetectorConfig()
 		cfg.IMU = imu.DetectorConfig{
@@ -526,18 +560,23 @@ func E8MotionGate(s Scale) (Report, error) {
 			Name: "main", Spec: spec, Engine: cfg, Seed: s.Seed,
 		})
 		if err != nil {
-			return Report{}, fmt.Errorf("scale %v: %w", scale, err)
+			return fmt.Errorf("scale %v: %w", scale, err)
 		}
 		counts := stats.CountBySource()
-		report.Rows = append(report.Rows, []string{
+		rows[i] = []string{
 			fmtF(scale),
 			fmt.Sprintf("%d", counts[metrics.SourceIMU]),
 			fmtPct(float64(counts[metrics.SourceIMU]) / float64(stats.Frames())),
 			fmtPct(stats.HitRate()),
 			fmtPct(stats.Accuracy()),
 			fmtDur(stats.Latency().Mean()),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return Report{}, err
 	}
+	report.Rows = append(report.Rows, rows...)
 	return report, nil
 }
 

@@ -1,0 +1,81 @@
+package eval
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// parallelEach runs fn(0..n-1) across at most workers goroutines and
+// waits for all of them. Work items must be independent — every sweep
+// point and experiment in this package builds its own virtual clock,
+// RNGs, and network, so running them concurrently cannot change their
+// results, only the wall time. The first error (by lowest index) wins.
+func parallelEach(n, workers int, fn func(i int) error) error {
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunExperiments executes exps at scale s, fanning independent
+// experiments across s.Workers goroutines, and returns their reports in
+// the input order. Reports are identical to a serial run: parallelism
+// never reorders rows or perturbs the simulations.
+func RunExperiments(exps []Experiment, s Scale) ([]Report, error) {
+	reports := make([]Report, len(exps))
+	err := parallelEach(len(exps), s.workers(), func(i int) error {
+		r, err := exps[i].Run(s)
+		if err != nil {
+			return fmt.Errorf("%s: %w", exps[i].ID, err)
+		}
+		reports[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return reports, nil
+}
+
+// workers resolves the Scale's worker count: 0 or 1 is serial, negative
+// means one worker per CPU.
+func (s Scale) workers() int {
+	if s.Workers < 0 {
+		return runtime.NumCPU()
+	}
+	if s.Workers == 0 {
+		return 1
+	}
+	return s.Workers
+}

@@ -2,6 +2,7 @@ package feature
 
 import (
 	"fmt"
+	"sync"
 
 	"approxcache/internal/vision"
 )
@@ -17,6 +18,39 @@ type Extractor interface {
 	Name() string
 }
 
+// IntoExtractor is implemented by extractors that can write into a
+// caller-provided buffer, so the per-frame key computation allocates
+// nothing at steady state.
+type IntoExtractor interface {
+	Extractor
+	// ExtractInto computes im's feature vector into dst's backing
+	// array (which may be nil). The returned slice has length Dim()
+	// and aliases dst when its capacity suffices.
+	ExtractInto(im *vision.Image, dst Vector) (Vector, error)
+}
+
+// ExtractInto runs e's buffer-reusing path when it has one, falling
+// back to Extract plus a copy into dst otherwise.
+func ExtractInto(e Extractor, im *vision.Image, dst Vector) (Vector, error) {
+	if ie, ok := e.(IntoExtractor); ok {
+		return ie.ExtractInto(im, dst)
+	}
+	v, err := e.Extract(im)
+	if err != nil {
+		return nil, err
+	}
+	return append(dst[:0], v...), nil
+}
+
+// sizedBuf ensures dst has length n, reallocating only when capacity
+// falls short.
+func sizedBuf(dst Vector, n int) Vector {
+	if cap(dst) < n {
+		return make(Vector, n)
+	}
+	return dst[:n]
+}
+
 // GridExtractor downsamples the frame to a Cols×Rows grid of mean
 // luminances. It is the workhorse descriptor: translation-tolerant at
 // cell granularity and cheap to compute.
@@ -24,7 +58,7 @@ type GridExtractor struct {
 	Cols, Rows int
 }
 
-var _ Extractor = GridExtractor{}
+var _ IntoExtractor = GridExtractor{}
 
 // NewGridExtractor returns a grid extractor, validating the grid shape.
 func NewGridExtractor(cols, rows int) (GridExtractor, error) {
@@ -40,13 +74,99 @@ func (g GridExtractor) Dim() int { return g.Cols * g.Rows }
 // Name returns "grid<cols>x<rows>".
 func (g GridExtractor) Name() string { return fmt.Sprintf("grid%dx%d", g.Cols, g.Rows) }
 
-// Extract computes per-cell mean luminance.
-func (g GridExtractor) Extract(im *vision.Image) (Vector, error) {
+func (g GridExtractor) validate(im *vision.Image) error {
 	if im.W < g.Cols || im.H < g.Rows {
-		return nil, fmt.Errorf("feature: image %dx%d smaller than grid %dx%d",
+		return fmt.Errorf("feature: image %dx%d smaller than grid %dx%d",
 			im.W, im.H, g.Cols, g.Rows)
 	}
-	out := make(Vector, g.Cols*g.Rows)
+	return nil
+}
+
+// Extract computes per-cell mean luminance.
+func (g GridExtractor) Extract(im *vision.Image) (Vector, error) {
+	return g.ExtractInto(im, nil)
+}
+
+// satPool recycles summed-area-table buffers across extractions; SAT
+// size varies with frame size, so buffers grow to the largest frame
+// seen and are reused from there.
+var satPool = sync.Pool{New: func() any { return new([]float64) }}
+
+// ExtractInto computes per-cell mean luminance into dst using an
+// integral image (summed-area table): one sequential pass builds the
+// table, then every cell is four lookups — O(1) per cell regardless of
+// cell size, with the table drawn from a pool.
+func (g GridExtractor) ExtractInto(im *vision.Image, dst Vector) (Vector, error) {
+	if err := g.validate(im); err != nil {
+		return nil, err
+	}
+	out := sizedBuf(dst, g.Cols*g.Rows)
+	sp := satPool.Get().(*[]float64)
+	sat := *sp
+	// sat is (W+1)×(H+1) with a zero top row and left column, so cell
+	// sums need no border cases: sum(x0,y0,x1,y1) =
+	// sat[y1][x1] - sat[y0][x1] - sat[y1][x0] + sat[y0][x0].
+	stride := im.W + 1
+	need := stride * (im.H + 1)
+	if cap(sat) < need {
+		sat = make([]float64, need)
+	}
+	sat = sat[:need]
+	for x := 0; x < stride; x++ {
+		sat[x] = 0
+	}
+	for y := 0; y < im.H; y++ {
+		row := im.Pix[y*im.W : (y+1)*im.W]
+		above := sat[y*stride : (y+1)*stride]
+		cur := sat[(y+1)*stride : (y+2)*stride]
+		cur[0] = 0
+		var rowSum float64
+		for x, p := range row {
+			rowSum += p
+			cur[x+1] = above[x+1] + rowSum
+		}
+	}
+	// Cell boundaries are carry-stepped (see gridSteps) rather than
+	// computed with two integer divisions per cell.
+	hq, hr := gridSteps(im.H, g.Rows)
+	wq, wr := gridSteps(im.W, g.Cols)
+	i, y0, yacc := 0, 0, 0
+	for gy := 0; gy < g.Rows; gy++ {
+		y1 := y0 + hq
+		if yacc += hr; yacc >= g.Rows {
+			y1++
+			yacc -= g.Rows
+		}
+		top := sat[y0*stride : (y0+1)*stride]
+		bot := sat[y1*stride : (y1+1)*stride]
+		x0, xacc := 0, 0
+		for gx := 0; gx < g.Cols; gx++ {
+			x1 := x0 + wq
+			if xacc += wr; xacc >= g.Cols {
+				x1++
+				xacc -= g.Cols
+			}
+			sum := bot[x1] - top[x1] - bot[x0] + top[x0]
+			out[i] = sum / float64((y1-y0)*(x1-x0))
+			i++
+			x0 = x1
+		}
+		y0 = y1
+	}
+	*sp = sat
+	satPool.Put(sp)
+	return out, nil
+}
+
+// extractNaiveInto is the direct per-cell summation the integral-image
+// path replaced. It is kept as the differential-testing reference and
+// as one leg of the fused combined pass (whose per-cell accumulation
+// order matches it bit for bit).
+func (g GridExtractor) extractNaiveInto(im *vision.Image, dst Vector) (Vector, error) {
+	if err := g.validate(im); err != nil {
+		return nil, err
+	}
+	out := sizedBuf(dst, g.Cols*g.Rows)
 	for gy := 0; gy < g.Rows; gy++ {
 		y0 := gy * im.H / g.Rows
 		y1 := (gy + 1) * im.H / g.Rows
@@ -72,7 +192,7 @@ type HistogramExtractor struct {
 	Bins int
 }
 
-var _ Extractor = HistogramExtractor{}
+var _ IntoExtractor = HistogramExtractor{}
 
 // NewHistogramExtractor returns a histogram extractor with bins buckets.
 func NewHistogramExtractor(bins int) (HistogramExtractor, error) {
@@ -90,16 +210,32 @@ func (h HistogramExtractor) Name() string { return fmt.Sprintf("hist%d", h.Bins)
 
 // Extract computes the intensity histogram, normalized to sum to 1.
 func (h HistogramExtractor) Extract(im *vision.Image) (Vector, error) {
+	return h.ExtractInto(im, nil)
+}
+
+// histBin maps an intensity to its histogram bin, clamping out-of-range
+// values to the edge bins. bins is float64(n) hoisted by the caller.
+func histBin(p, bins float64, n int) int {
+	b := int(p * bins)
+	if uint(b) >= uint(n) {
+		if b < 0 {
+			return 0
+		}
+		return n - 1
+	}
+	return b
+}
+
+// ExtractInto computes the histogram into dst.
+func (h HistogramExtractor) ExtractInto(im *vision.Image, dst Vector) (Vector, error) {
 	if len(im.Pix) == 0 {
 		return nil, fmt.Errorf("feature: empty image")
 	}
-	out := make(Vector, h.Bins)
+	out := sizedBuf(dst, h.Bins)
+	clear(out)
+	bins := float64(h.Bins)
 	for _, v := range im.Pix {
-		bin := int(v * float64(h.Bins))
-		if bin >= h.Bins {
-			bin = h.Bins - 1
-		}
-		out[bin]++
+		out[histBin(v, bins, len(out))]++
 	}
 	n := float64(len(im.Pix))
 	for i := range out {
@@ -116,9 +252,13 @@ type CombinedExtractor struct {
 	normalize bool
 	dim       int
 	name      string
+	// fusedGrid/fusedHist are set when parts is exactly {grid, hist}:
+	// the common pipeline shape, extracted in one fused pixel pass.
+	fusedGrid *GridExtractor
+	fusedHist *HistogramExtractor
 }
 
-var _ Extractor = (*CombinedExtractor)(nil)
+var _ IntoExtractor = (*CombinedExtractor)(nil)
 
 // NewCombinedExtractor concatenates parts. normalize selects unit-norm
 // output.
@@ -136,8 +276,23 @@ func NewCombinedExtractor(normalize bool, parts ...Extractor) (*CombinedExtracto
 		name += p.Name()
 	}
 	name += ")"
-	return &CombinedExtractor{parts: parts, normalize: normalize, dim: dim, name: name}, nil
+	c := &CombinedExtractor{parts: parts, normalize: normalize, dim: dim, name: name}
+	if len(parts) == 2 {
+		if g, ok := parts[0].(GridExtractor); ok {
+			if h, ok := parts[1].(HistogramExtractor); ok && h.Bins <= fusedMaxBins {
+				c.fusedGrid, c.fusedHist = &g, &h
+			}
+		}
+	}
+	return c, nil
 }
+
+// fusedMaxBins bounds the histogram width the fused grid+histogram pass
+// handles with its stack-allocated count array; wider histograms (which
+// do not occur in practice) take the generic per-part path. Must be a
+// power of two so the count index can be masked instead of bounds
+// checked.
+const fusedMaxBins = 256
 
 // Dim returns the total dimensionality.
 func (c *CombinedExtractor) Dim() int { return c.dim }
@@ -147,18 +302,132 @@ func (c *CombinedExtractor) Name() string { return c.name }
 
 // Extract concatenates the part vectors.
 func (c *CombinedExtractor) Extract(im *vision.Image) (Vector, error) {
-	out := make(Vector, 0, c.dim)
-	for _, p := range c.parts {
-		v, err := p.Extract(im)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", p.Name(), err)
+	return c.ExtractInto(im, nil)
+}
+
+// ExtractInto concatenates the part vectors into dst. The grid+histogram
+// shape used by the standard pipeline is computed in a single fused
+// pixel pass; other combinations delegate to each part's buffer-reusing
+// path, writing directly into dst's sub-ranges.
+func (c *CombinedExtractor) ExtractInto(im *vision.Image, dst Vector) (Vector, error) {
+	out := sizedBuf(dst, c.dim)
+	if c.fusedGrid != nil {
+		if err := extractGridHistFused(im, *c.fusedGrid, *c.fusedHist, out); err != nil {
+			return nil, err
 		}
-		out = append(out, v...)
+	} else {
+		off := 0
+		for _, p := range c.parts {
+			pd := p.Dim()
+			sub, err := ExtractInto(p, im, out[off:off:off+pd])
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", p.Name(), err)
+			}
+			// A part may return its own storage (foreign extractor
+			// with an oversized result); fold it into place.
+			if &sub[0] != &out[off] {
+				copy(out[off:off+pd], sub)
+			}
+			off += pd
+		}
 	}
 	if c.normalize {
 		out.Normalize()
 	}
 	return out, nil
+}
+
+// extractGridHistFused computes the grid cells and histogram bins in one
+// row-major pixel pass. Within each cell, pixels accumulate in the same
+// order as the naive per-cell loops, and the histogram sees pixels in
+// the same global order as the standalone extractor, so the fused result
+// is bit-identical to running the parts separately.
+func extractGridHistFused(im *vision.Image, g GridExtractor, h HistogramExtractor, out Vector) error {
+	if err := g.validate(im); err != nil {
+		return err
+	}
+	if len(im.Pix) == 0 {
+		return fmt.Errorf("feature: empty image")
+	}
+	gridDim := g.Cols * g.Rows
+	grid := out[:gridDim]
+	hist := out[gridDim : gridDim+h.Bins]
+	clear(grid)
+	clear(hist)
+	bins := float64(h.Bins)
+	// Histogram counts accumulate in an integer stack array: integer
+	// increments do not compete with the grid sums for floating-point
+	// ports, and integer counts convert to float64 exactly, so the final
+	// bins are identical to counting in float64 directly. Construction
+	// guarantees Bins <= fusedMaxBins.
+	var counts [fusedMaxBins]int32
+	colQ, colR := gridSteps(im.W, g.Cols)
+	gy, gyEnd := 0, im.H/g.Rows // row band 0 ends at 1*H/Rows
+	for y := 0; y < im.H; y++ {
+		for y >= gyEnd {
+			gy++
+			gyEnd = (gy + 1) * im.H / g.Rows
+		}
+		row := im.Pix[y*im.W : (y+1)*im.W]
+		cells := grid[gy*g.Cols : (gy+1)*g.Cols]
+		// Walk the row one cell-column segment at a time so the cell
+		// accumulator stays in a register and the per-pixel loop has no
+		// band-boundary check; segment boundaries are carry-stepped.
+		x0, xacc := 0, 0
+		for gx := 0; gx < g.Cols; gx++ {
+			x1 := x0 + colQ
+			if xacc += colR; xacc >= g.Cols {
+				x1++
+				xacc -= g.Cols
+			}
+			sum := cells[gx]
+			for _, p := range row[x0:x1] {
+				sum += p
+				counts[histBin(p, bins, h.Bins)&(fusedMaxBins-1)]++
+			}
+			cells[gx] = sum
+			x0 = x1
+		}
+	}
+	for i := range hist {
+		hist[i] = float64(counts[i])
+	}
+	// Cell heights and widths are stepped with exact carry arithmetic
+	// (gridSteps) instead of an integer division per cell; the divisors
+	// are the same values (gy+1)*H/Rows - gy*H/Rows etc. would produce.
+	hq, hr := gridSteps(im.H, g.Rows)
+	wq, wr := gridSteps(im.W, g.Cols)
+	i, yacc := 0, 0
+	for gy := 0; gy < g.Rows; gy++ {
+		hgt := hq
+		if yacc += hr; yacc >= g.Rows {
+			hgt++
+			yacc -= g.Rows
+		}
+		xacc := 0
+		for gx := 0; gx < g.Cols; gx++ {
+			w := wq
+			if xacc += wr; xacc >= g.Cols {
+				w++
+				xacc -= g.Cols
+			}
+			grid[i] /= float64(hgt * w)
+			i++
+		}
+	}
+	n := float64(len(im.Pix))
+	for i := range hist {
+		hist[i] /= n
+	}
+	return nil
+}
+
+// gridSteps returns the quotient and remainder used to step successive
+// cell boundaries floor((i+1)*extent/cells) without dividing per cell:
+// each step advances by q, plus one more whenever the running remainder
+// accumulates past cells.
+func gridSteps(extent, cells int) (q, r int) {
+	return extent / cells, extent % cells
 }
 
 // DefaultExtractor returns the extractor used by the standard pipeline:

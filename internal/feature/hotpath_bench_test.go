@@ -1,0 +1,95 @@
+package feature
+
+// Hot-path extraction benchmarks, all reporting allocs/op; `make
+// bench-hotpath` pins their allocation budgets via cmd/benchgate. The
+// frame shape matches the standard pipeline: 48×48 grayscale, 8×8 grid
+// + 16-bin histogram (80 dims).
+
+import (
+	"math/rand"
+	"testing"
+
+	"approxcache/internal/vision"
+)
+
+func benchImage(b *testing.B, w, h int) *vision.Image {
+	b.Helper()
+	im := vision.NewImage(w, h)
+	r := rand.New(rand.NewSource(3))
+	for i := range im.Pix {
+		im.Pix[i] = r.Float64()
+	}
+	return im
+}
+
+// BenchmarkHotPathFusedExtract is the full default descriptor computed
+// by the fused single-pass path into a reused buffer. Budget: 0
+// allocs/op.
+func BenchmarkHotPathFusedExtract(b *testing.B) {
+	e := DefaultExtractor().(IntoExtractor)
+	im := benchImage(b, 48, 48)
+	dst := make(Vector, 0, e.Dim())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, err := e.ExtractInto(im, dst)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dst = v[:0]
+	}
+}
+
+// BenchmarkHotPathGridIntegral is the summed-area-table grid path.
+// Budget: 0 allocs/op at steady state (the table comes from a pool).
+func BenchmarkHotPathGridIntegral(b *testing.B) {
+	g := GridExtractor{Cols: 8, Rows: 8}
+	im := benchImage(b, 48, 48)
+	dst := make(Vector, 0, g.Dim())
+	if _, err := g.ExtractInto(im, dst); err != nil {
+		b.Fatal(err) // warm the SAT pool before timing
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, err := g.ExtractInto(im, dst)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dst = v[:0]
+	}
+}
+
+// BenchmarkGridNaive is the pre-integral-image per-cell summation, kept
+// as the speedup reference for EXPERIMENTS.md (not budget-gated).
+func BenchmarkGridNaive(b *testing.B) {
+	g := GridExtractor{Cols: 8, Rows: 8}
+	im := benchImage(b, 48, 48)
+	dst := make(Vector, 0, g.Dim())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, err := g.extractNaiveInto(im, dst)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dst = v[:0]
+	}
+}
+
+// BenchmarkHotPathHistogram is the standalone histogram pass. Budget: 0
+// allocs/op.
+func BenchmarkHotPathHistogram(b *testing.B) {
+	h := HistogramExtractor{Bins: 16}
+	im := benchImage(b, 48, 48)
+	dst := make(Vector, 0, h.Dim())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, err := h.ExtractInto(im, dst)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dst = v[:0]
+	}
+}

@@ -150,6 +150,14 @@ func (a *AdaptiveIndex) Nearest(q feature.Vector, k int) ([]Neighbor, error) {
 	return inner.Nearest(q, k)
 }
 
+// NearestInto is Nearest writing into dst's backing array.
+func (a *AdaptiveIndex) NearestInto(q feature.Vector, k int, dst []Neighbor) ([]Neighbor, error) {
+	a.mu.Lock()
+	inner := a.inner
+	a.mu.Unlock()
+	return inner.NearestInto(q, k, dst)
+}
+
 // Candidates returns q's LSH candidate set.
 func (a *AdaptiveIndex) Candidates(q feature.Vector) ([]ID, error) {
 	a.mu.Lock()
@@ -216,9 +224,9 @@ type Item struct {
 func (x *HyperplaneIndex) Items() []Item {
 	x.mu.RLock()
 	defer x.mu.RUnlock()
-	out := make([]Item, 0, len(x.vecs))
-	for id, v := range x.vecs {
-		out = append(out, Item{ID: id, Vec: v.Clone()})
+	out := make([]Item, 0, len(x.idSlot))
+	for id, slot := range x.idSlot {
+		out = append(out, Item{ID: id, Vec: x.slotVec(slot).Clone()})
 	}
 	return out
 }

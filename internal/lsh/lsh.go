@@ -3,12 +3,19 @@
 // hash index (k bits × L tables), an exact linear-scan baseline, and the
 // homogenized-kNN vote (FoggyCache-style) that decides whether a cached
 // result is trustworthy enough to reuse.
+//
+// The lookup path is the per-frame reuse check the whole system exists
+// to make cheap, so both indexes are built for zero steady-state
+// allocation: vectors live in a flat arena addressed by slot (no map
+// chase inside distance loops), hyperplanes are one contiguous matrix
+// swept by a strided dot product, per-query candidate dedup is an
+// epoch-stamped visited array drawn from a pool, and ranking is bounded
+// top-k selection instead of a full sort.
 package lsh
 
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 	"sync"
 
 	"approxcache/internal/feature"
@@ -40,6 +47,17 @@ type Index interface {
 	Len() int
 }
 
+// IntoIndex is implemented by indexes whose lookup can write results
+// into a caller-provided buffer, so steady-state queries allocate
+// nothing.
+type IntoIndex interface {
+	Index
+	// NearestInto is Nearest appending into dst's backing array
+	// (which may be nil). The returned slice aliases dst when its
+	// capacity suffices.
+	NearestInto(q feature.Vector, k int, dst []Neighbor) ([]Neighbor, error)
+}
+
 // HyperplaneIndex is a random-hyperplane (SimHash) LSH index. Each of
 // the L tables hashes a vector to a B-bit signature whose bits are the
 // signs of projections onto B random hyperplanes; a query is compared
@@ -49,19 +67,57 @@ type HyperplaneIndex struct {
 	bits   int
 	tables int
 
-	// planes[t][b] is hyperplane b of table t.
-	planes [][]feature.Vector
+	// planes is the flattened hyperplane matrix: hyperplane b of table
+	// t occupies planes[(t*bits+b)*dim : (t*bits+b+1)*dim], so a
+	// signature is one strided sweep over contiguous memory.
+	planes []float64
 	// center, when non-nil, is subtracted from vectors before
 	// projection (see NewHyperplaneCentered).
 	center feature.Vector
 
-	mu      sync.RWMutex
-	buckets []map[uint64][]ID
-	vecs    map[ID]feature.Vector
-	sigs    map[ID][]uint64
+	mu sync.RWMutex
+	// buckets[t] maps a table-t signature to the arena slots holding
+	// colliding vectors. Buckets hold slots, not IDs, so the distance
+	// loop reads the arena directly.
+	buckets []map[uint64][]int32
+	// arena holds slot s's vector at arena[s*dim:(s+1)*dim]. Freed
+	// slots are recycled through free; slotID/slotSig are parallel
+	// per-slot metadata (slotSig[s*tables+t] is slot s's signature in
+	// table t).
+	arena   []float64
+	slotID  []ID
+	slotSig []uint64
+	free    []int32
+	// idSlot maps an ID to its slot. Only Insert/Remove touch it; the
+	// query path never chases it.
+	idSlot map[ID]int32
+
+	scratch sync.Pool // *queryScratch
 }
 
-var _ Index = (*HyperplaneIndex)(nil)
+var _ IntoIndex = (*HyperplaneIndex)(nil)
+
+// queryScratch is the reusable per-query state: an epoch-stamped
+// visited array replacing the old per-query map[ID]struct{} dedup.
+// Each concurrent query checks out its own scratch from the pool.
+type queryScratch struct {
+	visited []uint32
+	epoch   uint32
+}
+
+// begin readies the scratch for one query over nslots slots.
+func (sc *queryScratch) begin(nslots int) {
+	if cap(sc.visited) < nslots {
+		sc.visited = make([]uint32, nslots)
+		sc.epoch = 0
+	}
+	sc.visited = sc.visited[:nslots]
+	sc.epoch++
+	if sc.epoch == 0 { // wrapped: stamps from 2^32 queries ago linger
+		clear(sc.visited)
+		sc.epoch = 1
+	}
+}
 
 // MaxSignatureBits bounds the per-table signature width so it fits a
 // uint64 bucket key.
@@ -85,23 +141,29 @@ func NewHyperplane(dim, bits, tables int, seed int64) (*HyperplaneIndex, error) 
 		dim:     dim,
 		bits:    bits,
 		tables:  tables,
-		planes:  make([][]feature.Vector, tables),
-		buckets: make([]map[uint64][]ID, tables),
-		vecs:    make(map[ID]feature.Vector),
-		sigs:    make(map[ID][]uint64),
+		planes:  make([]float64, tables*bits*dim),
+		buckets: make([]map[uint64][]int32, tables),
+		idSlot:  make(map[ID]int32),
 	}
+	// Draw order (table, bit, dim) is part of the index's identity:
+	// the same seed must yield the same hyperplanes across versions.
 	for t := 0; t < tables; t++ {
-		x.planes[t] = make([]feature.Vector, bits)
-		x.buckets[t] = make(map[uint64][]ID)
+		x.buckets[t] = make(map[uint64][]int32)
 		for b := 0; b < bits; b++ {
-			p := make(feature.Vector, dim)
-			for d := 0; d < dim; d++ {
-				p[d] = rng.NormFloat64()
+			row := x.planeRow(t, b)
+			for d := range row {
+				row[d] = rng.NormFloat64()
 			}
-			x.planes[t][b] = p
 		}
 	}
 	return x, nil
+}
+
+// planeRow returns hyperplane b of table t as a slice into the flat
+// matrix.
+func (x *HyperplaneIndex) planeRow(t, b int) []float64 {
+	off := (t*x.bits + b) * x.dim
+	return x.planes[off : off+x.dim : off+x.dim]
 }
 
 // Dim returns the index dimensionality.
@@ -111,21 +173,70 @@ func (x *HyperplaneIndex) Dim() int { return x.dim }
 func (x *HyperplaneIndex) Len() int {
 	x.mu.RLock()
 	defer x.mu.RUnlock()
-	return len(x.vecs)
+	return len(x.idSlot)
 }
 
 // signature hashes v in table t. Caller must have validated dimensions.
+//
+// Bits are computed four at a time: the four dot products are
+// independent chains, so interleaving them hides floating-point add
+// latency. Each chain still sums dimensions in ascending order, so
+// every bit is identical to the one-row-at-a-time computation.
 func (x *HyperplaneIndex) signature(t int, v feature.Vector) uint64 {
 	var sig uint64
-	for b, plane := range x.planes[t] {
-		var dot float64
+	n := x.dim
+	b := 0
+	for ; b+4 <= x.bits; b += 4 {
+		off := (t*x.bits + b) * n
+		r0 := x.planes[off : off+n : off+n]
+		// Re-slicing everything to len(r0) lets the compiler drop the
+		// per-dimension bounds checks inside the loop.
+		r1 := x.planes[off+n : off+2*n : off+2*n][:len(r0)]
+		r2 := x.planes[off+2*n : off+3*n : off+3*n][:len(r0)]
+		r3 := x.planes[off+3*n : off+4*n : off+4*n][:len(r0)]
+		vs := v[:len(r0)]
+		var d0, d1, d2, d3 float64
 		if x.center == nil {
-			for d := range plane {
-				dot += plane[d] * v[d]
+			for d, p0 := range r0 {
+				vv := vs[d]
+				d0 += p0 * vv
+				d1 += r1[d] * vv
+				d2 += r2[d] * vv
+				d3 += r3[d] * vv
 			}
 		} else {
-			for d := range plane {
-				dot += plane[d] * (v[d] - x.center[d])
+			ct := x.center[:len(r0)]
+			for d, p0 := range r0 {
+				c := vs[d] - ct[d]
+				d0 += p0 * c
+				d1 += r1[d] * c
+				d2 += r2[d] * c
+				d3 += r3[d] * c
+			}
+		}
+		if d0 >= 0 {
+			sig |= 1 << uint(b)
+		}
+		if d1 >= 0 {
+			sig |= 1 << uint(b+1)
+		}
+		if d2 >= 0 {
+			sig |= 1 << uint(b+2)
+		}
+		if d3 >= 0 {
+			sig |= 1 << uint(b+3)
+		}
+	}
+	for ; b < x.bits; b++ {
+		row := x.planeRow(t, b)
+		var dot float64
+		if x.center == nil {
+			for d, p := range row {
+				dot += p * v[d]
+			}
+		} else {
+			for d, p := range row {
+				dot += p * (v[d] - x.center[d])
 			}
 		}
 		if dot >= 0 {
@@ -135,26 +246,48 @@ func (x *HyperplaneIndex) signature(t int, v feature.Vector) uint64 {
 	return sig
 }
 
+// slotVec returns slot s's vector as a view into the arena.
+func (x *HyperplaneIndex) slotVec(s int32) feature.Vector {
+	off := int(s) * x.dim
+	return feature.Vector(x.arena[off : off+x.dim : off+x.dim])
+}
+
+// allocSlotLocked returns a free arena slot, growing the arena if none
+// is available.
+func (x *HyperplaneIndex) allocSlotLocked() int32 {
+	if n := len(x.free); n > 0 {
+		s := x.free[n-1]
+		x.free = x.free[:n-1]
+		return s
+	}
+	s := int32(len(x.slotID))
+	x.arena = append(x.arena, make([]float64, x.dim)...)
+	x.slotID = append(x.slotID, 0)
+	x.slotSig = append(x.slotSig, make([]uint64, x.tables)...)
+	return s
+}
+
 // Insert adds (id, v) to all tables, replacing any prior entry for id.
 func (x *HyperplaneIndex) Insert(id ID, v feature.Vector) error {
 	if len(v) != x.dim {
 		return fmt.Errorf("lsh: insert dim %d, index dim %d: %w",
 			len(v), x.dim, feature.ErrDimensionMismatch)
 	}
-	vc := v.Clone()
 	x.mu.Lock()
 	defer x.mu.Unlock()
-	if _, exists := x.vecs[id]; exists {
-		x.removeLocked(id)
+	if slot, exists := x.idSlot[id]; exists {
+		x.removeLocked(id, slot)
 	}
-	sigs := make([]uint64, x.tables)
+	slot := x.allocSlotLocked()
+	copy(x.arena[int(slot)*x.dim:], v)
+	x.slotID[slot] = id
+	vc := x.slotVec(slot)
 	for t := 0; t < x.tables; t++ {
 		sig := x.signature(t, vc)
-		sigs[t] = sig
-		x.buckets[t][sig] = append(x.buckets[t][sig], id)
+		x.slotSig[int(slot)*x.tables+t] = sig
+		x.buckets[t][sig] = append(x.buckets[t][sig], slot)
 	}
-	x.vecs[id] = vc
-	x.sigs[id] = sigs
+	x.idSlot[id] = slot
 	return nil
 }
 
@@ -162,52 +295,74 @@ func (x *HyperplaneIndex) Insert(id ID, v feature.Vector) error {
 func (x *HyperplaneIndex) Remove(id ID) {
 	x.mu.Lock()
 	defer x.mu.Unlock()
-	x.removeLocked(id)
+	if slot, ok := x.idSlot[id]; ok {
+		x.removeLocked(id, slot)
+	}
 }
 
-func (x *HyperplaneIndex) removeLocked(id ID) {
-	sigs, ok := x.sigs[id]
-	if !ok {
-		return
-	}
-	for t, sig := range sigs {
+// bucketShrinkMin is the smallest bucket capacity the shrink heuristic
+// bothers reallocating; below it the retained memory is trivial.
+const bucketShrinkMin = 16
+
+func (x *HyperplaneIndex) removeLocked(id ID, slot int32) {
+	for t := 0; t < x.tables; t++ {
+		sig := x.slotSig[int(slot)*x.tables+t]
 		bucket := x.buckets[t][sig]
-		for i, bid := range bucket {
-			if bid == id {
-				bucket[i] = bucket[len(bucket)-1]
-				bucket = bucket[:len(bucket)-1]
+		for i, s := range bucket {
+			if s == slot {
+				last := len(bucket) - 1
+				bucket[i] = bucket[last]
+				bucket[last] = 0 // clear the swapped-from tail slot
+				bucket = bucket[:last]
 				break
 			}
 		}
-		if len(bucket) == 0 {
+		switch {
+		case len(bucket) == 0:
 			delete(x.buckets[t], sig)
-		} else {
+		case cap(bucket) >= bucketShrinkMin && cap(bucket) >= 4*len(bucket):
+			// Long churny runs otherwise retain grossly over-capacity
+			// backing arrays for hot signatures.
+			shrunk := make([]int32, len(bucket))
+			copy(shrunk, bucket)
+			x.buckets[t][sig] = shrunk
+		default:
 			x.buckets[t][sig] = bucket
 		}
 	}
-	delete(x.vecs, id)
-	delete(x.sigs, id)
+	delete(x.idSlot, id)
+	x.free = append(x.free, slot)
+}
+
+// getScratch checks out per-query scratch state.
+func (x *HyperplaneIndex) getScratch() *queryScratch {
+	if sc, ok := x.scratch.Get().(*queryScratch); ok {
+		return sc
+	}
+	return &queryScratch{}
 }
 
 // Candidates returns the deduplicated union of bucket contents that q
-// collides with across all tables.
+// collides with across all tables, in first-collision order.
 func (x *HyperplaneIndex) Candidates(q feature.Vector) ([]ID, error) {
 	if len(q) != x.dim {
 		return nil, fmt.Errorf("lsh: query dim %d, index dim %d: %w",
 			len(q), x.dim, feature.ErrDimensionMismatch)
 	}
+	sc := x.getScratch()
+	defer x.scratch.Put(sc)
 	x.mu.RLock()
 	defer x.mu.RUnlock()
-	seen := make(map[ID]struct{})
+	sc.begin(len(x.slotID))
 	var out []ID
 	for t := 0; t < x.tables; t++ {
 		sig := x.signature(t, q)
-		for _, id := range x.buckets[t][sig] {
-			if _, dup := seen[id]; dup {
+		for _, slot := range x.buckets[t][sig] {
+			if sc.visited[slot] == sc.epoch {
 				continue
 			}
-			seen[id] = struct{}{}
-			out = append(out, id)
+			sc.visited[slot] = sc.epoch
+			out = append(out, x.slotID[slot])
 		}
 	}
 	return out, nil
@@ -216,16 +371,42 @@ func (x *HyperplaneIndex) Candidates(q feature.Vector) ([]ID, error) {
 // Nearest returns up to k approximate nearest neighbors of q, drawn
 // from the LSH candidate set and ordered by Euclidean distance.
 func (x *HyperplaneIndex) Nearest(q feature.Vector, k int) ([]Neighbor, error) {
+	return x.NearestInto(q, k, nil)
+}
+
+// NearestInto is Nearest writing into dst's backing array. With a
+// caller-reused dst of capacity ≥ k, a warm-index lookup performs no
+// allocation: signatures, candidate dedup, distances, and top-k
+// selection all run on pooled or caller-owned memory.
+func (x *HyperplaneIndex) NearestInto(q feature.Vector, k int, dst []Neighbor) ([]Neighbor, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("lsh: k must be positive, got %d", k)
 	}
-	cands, err := x.Candidates(q)
-	if err != nil {
-		return nil, err
+	if len(q) != x.dim {
+		return nil, fmt.Errorf("lsh: query dim %d, index dim %d: %w",
+			len(q), x.dim, feature.ErrDimensionMismatch)
 	}
+	sc := x.getScratch()
+	defer x.scratch.Put(sc)
+	var sel kSelector
+	sel.reset(k, dst[:0])
 	x.mu.RLock()
-	defer x.mu.RUnlock()
-	return rankNeighbors(q, cands, x.vecs, k), nil
+	sc.begin(len(x.slotID))
+	for t := 0; t < x.tables; t++ {
+		sig := x.signature(t, q)
+		for _, slot := range x.buckets[t][sig] {
+			if sc.visited[slot] == sc.epoch {
+				continue
+			}
+			sc.visited[slot] = sc.epoch
+			sel.add(Neighbor{
+				ID:       x.slotID[slot],
+				Distance: feature.MustEuclidean(q, x.slotVec(slot)),
+			})
+		}
+	}
+	x.mu.RUnlock()
+	return sel.finish(), nil
 }
 
 // Stats describes index occupancy, used by the LSH ablation experiment.
@@ -243,7 +424,7 @@ type Stats struct {
 func (x *HyperplaneIndex) Stats() Stats {
 	x.mu.RLock()
 	defer x.mu.RUnlock()
-	s := Stats{Items: len(x.vecs), Tables: x.tables, Bits: x.bits}
+	s := Stats{Items: len(x.idSlot), Tables: x.tables, Bits: x.bits}
 	var total int
 	for t := 0; t < x.tables; t++ {
 		for _, b := range x.buckets[t] {
@@ -257,98 +438,11 @@ func (x *HyperplaneIndex) Stats() Stats {
 	if s.Buckets > 0 {
 		s.MeanBucket = float64(total) / float64(s.Buckets)
 	}
-	if len(x.vecs) > 0 {
+	if len(x.idSlot) > 0 {
 		// For each item, its candidate set is at least the sizes of
 		// its own buckets; use the mean bucket size per table as an
 		// estimate of per-query work.
 		s.MeanCandidateSet = s.MeanBucket * float64(x.tables)
 	}
 	return s
-}
-
-// ExactIndex is the exhaustive linear-scan baseline. It returns the true
-// nearest neighbors and is used both as the exact-match-cache baseline
-// component and as ground truth for LSH recall measurements.
-type ExactIndex struct {
-	dim  int
-	mu   sync.RWMutex
-	vecs map[ID]feature.Vector
-}
-
-var _ Index = (*ExactIndex)(nil)
-
-// NewExact builds an exact index over dim-dimensional vectors.
-func NewExact(dim int) (*ExactIndex, error) {
-	if dim <= 0 {
-		return nil, fmt.Errorf("lsh: dim must be positive, got %d", dim)
-	}
-	return &ExactIndex{dim: dim, vecs: make(map[ID]feature.Vector)}, nil
-}
-
-// Len returns the number of indexed vectors.
-func (x *ExactIndex) Len() int {
-	x.mu.RLock()
-	defer x.mu.RUnlock()
-	return len(x.vecs)
-}
-
-// Insert adds (id, v), replacing any prior entry.
-func (x *ExactIndex) Insert(id ID, v feature.Vector) error {
-	if len(v) != x.dim {
-		return fmt.Errorf("lsh: insert dim %d, index dim %d: %w",
-			len(v), x.dim, feature.ErrDimensionMismatch)
-	}
-	x.mu.Lock()
-	defer x.mu.Unlock()
-	x.vecs[id] = v.Clone()
-	return nil
-}
-
-// Remove deletes id.
-func (x *ExactIndex) Remove(id ID) {
-	x.mu.Lock()
-	defer x.mu.Unlock()
-	delete(x.vecs, id)
-}
-
-// Nearest returns the true k nearest neighbors of q.
-func (x *ExactIndex) Nearest(q feature.Vector, k int) ([]Neighbor, error) {
-	if k <= 0 {
-		return nil, fmt.Errorf("lsh: k must be positive, got %d", k)
-	}
-	if len(q) != x.dim {
-		return nil, fmt.Errorf("lsh: query dim %d, index dim %d: %w",
-			len(q), x.dim, feature.ErrDimensionMismatch)
-	}
-	x.mu.RLock()
-	defer x.mu.RUnlock()
-	ids := make([]ID, 0, len(x.vecs))
-	for id := range x.vecs {
-		ids = append(ids, id)
-	}
-	return rankNeighbors(q, ids, x.vecs, k), nil
-}
-
-// rankNeighbors computes distances from q to each candidate and returns
-// the k closest in increasing distance order. Ties break by ID so
-// results are deterministic.
-func rankNeighbors(q feature.Vector, cands []ID, vecs map[ID]feature.Vector, k int) []Neighbor {
-	ns := make([]Neighbor, 0, len(cands))
-	for _, id := range cands {
-		v, ok := vecs[id]
-		if !ok {
-			continue
-		}
-		ns = append(ns, Neighbor{ID: id, Distance: feature.MustEuclidean(q, v)})
-	}
-	sort.Slice(ns, func(i, j int) bool {
-		if ns[i].Distance != ns[j].Distance {
-			return ns[i].Distance < ns[j].Distance
-		}
-		return ns[i].ID < ns[j].ID
-	})
-	if len(ns) > k {
-		ns = ns[:k]
-	}
-	return ns
 }
