@@ -5,9 +5,9 @@ GO ?= go
 # Candidates returns one slice. Substring-matched against benchmark names.
 HOTPATH_BUDGETS = HotPathNearest=0,HotPathExactNearest=0,HotPathSignature=0,HotPathTopK=0,HotPathCandidates=1,HotPathFusedExtract=0,HotPathGridIntegral=0,HotPathHistogram=0
 
-.PHONY: check build test race vet fmt bench bench-hotpath bench-gate
+.PHONY: check build test race vet fmt bench bench-hotpath bench-gate fault-matrix
 
-check: vet fmt test race bench-gate
+check: vet fmt test race bench-gate fault-matrix
 
 build:
 	$(GO) build ./...
@@ -43,3 +43,10 @@ bench-gate:
 	$(GO) test -run '^$$' -bench HotPath -benchmem -benchtime 100x \
 		./internal/lsh/ ./internal/feature/ | \
 		$(GO) run ./cmd/benchgate -budgets '$(HOTPATH_BUDGETS)'
+
+# Device fault matrix (E19): every sensor fault class plus a DNN outage,
+# guards and watchdog toggled. The acceptance test asserts the shape;
+# this target prints the full table for inspection.
+fault-matrix:
+	$(GO) test -run 'TestFaultMatrixAcceptance|TestE19Report' -count=1 ./internal/eval/
+	$(GO) run ./cmd/approxbench -exp E19 -frames 300

@@ -97,6 +97,30 @@ type (
 	PeerClient = p2p.Client
 	// PeerServer serves the peer protocol over TCP.
 	PeerServer = p2p.TCPServer
+	// WatchdogConfig tunes the classifier watchdog: per-call timeout,
+	// bounded retry, and the consecutive-failure breaker.
+	WatchdogConfig = core.WatchdogConfig
+	// DegradationLevel names how far down the degradation ladder a
+	// frame's answer came from (see Result.Degradation).
+	DegradationLevel = core.DegradationLevel
+	// IMUGuardConfig tunes the inertial-window validity guard.
+	IMUGuardConfig = imu.GuardConfig
+	// FrameGuardConfig tunes the camera-frame validity guard.
+	FrameGuardConfig = vision.FrameGuardConfig
+)
+
+// Typed input and availability errors surfaced by Process.
+var (
+	// ErrBadFrame reports a structurally unusable camera frame (nil,
+	// empty, or non-finite pixels). The frame is refused outright.
+	ErrBadFrame = core.ErrBadFrame
+	// ErrBadIMUWindow reports non-finite inertial data. The window is
+	// refused outright; recoverable IMU faults are instead routed past
+	// the reuse gates and counted in Stats().SensorFaults().
+	ErrBadIMUWindow = core.ErrBadIMUWindow
+	// ErrClassifierDown reports that the watchdog's breaker is open and
+	// no fallback answer was available.
+	ErrClassifierDown = core.ErrClassifierDown
 )
 
 // Re-exported mode, source, eviction, and regime constants.
@@ -106,11 +130,16 @@ const (
 	ModeApprox     = core.ModeApprox
 	ModeNaiveSkip  = core.ModeNaiveSkip
 
-	SourceIMU   = metrics.SourceIMU
-	SourceVideo = metrics.SourceVideo
-	SourceLocal = metrics.SourceLocal
-	SourcePeer  = metrics.SourcePeer
-	SourceDNN   = metrics.SourceDNN
+	SourceIMU      = metrics.SourceIMU
+	SourceVideo    = metrics.SourceVideo
+	SourceLocal    = metrics.SourceLocal
+	SourcePeer     = metrics.SourcePeer
+	SourceDNN      = metrics.SourceDNN
+	SourceFallback = metrics.SourceFallback
+
+	DegradeNone       = core.DegradeNone
+	DegradeCacheOnly  = core.DegradeCacheOnly
+	DegradeLastResult = core.DegradeLastResult
 
 	EvictLRU       = cachestore.LRU
 	EvictLFU       = cachestore.LFU
@@ -180,6 +209,18 @@ type Options struct {
 	// Peers installs a peer client at construction. JoinSimNetwork /
 	// DialPeers can add one later.
 	Peers *PeerClient
+	// Watchdog overrides the classifier watchdog policy (per-call
+	// timeout, bounded retry, consecutive-failure breaker). The zero
+	// value keeps the defaults; set Watchdog.Disabled to run the
+	// classifier unguarded.
+	Watchdog WatchdogConfig
+	// IMUGuard and FrameGuard override the sensor guard thresholds.
+	// Zero values keep the defaults.
+	IMUGuard   IMUGuardConfig
+	FrameGuard FrameGuardConfig
+	// DisableSensorGuards switches the input guards off entirely;
+	// corrupt sensor data then flows into the gates unchecked.
+	DisableSensorGuards bool
 }
 
 // Cache is the user-facing approximate recognition cache.
@@ -225,6 +266,16 @@ func New(classifier Classifier, opts Options) (*Cache, error) {
 		cfg.PeerBudget = 0
 		cfg.PeerBudgetFraction = -1
 	}
+	if opts.Watchdog != (WatchdogConfig{}) {
+		cfg.Watchdog = opts.Watchdog
+	}
+	if opts.IMUGuard != (IMUGuardConfig{}) {
+		cfg.IMUGuard = opts.IMUGuard
+	}
+	if opts.FrameGuard != (FrameGuardConfig{}) {
+		cfg.FrameGuard = opts.FrameGuard
+	}
+	cfg.DisableSensorGuards = opts.DisableSensorGuards
 
 	clock := opts.Clock
 	if clock == nil {

@@ -296,6 +296,25 @@ func BenchmarkE18ChaosResilience(b *testing.B) {
 	}
 }
 
+// BenchmarkE19DeviceFaults regenerates the device fault matrix and
+// reports the accuracy the guarded sensor-fault rows hold relative to
+// the clean baseline (≥ 1.0 means the guards gave nothing up).
+func BenchmarkE19DeviceFaults(b *testing.B) {
+	report := runExperiment(b, "E19")
+	parsePct := func(s string) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return v
+	}
+	clean := parsePct(report.Rows[0][3])
+	guardedStuck := parsePct(report.Rows[2][3])
+	if clean > 0 {
+		b.ReportMetric(guardedStuck/clean, "guarded-accuracy-x")
+	}
+}
+
 // ---------------------------------------------------------------------------
 // Micro-benchmarks: the real compute cost of each pipeline stage.
 // ---------------------------------------------------------------------------

@@ -1,4 +1,4 @@
-// Command approxbench runs the evaluation suite (experiments E1–E18 from
+// Command approxbench runs the evaluation suite (experiments E1–E19 from
 // DESIGN.md) and prints the tables recorded in EXPERIMENTS.md.
 //
 // Usage:
@@ -36,7 +36,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("approxbench", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiment id (E1..E18), name, or \"all\"")
+		exp      = fs.String("exp", "all", "experiment id (E1..E19), name, or \"all\"")
 		frames   = fs.Int("frames", eval.DefaultScale().Frames, "per-device workload length in frames")
 		seed     = fs.Int64("seed", eval.DefaultScale().Seed, "root random seed")
 		format   = fs.String("format", "table", "output format: table | csv | markdown")

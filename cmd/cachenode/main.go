@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
 	"syscall"
 	"time"
 
@@ -43,6 +44,7 @@ func run(args []string) error {
 		model     = fs.String("model", "mobilenet-v2", "dnn profile (mobilenet-v2|squeezenet|inception-v3|resnet-50)")
 		serve     = fs.Bool("serve", false, "keep serving after processing until interrupted")
 		budget    = fs.Duration("peer-budget", 0, "per-frame peer time budget (0 = quarter of mean inference latency, negative = unbounded)")
+		snapshot  = fs.String("snapshot", "", "snapshot file: warm-start from it on boot, save back to it on exit (crash-safe atomic write)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -68,6 +70,19 @@ func run(args []string) error {
 	})
 	if err != nil {
 		return err
+	}
+
+	if *snapshot != "" {
+		// Recovery on start: a missing file is a cold start, a corrupt
+		// one (torn write from a crash mid-save) is reported but not
+		// fatal — the node just starts cold.
+		n, lerr := cache.LoadSnapshotFile(*snapshot)
+		switch {
+		case lerr != nil:
+			fmt.Fprintf(os.Stderr, "cachenode: snapshot %s unusable (%v), starting cold\n", *snapshot, lerr)
+		case n > 0:
+			fmt.Printf("warm-started %d entries from %s\n", n, *snapshot)
+		}
 	}
 
 	srv, err := cache.ServeTCP(*name, *addr)
@@ -137,6 +152,12 @@ func run(args []string) error {
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 	}
+	if *snapshot != "" {
+		if serr := cache.SaveSnapshotFile(*snapshot); serr != nil {
+			return fmt.Errorf("save snapshot: %w", serr)
+		}
+		fmt.Printf("saved %d entries to %s\n", cache.Len(), *snapshot)
+	}
 	return nil
 }
 
@@ -147,10 +168,22 @@ func printStats(cache *approxcache.Cache, client *approxcache.PeerClient) {
 	sum := stats.Latency().Summary()
 	fmt.Printf("latency: mean=%v p50=%v p99=%v\n", sum.Mean, sum.P50, sum.P99)
 	counts := stats.CountBySource()
-	fmt.Printf("sources: imu=%d video=%d local=%d peer=%d dnn=%d\n",
+	fmt.Printf("sources: imu=%d video=%d local=%d peer=%d dnn=%d fallback=%d\n",
 		counts[approxcache.SourceIMU], counts[approxcache.SourceVideo],
 		counts[approxcache.SourceLocal], counts[approxcache.SourcePeer],
-		counts[approxcache.SourceDNN])
+		counts[approxcache.SourceDNN], counts[approxcache.SourceFallback])
+	if sf := stats.SensorFaultTotal(); sf > 0 {
+		fmt.Printf("sensor faults: %d flagged", sf)
+		for _, kind := range sortedFaultKinds(stats.SensorFaults()) {
+			fmt.Printf(" %s=%d", kind, stats.SensorFaults()[kind])
+		}
+		fmt.Println()
+	}
+	timeouts, retries, wtrips, wrecoveries, fastFails := stats.WatchdogEvents()
+	if timeouts+retries+wtrips+wrecoveries+fastFails > 0 || stats.DegradedServeTotal() > 0 {
+		fmt.Printf("watchdog: %d timeouts, %d retries, %d trips, %d recoveries, %d fast-fails, %d degraded serves\n",
+			timeouts, retries, wtrips, wrecoveries, fastFails, stats.DegradedServeTotal())
+	}
 	q, h := stats.PeerQueries()
 	if q > 0 {
 		fmt.Printf("peer queries: %d (%d hits)\n", q, h)
@@ -183,6 +216,15 @@ func profileByName(name string) (approxcache.ModelProfile, error) {
 		}
 	}
 	return approxcache.ModelProfile{}, fmt.Errorf("unknown model %q", name)
+}
+
+func sortedFaultKinds(m map[string]int) []string {
+	kinds := make([]string, 0, len(m))
+	for k := range m {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	return kinds
 }
 
 func splitComma(s string) []string {

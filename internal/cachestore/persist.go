@@ -1,17 +1,33 @@
 package cachestore
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"math"
+	"sort"
+	"strings"
 	"time"
 
 	"approxcache/internal/feature"
 )
 
 // snapshotFormatVersion guards against incompatible snapshot files.
-const snapshotFormatVersion = 1
+// Version 2 adds a checksummed header so a torn write (power loss
+// mid-save, truncated copy) is detected before any entry is trusted;
+// version 1 files (bare JSON) are still readable.
+const (
+	snapshotFormatVersion       = 2
+	snapshotLegacyVersion       = 1
+	snapshotMagic               = "approxcache-snapshot"
+	snapshotHeaderFmt           = snapshotMagic + " v%d crc32=%08x\n"
+	snapshotMaxHeaderLen        = 128
+	snapshotMaxPayloadMegabytes = 256
+)
 
 // ErrCorruptSnapshot is returned by Import when the snapshot cannot be
 // decoded or fails validation — a truncated write, a partial download,
@@ -38,10 +54,14 @@ type wireSnapshot struct {
 	Entries []wireEntry `json:"entries"`
 }
 
-// Export writes all live entries to w as JSON. The snapshot can warm a
-// fresh store on another device or a later session.
+// Export writes all live entries to w: a header line carrying the
+// format version and the payload's CRC-32, then the JSON payload. The
+// entry set is captured in one consistent read-locked pass (concurrent
+// inserts land either wholly before or wholly after it) and sorted, so
+// equal stores produce byte-identical snapshots.
 func (s *Store) Export(w io.Writer) error {
 	entries := s.Snapshot()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].ID < entries[j].ID })
 	out := wireSnapshot{
 		Version: snapshotFormatVersion,
 		Entries: make([]wireEntry, 0, len(entries)),
@@ -55,8 +75,15 @@ func (s *Store) Export(w io.Writer) error {
 			SavedCostMicros: e.SavedCost.Microseconds(),
 		})
 	}
-	enc := json.NewEncoder(w)
-	if err := enc.Encode(out); err != nil {
+	payload, err := json.Marshal(out)
+	if err != nil {
+		return fmt.Errorf("cachestore: export: %w", err)
+	}
+	if _, err := fmt.Fprintf(w, snapshotHeaderFmt,
+		snapshotFormatVersion, crc32.ChecksumIEEE(payload)); err != nil {
+		return fmt.Errorf("cachestore: export: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
 		return fmt.Errorf("cachestore: export: %w", err)
 	}
 	return nil
@@ -67,22 +94,34 @@ func (s *Store) Export(w io.Writer) error {
 // entries were inserted. Imported entries keep their labels and costs
 // but start with fresh recency/frequency state.
 //
-// The snapshot is fully decoded and validated before anything is
-// inserted: a truncated or corrupt file returns ErrCorruptSnapshot
-// (wrapped, with detail) and leaves the store untouched.
+// The snapshot is checksum-verified (v2), fully decoded, and validated
+// before anything is inserted: a truncated, bit-flipped, or otherwise
+// corrupt file returns ErrCorruptSnapshot (wrapped, with detail) and
+// leaves the store untouched. Headerless files are tried as legacy v1
+// bare JSON.
 func (s *Store) Import(r io.Reader) (int, error) {
-	var in wireSnapshot
-	dec := json.NewDecoder(r)
-	if err := dec.Decode(&in); err != nil {
+	br := bufio.NewReader(r)
+	peek, err := br.Peek(len(snapshotMagic))
+	if err != nil && !errors.Is(err, io.EOF) {
 		return 0, fmt.Errorf("%w: %v", ErrCorruptSnapshot, err)
 	}
-	if in.Version != snapshotFormatVersion {
-		return 0, fmt.Errorf("%w: version %d, want %d",
-			ErrCorruptSnapshot, in.Version, snapshotFormatVersion)
+	var in wireSnapshot
+	if string(peek) == snapshotMagic {
+		in, err = decodeV2(br)
+	} else {
+		in, err = decodeLegacy(br)
+	}
+	if err != nil {
+		return 0, err
 	}
 	for i, e := range in.Entries {
 		if len(e.Vec) == 0 || e.Label == "" {
 			return 0, fmt.Errorf("%w: entry %d invalid", ErrCorruptSnapshot, i)
+		}
+		for _, v := range e.Vec {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0, fmt.Errorf("%w: entry %d has non-finite vector", ErrCorruptSnapshot, i)
+			}
 		}
 	}
 	inserted := 0
@@ -94,4 +133,88 @@ func (s *Store) Import(r io.Reader) (int, error) {
 		inserted++
 	}
 	return inserted, nil
+}
+
+// decodeV2 parses a headered snapshot: the header line names the
+// version and the payload checksum, and the payload must match it.
+func decodeV2(br *bufio.Reader) (wireSnapshot, error) {
+	var in wireSnapshot
+	header, err := readHeaderLine(br)
+	if err != nil {
+		return in, err
+	}
+	var version int
+	var sum uint32
+	if n, err := fmt.Sscanf(strings.TrimSuffix(header, "\n"),
+		snapshotMagic+" v%d crc32=%x", &version, &sum); err != nil || n != 2 {
+		return in, fmt.Errorf("%w: malformed header %q", ErrCorruptSnapshot, header)
+	}
+	if version != snapshotFormatVersion {
+		return in, fmt.Errorf("%w: version %d, want %d",
+			ErrCorruptSnapshot, version, snapshotFormatVersion)
+	}
+	payload, err := io.ReadAll(io.LimitReader(br, snapshotMaxPayloadMegabytes<<20))
+	if err != nil {
+		return in, fmt.Errorf("%w: %v", ErrCorruptSnapshot, err)
+	}
+	if got := crc32.ChecksumIEEE(payload); got != sum {
+		return in, fmt.Errorf("%w: checksum %08x, header says %08x", ErrCorruptSnapshot, got, sum)
+	}
+	if err := decodeStrict(payload, &in); err != nil {
+		return in, err
+	}
+	if in.Version != snapshotFormatVersion {
+		return in, fmt.Errorf("%w: payload version %d, want %d",
+			ErrCorruptSnapshot, in.Version, snapshotFormatVersion)
+	}
+	return in, nil
+}
+
+// decodeLegacy parses a headerless v1 snapshot: bare JSON with no
+// checksum to verify.
+func decodeLegacy(br *bufio.Reader) (wireSnapshot, error) {
+	var in wireSnapshot
+	payload, err := io.ReadAll(io.LimitReader(br, snapshotMaxPayloadMegabytes<<20))
+	if err != nil {
+		return in, fmt.Errorf("%w: %v", ErrCorruptSnapshot, err)
+	}
+	if err := decodeStrict(payload, &in); err != nil {
+		return in, err
+	}
+	if in.Version != snapshotLegacyVersion {
+		return in, fmt.Errorf("%w: version %d, want %d",
+			ErrCorruptSnapshot, in.Version, snapshotLegacyVersion)
+	}
+	return in, nil
+}
+
+// decodeStrict unmarshals payload, rejecting trailing garbage a plain
+// json.Decoder would silently ignore.
+func decodeStrict(payload []byte, in *wireSnapshot) error {
+	dec := json.NewDecoder(bytes.NewReader(payload))
+	if err := dec.Decode(in); err != nil {
+		return fmt.Errorf("%w: %v", ErrCorruptSnapshot, err)
+	}
+	var trailer json.RawMessage
+	if err := dec.Decode(&trailer); !errors.Is(err, io.EOF) {
+		return fmt.Errorf("%w: trailing data after payload", ErrCorruptSnapshot)
+	}
+	return nil
+}
+
+// readHeaderLine reads the newline-terminated header, bounding how far
+// it will scan so a garbage file cannot buffer unboundedly.
+func readHeaderLine(br *bufio.Reader) (string, error) {
+	var b bytes.Buffer
+	for b.Len() <= snapshotMaxHeaderLen {
+		c, err := br.ReadByte()
+		if err != nil {
+			return "", fmt.Errorf("%w: truncated header", ErrCorruptSnapshot)
+		}
+		b.WriteByte(c)
+		if c == '\n' {
+			return b.String(), nil
+		}
+	}
+	return "", fmt.Errorf("%w: header too long", ErrCorruptSnapshot)
 }

@@ -162,6 +162,21 @@ type Config struct {
 	// (0.25) allows ~25 ms against a 100 ms-class model. Negative
 	// disables the budget entirely.
 	PeerBudgetFraction float64
+	// IMUGuard validates each frame's IMU window before it feeds the
+	// motion detector; faulty windows are routed past the inertial gate
+	// (see imu.CheckWindow). The zero value checks only for corrupt
+	// (non-finite, non-monotonic) data.
+	IMUGuard imu.GuardConfig
+	// FrameGuard validates each frame before the gates touch it. The
+	// zero value checks only structural faults (nil, empty, NaN).
+	FrameGuard vision.FrameGuardConfig
+	// DisableSensorGuards turns both input guards off (ablation). Nil
+	// frames still error: nothing downstream can use them.
+	DisableSensorGuards bool
+	// Watchdog supervises the classifier: call deadline, bounded retry,
+	// failure breaker with a degraded-serving fallback. The zero value
+	// is a transparent passthrough.
+	Watchdog WatchdogConfig
 }
 
 // DefaultConfig returns the standard pipeline configuration.
@@ -177,6 +192,9 @@ func DefaultConfig() Config {
 		MaxReuseStreak:     20,
 		KeyframeCapacity:   4,
 		PeerBudgetFraction: 0.25,
+		IMUGuard:           imu.DefaultGuardConfig(),
+		FrameGuard:         vision.DefaultFrameGuardConfig(),
+		Watchdog:           DefaultWatchdogConfig(),
 	}
 }
 
@@ -190,8 +208,17 @@ func (c Config) Validate() error {
 	if c.Mode == ModeNaiveSkip && c.SkipEvery <= 0 {
 		return fmt.Errorf("core: naive-skip needs positive SkipEvery, got %d", c.SkipEvery)
 	}
+	if err := c.Watchdog.Validate(); err != nil {
+		return err
+	}
+	if err := c.FrameGuard.Validate(); err != nil {
+		return err
+	}
 	if c.Mode != ModeApprox {
 		return c.Costs.Validate()
+	}
+	if err := c.IMUGuard.Validate(); err != nil {
+		return err
 	}
 	if c.Extractor == nil {
 		return fmt.Errorf("core: nil extractor")
@@ -257,6 +284,10 @@ type Result struct {
 	EnergyMJ float64
 	// PeerName is set when Source is SourcePeer.
 	PeerName string
+	// Degradation is DegradeNone on the healthy pipeline; anything else
+	// means the DNN was unavailable and the answer came down the
+	// fallback ladder with halved confidence.
+	Degradation DegradationLevel
 }
 
 // Engine is the per-device recognition pipeline. Engine is safe for
@@ -265,6 +296,7 @@ type Engine struct {
 	cfg   Config
 	deps  Deps
 	stats *metrics.SessionStats
+	wd    *watchdog
 
 	// scratch pools per-frame working memory (feature vector, neighbor
 	// buffer) so the steady-state lookup path allocates nothing even
@@ -311,6 +343,7 @@ func New(cfg Config, deps Deps) (*Engine, error) {
 		return nil, fmt.Errorf("core: nil classifier")
 	}
 	e := &Engine{cfg: cfg, deps: deps, stats: metrics.NewSessionStats()}
+	e.wd = newWatchdog(cfg.Watchdog, deps.Classifier, deps.Clock, e.stats)
 	if deps.Peers != nil {
 		deps.Peers.SetObserver(statsObserver{s: e.stats})
 	}
@@ -391,8 +424,11 @@ func (e *Engine) LastResult() (Result, bool) {
 }
 
 // Process recognizes one frame. imuWindow carries the inertial samples
-// received since the previous frame (ignored outside ModeApprox). Use
-// ProcessWithTruth in experiments so accuracy is tracked.
+// received since the previous frame (ignored outside ModeApprox; nil
+// is fine when unavailable). Structurally unusable inputs return
+// ErrBadFrame or ErrBadIMUWindow; lesser sensor faults are routed past
+// the gates they would fool. Use ProcessWithTruth in experiments so
+// accuracy is tracked.
 func (e *Engine) Process(im *vision.Image, imuWindow []imu.Sample) (Result, error) {
 	return e.process(im, imuWindow, "", false)
 }
@@ -404,7 +440,32 @@ func (e *Engine) ProcessWithTruth(im *vision.Image, imuWindow []imu.Sample, trut
 
 func (e *Engine) process(im *vision.Image, imuWindow []imu.Sample, truth string, haveTruth bool) (Result, error) {
 	if im == nil {
-		return Result{}, fmt.Errorf("core: nil frame")
+		e.stats.ObserveSensorFault("frame-" + vision.FrameNil.String())
+		return Result{}, fmt.Errorf("%w: nil image", ErrBadFrame)
+	}
+	// Sensor guards: structurally broken inputs are refused with typed
+	// errors; quality faults are routed past the gates they would fool.
+	frameOK := true
+	if !e.cfg.DisableSensorGuards {
+		switch f := vision.CheckFrame(im, e.cfg.FrameGuard); {
+		case f == vision.FrameOK:
+		case f.Structural():
+			e.stats.ObserveSensorFault("frame-" + f.String())
+			return Result{}, fmt.Errorf("%w: %s", ErrBadFrame, f)
+		default: // low entropy: recognizable by the DNN alone, at best
+			e.stats.ObserveSensorFault("frame-" + f.String())
+			frameOK = false
+		}
+	}
+	imuOK := true
+	if e.cfg.Mode == ModeApprox && !e.cfg.DisableSensorGuards {
+		if wf := imu.CheckWindow(imuWindow, e.cfg.IMUGuard); wf != imu.WindowOK {
+			e.stats.ObserveSensorFault("imu-" + wf.String())
+			if wf == imu.WindowNonFinite {
+				return Result{}, fmt.Errorf("%w: %s", ErrBadIMUWindow, wf)
+			}
+			imuOK = false
+		}
 	}
 	var res Result
 	var err error
@@ -416,7 +477,7 @@ func (e *Engine) process(im *vision.Image, imuWindow []imu.Sample, truth string,
 	case ModeNaiveSkip:
 		res, err = e.processNaiveSkip(im)
 	default:
-		res, err = e.processApprox(im, imuWindow)
+		res, err = e.processApprox(im, imuWindow, imuOK, frameOK)
 	}
 	if err != nil {
 		return Result{}, err
@@ -424,11 +485,17 @@ func (e *Engine) process(im *vision.Image, imuWindow []imu.Sample, truth string,
 	e.deps.Clock.Sleep(res.Latency)
 	correct := haveTruth && res.Label == truth
 	e.stats.ObserveFrame(res.Source, res.Latency, res.EnergyMJ, correct)
+	if res.Degradation != DegradeNone {
+		e.stats.ObserveDegradedServe(res.Degradation.String())
+	}
 	e.mu.Lock()
 	e.last = &res
 	if res.Source == metrics.SourceDNN {
 		e.streak = 0
 	} else {
+		// Degraded serves extend the streak too, keeping revalidation
+		// pressure on: the pipeline re-probes the DNN (cheaply, through
+		// the breaker) every frame until it heals.
 		e.streak++
 	}
 	e.mu.Unlock()
@@ -436,7 +503,7 @@ func (e *Engine) process(im *vision.Image, imuWindow []imu.Sample, truth string,
 }
 
 func (e *Engine) processNoCache(im *vision.Image) (Result, error) {
-	inf, err := e.deps.Classifier.Infer(im)
+	inf, penalty, err := e.wd.infer(im)
 	if err != nil {
 		return Result{}, fmt.Errorf("infer: %w", err)
 	}
@@ -444,7 +511,7 @@ func (e *Engine) processNoCache(im *vision.Image) (Result, error) {
 		Label:      inf.Label,
 		Confidence: inf.Confidence,
 		Source:     metrics.SourceDNN,
-		Latency:    inf.Latency,
+		Latency:    penalty + inf.Latency,
 		EnergyMJ:   inf.EnergyMJ,
 	}, nil
 }
@@ -452,7 +519,8 @@ func (e *Engine) processNoCache(im *vision.Image) (Result, error) {
 // processNaiveSkip reuses the last result blindly, inferring only every
 // SkipEvery-th frame. The reuse is attributed to SourceVideo (it is a
 // crude temporal-locality heuristic) so reports separate it from DNN
-// work.
+// work. With the DNN down, a due inference degrades to repeating the
+// last result — the baseline has no cache to fall back on.
 func (e *Engine) processNaiveSkip(im *vision.Image) (Result, error) {
 	e.mu.Lock()
 	last := e.last
@@ -467,7 +535,18 @@ func (e *Engine) processNaiveSkip(im *vision.Image) (Result, error) {
 			EnergyMJ:   e.cfg.Costs.IMUGateEnergyMJ,
 		}, nil
 	}
-	return e.processNoCache(im)
+	res, err := e.processNoCache(im)
+	if err != nil && last != nil {
+		return Result{
+			Label:       last.Label,
+			Confidence:  last.Confidence * fallbackConfidence,
+			Source:      metrics.SourceFallback,
+			Latency:     e.cfg.Costs.IMUGateLatency,
+			EnergyMJ:    e.cfg.Costs.IMUGateEnergyMJ,
+			Degradation: DegradeLastResult,
+		}, nil
+	}
+	return res, err
 }
 
 // exactHashLevels quantizes pixels before hashing so that bit-identical
@@ -504,7 +583,7 @@ func (e *Engine) processExact(im *vision.Image) (Result, error) {
 			EnergyMJ:   energy,
 		}, nil
 	}
-	inf, err := e.deps.Classifier.Infer(im)
+	inf, penalty, err := e.wd.infer(im)
 	if err != nil {
 		return Result{}, fmt.Errorf("infer: %w", err)
 	}
@@ -515,14 +594,21 @@ func (e *Engine) processExact(im *vision.Image) (Result, error) {
 		Label:      inf.Label,
 		Confidence: inf.Confidence,
 		Source:     metrics.SourceDNN,
-		Latency:    cost + inf.Latency,
+		Latency:    cost + penalty + inf.Latency,
 		EnergyMJ:   energy + inf.EnergyMJ,
 	}, nil
 }
 
-func (e *Engine) processApprox(im *vision.Image, imuWindow []imu.Sample) (Result, error) {
+// processApprox runs the 4-gate pipeline. imuOK and frameOK report
+// which inputs the sensor guards trusted: an untrusted IMU window skips
+// the detector feed and the inertial gate; an untrusted (low-entropy)
+// frame skips the video gate, the cache gates, and every cache
+// mutation — its features would be meaningless — leaving only the DNN.
+func (e *Engine) processApprox(im *vision.Image, imuWindow []imu.Sample, imuOK, frameOK bool) (Result, error) {
 	e.mu.Lock()
-	e.detector.ObserveAll(imuWindow)
+	if imuOK {
+		e.detector.ObserveAll(imuWindow)
+	}
 	last := e.last
 	// Bounded staleness: once a reuse streak reaches the cap, force a
 	// fresh inference so a single wrong result cannot serve forever.
@@ -532,7 +618,7 @@ func (e *Engine) processApprox(im *vision.Image, imuWindow []imu.Sample) (Result
 
 	// Gate 1: inertial reuse. If the device has not moved since the
 	// last verified recognition, return it at near-zero cost.
-	if !revalidate && !e.cfg.DisableIMUGate && last != nil {
+	if imuOK && !revalidate && !e.cfg.DisableIMUGate && last != nil {
 		latency += e.cfg.Costs.IMUGateLatency
 		energy += e.cfg.Costs.IMUGateEnergyMJ
 		if e.detector.AllowReuse() {
@@ -551,7 +637,7 @@ func (e *Engine) processApprox(im *vision.Image, imuWindow []imu.Sample) (Result
 	// Gate 2: video locality. A cheap pixel diff against the recent
 	// recognized keyframes catches temporal locality the IMU missed —
 	// including panning back to a scene seen a few keyframes ago.
-	if !revalidate && !e.cfg.DisableVideoGate && e.keyframes.Len() > 0 {
+	if frameOK && !revalidate && !e.cfg.DisableVideoGate && e.keyframes.Len() > 0 {
 		latency += e.cfg.Costs.DiffLatency
 		energy += e.cfg.Costs.DiffEnergyMJ
 		if kf, ok := e.keyframes.Match(im); ok {
@@ -572,17 +658,22 @@ func (e *Engine) processApprox(im *vision.Image, imuWindow []imu.Sample) (Result
 	// buffer come from the engine's scratch pool: the extractor writes
 	// into the reused vector and the index ranks into the reused
 	// buffer, so a steady-state frame allocates nothing here.
-	latency += e.cfg.Costs.FeatureLatency
-	energy += e.cfg.Costs.FeatureEnergyMJ
-	sc := e.getScratch()
-	defer e.scratch.Put(sc)
-	vec, err := feature.ExtractInto(e.cfg.Extractor, im, sc.vec)
-	if err != nil {
-		return Result{}, fmt.Errorf("extract: %w", err)
-	}
-	sc.vec = vec
+	var vec feature.Vector
+	var sc *frameScratch
 	peers := e.peers()
-	if !revalidate {
+	if frameOK {
+		latency += e.cfg.Costs.FeatureLatency
+		energy += e.cfg.Costs.FeatureEnergyMJ
+		sc = e.getScratch()
+		defer e.scratch.Put(sc)
+		var err error
+		vec, err = feature.ExtractInto(e.cfg.Extractor, im, sc.vec)
+		if err != nil {
+			return Result{}, fmt.Errorf("extract: %w", err)
+		}
+		sc.vec = vec
+	}
+	if frameOK && !revalidate {
 		latency += e.cfg.Costs.LookupLatency
 		energy += e.cfg.Costs.LookupEnergyMJ
 		ns, err := e.deps.Store.NearestInto(vec, e.cfg.Vote.K, sc.ns)
@@ -650,28 +741,32 @@ func (e *Engine) processApprox(im *vision.Image, imuWindow []imu.Sample) (Result
 		}
 	}
 
-	// Fallback: run the DNN.
-	inf, err := e.deps.Classifier.Infer(im)
-	if err != nil {
-		return Result{}, fmt.Errorf("infer: %w", err)
+	// Fallback: run the DNN under the watchdog. If it is down, walk the
+	// degradation ladder instead of failing the frame.
+	inf, penalty, ierr := e.wd.infer(im)
+	latency += penalty
+	if ierr != nil {
+		return e.serveDegraded(vec, sc, frameOK, latency, energy, ierr)
 	}
 	latency += inf.Latency
 	energy += inf.EnergyMJ
-	if !e.cfg.DisableRepair {
-		// Cache repair: entries sitting where we just looked, carrying
-		// a different label, are contradicted by fresh evidence —
-		// purge them so they stop winning votes.
-		e.stats.ObserveRepairs(e.repairContradicted(vec, inf.Label, sc))
-	}
-	if _, err := e.deps.Store.Insert(vec, inf.Label, inf.Confidence, "dnn", inf.Latency); err != nil {
-		return Result{}, fmt.Errorf("cache insert: %w", err)
-	}
-	if peers != nil && !e.cfg.DisableGossip {
-		// Gossip is asynchronous on a real device: it costs radio
-		// energy but does not extend the frame's latency.
-		if _, err := peers.Gossip(vec, inf.Label, inf.Confidence, inf.Latency); err == nil {
-			size := p2p.GossipWireSize(len(vec), len(inf.Label))
-			energy += e.cfg.Radio.MessageCost(size) * float64(len(peers.Peers()))
+	if frameOK {
+		if !e.cfg.DisableRepair {
+			// Cache repair: entries sitting where we just looked,
+			// carrying a different label, are contradicted by fresh
+			// evidence — purge them so they stop winning votes.
+			e.stats.ObserveRepairs(e.repairContradicted(vec, inf.Label, sc))
+		}
+		if _, err := e.deps.Store.Insert(vec, inf.Label, inf.Confidence, "dnn", inf.Latency); err != nil {
+			return Result{}, fmt.Errorf("cache insert: %w", err)
+		}
+		if peers != nil && !e.cfg.DisableGossip {
+			// Gossip is asynchronous on a real device: it costs radio
+			// energy but does not extend the frame's latency.
+			if _, err := peers.Gossip(vec, inf.Label, inf.Confidence, inf.Latency); err == nil {
+				size := p2p.GossipWireSize(len(vec), len(inf.Label))
+				energy += e.cfg.Radio.MessageCost(size) * float64(len(peers.Peers()))
+			}
 		}
 	}
 	res := Result{
@@ -681,8 +776,58 @@ func (e *Engine) processApprox(im *vision.Image, imuWindow []imu.Sample) (Result
 		Latency:    latency,
 		EnergyMJ:   energy,
 	}
-	e.refreshScene(im, res.Label, res.Confidence)
+	if frameOK {
+		e.refreshScene(im, res.Label, res.Confidence)
+	}
 	return res, nil
+}
+
+// fallbackConfidence discounts degraded answers: the pipeline cannot
+// verify them, so it halves the confidence it reports.
+const fallbackConfidence = 0.5
+
+// fallbackRadiusFactor relaxes the cache acceptance radius for degraded
+// serving: with the DNN down, a merely-nearby answer beats none.
+const fallbackRadiusFactor = 2.0
+
+// serveDegraded walks the degradation ladder after a failed inference:
+// the nearest cached entry within a relaxed radius, then the last
+// served result, then — with nothing left to say — the error itself.
+// Degraded answers carry halved confidence, SourceFallback, and the
+// ladder level, so callers and metrics can tell them apart.
+func (e *Engine) serveDegraded(vec feature.Vector, sc *frameScratch, haveVec bool, latency time.Duration, energy float64, cause error) (Result, error) {
+	if haveVec {
+		latency += e.cfg.Costs.LookupLatency
+		energy += e.cfg.Costs.LookupEnergyMJ
+		if ns, err := e.deps.Store.NearestInto(vec, 1, sc.ns); err == nil {
+			if len(ns) > 0 && ns[0].Distance <= fallbackRadiusFactor*e.cfg.Vote.MaxDistance {
+				if entry, ok := e.deps.Store.Get(ns[0].ID); ok {
+					e.deps.Store.Touch(entry.ID)
+					sc.ns = ns[:0]
+					return Result{
+						Label:       entry.Label,
+						Confidence:  entry.Confidence * fallbackConfidence,
+						Source:      metrics.SourceFallback,
+						Latency:     latency,
+						EnergyMJ:    energy,
+						Degradation: DegradeCacheOnly,
+					}, nil
+				}
+			}
+			sc.ns = ns[:0]
+		}
+	}
+	if last, ok := e.LastResult(); ok {
+		return Result{
+			Label:       last.Label,
+			Confidence:  last.Confidence * fallbackConfidence,
+			Source:      metrics.SourceFallback,
+			Latency:     latency,
+			EnergyMJ:    energy,
+			Degradation: DegradeLastResult,
+		}, nil
+	}
+	return Result{}, fmt.Errorf("recognition unavailable: %w", cause)
 }
 
 // repairContradicted removes cached entries within half the reuse

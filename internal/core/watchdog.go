@@ -1,0 +1,239 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"approxcache/internal/dnn"
+	"approxcache/internal/metrics"
+	"approxcache/internal/simclock"
+	"approxcache/internal/vision"
+)
+
+// Typed pipeline errors. Callers match with errors.Is.
+var (
+	// ErrBadFrame: the frame is structurally unusable (nil, zero
+	// dimensions, non-finite pixels). The engine refuses it rather than
+	// feeding garbage to the gates or the cache.
+	ErrBadFrame = errors.New("core: bad frame")
+	// ErrBadIMUWindow: the IMU window carries non-finite readings that
+	// would poison the motion statistics.
+	ErrBadIMUWindow = errors.New("core: bad imu window")
+	// ErrClassifierDown: the classifier watchdog has tripped (or the
+	// final attempt failed after the breaker opened) and no degraded
+	// answer was available.
+	ErrClassifierDown = errors.New("core: classifier down")
+)
+
+// DegradationLevel records how far down the serving ladder a frame's
+// answer came from. The ladder is: full pipeline (DegradeNone) → best
+// approximate cache hit under a relaxed radius (DegradeCacheOnly) →
+// repeat of the last served result (DegradeLastResult). Anything
+// degraded is served with halved confidence and Source
+// metrics.SourceFallback so callers can tell stale answers apart.
+type DegradationLevel int
+
+// Degradation levels, best to worst.
+const (
+	// DegradeNone: the frame was served by the healthy pipeline.
+	DegradeNone DegradationLevel = iota
+	// DegradeCacheOnly: the DNN was unavailable; the answer is the
+	// nearest cached entry within a relaxed distance.
+	DegradeCacheOnly
+	// DegradeLastResult: the DNN and the cache both had nothing; the
+	// answer repeats the previous frame's result.
+	DegradeLastResult
+)
+
+// String returns the level name.
+func (d DegradationLevel) String() string {
+	switch d {
+	case DegradeNone:
+		return "none"
+	case DegradeCacheOnly:
+		return "cache-only"
+	case DegradeLastResult:
+		return "last-result"
+	default:
+		return fmt.Sprintf("DegradationLevel(%d)", int(d))
+	}
+}
+
+// WatchdogConfig tunes the classifier supervisor. The zero value is a
+// transparent passthrough (no timeout, no retries, never trips), so
+// configs built before the watchdog existed keep their behaviour.
+type WatchdogConfig struct {
+	// Disabled bypasses the watchdog entirely (ablation).
+	Disabled bool
+	// CallTimeout bounds one classifier call on the wall clock; a call
+	// exceeding it counts as failed and its frame is charged the
+	// timeout. Timeouts are not retried — a wedged delegate will not
+	// un-wedge in a frame budget. Zero disables the bound.
+	CallTimeout time.Duration
+	// MaxRetries is how many times a *failed* (not timed-out) call is
+	// retried before the frame gives up. Transient faults — an OOM-
+	// killed delegate, a thermal abort — often clear immediately.
+	MaxRetries int
+	// RetryBackoff is the simulated pause charged to the frame before
+	// each retry.
+	RetryBackoff time.Duration
+	// TripThreshold is how many consecutive failed calls open the
+	// breaker. While open, calls fast-fail without touching the
+	// classifier until Cooldown elapses on the engine clock, then one
+	// probe is let through. Zero or negative never trips.
+	TripThreshold int
+	// Cooldown is how long (engine clock) the breaker stays open
+	// between probes.
+	Cooldown time.Duration
+}
+
+// DefaultWatchdogConfig returns supervision tuned for a ~100 ms-class
+// model: a 1 s call deadline (10× the expected cost), one quick retry,
+// and a breaker that opens after 3 straight failures and re-probes
+// every 500 ms.
+func DefaultWatchdogConfig() WatchdogConfig {
+	return WatchdogConfig{
+		CallTimeout:   time.Second,
+		MaxRetries:    1,
+		RetryBackoff:  20 * time.Millisecond,
+		TripThreshold: 3,
+		Cooldown:      500 * time.Millisecond,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c WatchdogConfig) Validate() error {
+	if c.CallTimeout < 0 {
+		return fmt.Errorf("core: watchdog CallTimeout must be non-negative, got %v", c.CallTimeout)
+	}
+	if c.MaxRetries < 0 {
+		return fmt.Errorf("core: watchdog MaxRetries must be non-negative, got %d", c.MaxRetries)
+	}
+	if c.RetryBackoff < 0 {
+		return fmt.Errorf("core: watchdog RetryBackoff must be non-negative, got %v", c.RetryBackoff)
+	}
+	if c.Cooldown < 0 {
+		return fmt.Errorf("core: watchdog Cooldown must be non-negative, got %v", c.Cooldown)
+	}
+	return nil
+}
+
+// watchdog supervises the classifier: per-call wall-clock deadline,
+// bounded retry for transient errors, and a consecutive-failure breaker
+// with engine-clock cooldown and half-open probing. It reports every
+// event to the session stats. Safe for concurrent use.
+type watchdog struct {
+	cfg   WatchdogConfig
+	inner Classifier
+	clock simclock.Clock
+	stats *metrics.SessionStats
+
+	mu        sync.Mutex
+	failures  int // consecutive failed calls
+	tripped   bool
+	trippedAt time.Time // engine clock
+}
+
+func newWatchdog(cfg WatchdogConfig, inner Classifier, clock simclock.Clock, stats *metrics.SessionStats) *watchdog {
+	return &watchdog{cfg: cfg, inner: inner, clock: clock, stats: stats}
+}
+
+// infer runs one supervised classification. penalty is the simulated
+// latency the supervision itself cost (timeouts, retry backoff) and
+// must be charged to the frame whether or not the call succeeded.
+func (w *watchdog) infer(im *vision.Image) (inf dnn.Inference, penalty time.Duration, err error) {
+	if w.cfg.Disabled {
+		inf, err = w.inner.Infer(im)
+		return inf, 0, err
+	}
+	w.mu.Lock()
+	if w.tripped && w.clock.Now().Sub(w.trippedAt) < w.cfg.Cooldown {
+		w.mu.Unlock()
+		w.stats.ObserveWatchdogFastFail()
+		return dnn.Inference{}, 0, fmt.Errorf("%w: breaker open", ErrClassifierDown)
+	}
+	// Either healthy, or the cooldown elapsed: let this call probe.
+	w.mu.Unlock()
+
+	var lastErr error
+	for attempt := 0; attempt <= w.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			penalty += w.cfg.RetryBackoff
+			w.stats.ObserveWatchdogRetry()
+		}
+		var timedOut bool
+		inf, lastErr, timedOut = w.callOnce(im)
+		if timedOut {
+			penalty += w.cfg.CallTimeout
+			w.stats.ObserveWatchdogTimeout()
+			break // a wedged call will not un-wedge within a frame
+		}
+		if lastErr == nil {
+			w.observeSuccess()
+			return inf, penalty, nil
+		}
+	}
+	if w.observeFailure() {
+		return dnn.Inference{}, penalty, fmt.Errorf("%w: %v", ErrClassifierDown, lastErr)
+	}
+	return dnn.Inference{}, penalty, fmt.Errorf("core: infer failed: %w", lastErr)
+}
+
+// callOnce runs a single classifier call under the wall-clock deadline.
+// On timeout the call's goroutine is abandoned (it exits when the inner
+// call eventually returns; the buffered channel never blocks it).
+func (w *watchdog) callOnce(im *vision.Image) (dnn.Inference, error, bool) {
+	if w.cfg.CallTimeout <= 0 {
+		inf, err := w.inner.Infer(im)
+		return inf, err, false
+	}
+	type outcome struct {
+		inf dnn.Inference
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		inf, err := w.inner.Infer(im)
+		ch <- outcome{inf, err}
+	}()
+	timer := time.NewTimer(w.cfg.CallTimeout)
+	defer timer.Stop()
+	select {
+	case o := <-ch:
+		return o.inf, o.err, false
+	case <-timer.C:
+		return dnn.Inference{}, fmt.Errorf("core: classifier call exceeded %v", w.cfg.CallTimeout), true
+	}
+}
+
+func (w *watchdog) observeSuccess() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.tripped {
+		w.tripped = false
+		w.stats.ObserveWatchdogRecovery()
+	}
+	w.failures = 0
+}
+
+// observeFailure records a failed call and reports whether the breaker
+// is (now) open. A failed half-open probe re-arms the cooldown.
+func (w *watchdog) observeFailure() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.failures++
+	if w.cfg.TripThreshold <= 0 {
+		return false
+	}
+	if w.failures < w.cfg.TripThreshold && !w.tripped {
+		return false
+	}
+	if !w.tripped {
+		w.tripped = true
+		w.stats.ObserveWatchdogTrip()
+	}
+	w.trippedAt = w.clock.Now()
+	return true
+}

@@ -1,0 +1,186 @@
+package dnn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"approxcache/internal/vision"
+)
+
+// ErrInjectedFault is the error returned by a FaultyClassifier during a
+// scripted error window. Wrapped errors unwrap to it so tests and the
+// watchdog's retry policy can identify injected (transient) faults.
+var ErrInjectedFault = errors.New("dnn: injected fault")
+
+// Recognizer is the classifier surface a FaultyClassifier wraps. It is
+// structurally identical to the engine's Classifier interface, so a
+// FaultyClassifier slots anywhere a classifier does.
+type Recognizer interface {
+	Infer(im *vision.Image) (Inference, error)
+	Profile() Profile
+}
+
+// FaultKind selects a scripted classifier misbehaviour.
+type FaultKind int
+
+// Supported classifier fault kinds.
+const (
+	// FaultError makes Infer return ErrInjectedFault (a transient
+	// failure: OOM kill, delegate crash, thermal throttle abort).
+	FaultError FaultKind = iota + 1
+	// FaultHang makes Infer block on the wall clock for the window's
+	// Extra duration (or until Release is called) before returning
+	// ErrInjectedFault — a wedged accelerator delegate. Use small Extra
+	// values in tests; the watchdog's per-call deadline is what bounds
+	// the stall in the pipeline.
+	FaultHang
+	// FaultSlow lets Infer succeed but inflates the reported latency by
+	// the window's Extra duration — a thermally throttled model.
+	FaultSlow
+)
+
+// String returns the fault kind name.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultError:
+		return "error"
+	case FaultHang:
+		return "hang"
+	case FaultSlow:
+		return "slow"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+}
+
+// FaultWindow scripts one fault over a half-open range of Infer calls
+// [From, To). Call numbering starts at 0 and counts every attempt,
+// including watchdog retries, so a retry during an outage window fails
+// too — exactly how a broken model behaves.
+type FaultWindow struct {
+	From, To int
+	Kind     FaultKind
+	// Extra is the hang duration (FaultHang) or added latency
+	// (FaultSlow). Ignored for FaultError.
+	Extra time.Duration
+}
+
+// FaultPlan is a deterministic script of classifier faults.
+type FaultPlan []FaultWindow
+
+// Validate reports whether the plan is usable.
+func (p FaultPlan) Validate() error {
+	for i, w := range p {
+		if w.From < 0 || w.To < w.From {
+			return fmt.Errorf("dnn: fault window %d has bad range [%d,%d)", i, w.From, w.To)
+		}
+		switch w.Kind {
+		case FaultError, FaultHang, FaultSlow:
+		default:
+			return fmt.Errorf("dnn: fault window %d has unknown kind %d", i, int(w.Kind))
+		}
+		if w.Kind != FaultError && w.Extra < 0 {
+			return fmt.Errorf("dnn: fault window %d has negative extra %v", i, w.Extra)
+		}
+	}
+	return nil
+}
+
+// FaultyClassifier wraps a Recognizer with a deterministic fault plan
+// plus a manual down switch, for chaos experiments and watchdog tests.
+// It is safe for concurrent use.
+type FaultyClassifier struct {
+	inner Recognizer
+
+	mu      sync.Mutex
+	plan    FaultPlan
+	calls   int
+	down    bool
+	release chan struct{}
+}
+
+// NewFaultyClassifier wraps inner with plan.
+func NewFaultyClassifier(inner Recognizer, plan FaultPlan) (*FaultyClassifier, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("dnn: nil inner classifier")
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	return &FaultyClassifier{inner: inner, plan: plan, release: make(chan struct{})}, nil
+}
+
+// Profile returns the wrapped model's profile.
+func (f *FaultyClassifier) Profile() Profile { return f.inner.Profile() }
+
+// Calls returns how many Infer attempts have been made so far.
+func (f *FaultyClassifier) Calls() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls
+}
+
+// SetDown switches the manual outage on or off. While down, every call
+// fails with ErrInjectedFault regardless of the plan — the hook chaos
+// harnesses use to crash and heal the model on a frame timeline.
+func (f *FaultyClassifier) SetDown(down bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.down = down
+}
+
+// Release unblocks any Infer call currently hung by a FaultHang window.
+func (f *FaultyClassifier) Release() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	close(f.release)
+	f.release = make(chan struct{})
+}
+
+// Infer consults the manual switch and the plan for this call number,
+// then either fails, hangs, or delegates to the wrapped model.
+func (f *FaultyClassifier) Infer(im *vision.Image) (Inference, error) {
+	f.mu.Lock()
+	call := f.calls
+	f.calls++
+	down := f.down
+	release := f.release
+	var active *FaultWindow
+	for i := range f.plan {
+		if call >= f.plan[i].From && call < f.plan[i].To {
+			active = &f.plan[i]
+			break
+		}
+	}
+	f.mu.Unlock()
+
+	if down {
+		return Inference{}, fmt.Errorf("%w: call %d (down)", ErrInjectedFault, call)
+	}
+	if active == nil {
+		return f.inner.Infer(im)
+	}
+	switch active.Kind {
+	case FaultError:
+		return Inference{}, fmt.Errorf("%w: call %d", ErrInjectedFault, call)
+	case FaultHang:
+		if active.Extra > 0 {
+			select {
+			case <-release:
+			case <-time.After(active.Extra):
+			}
+		} else {
+			<-release
+		}
+		return Inference{}, fmt.Errorf("%w: call %d (hang)", ErrInjectedFault, call)
+	default: // FaultSlow
+		inf, err := f.inner.Infer(im)
+		if err != nil {
+			return inf, err
+		}
+		inf.Latency += active.Extra
+		return inf, nil
+	}
+}

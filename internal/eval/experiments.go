@@ -72,6 +72,7 @@ func All() []Experiment {
 		{ID: "E16", Name: "digest-filter", Run: E16DigestFilter},
 		{ID: "E17", Name: "peer-churn", Run: E17PeerChurn},
 		{ID: "E18", Name: "chaos-resilience", Run: E18ChaosResilience},
+		{ID: "E19", Name: "device-faults", Run: E19DeviceFaults},
 	}
 }
 

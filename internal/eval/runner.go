@@ -8,12 +8,14 @@ import (
 	"approxcache/internal/cachestore"
 	"approxcache/internal/core"
 	"approxcache/internal/dnn"
+	"approxcache/internal/imu"
 	"approxcache/internal/lsh"
 	"approxcache/internal/metrics"
 	"approxcache/internal/p2p"
 	"approxcache/internal/simclock"
 	"approxcache/internal/simnet"
 	"approxcache/internal/trace"
+	"approxcache/internal/vision"
 )
 
 // DeviceConfig describes one simulated device in a run.
@@ -35,6 +37,16 @@ type DeviceConfig struct {
 	// budget, health smoothing). The clock is always bound to the
 	// run's virtual clock regardless.
 	Client *p2p.ClientConfig
+	// WrapClassifier, when non-nil, wraps the device's classifier
+	// before the engine sees it — the hook fault harnesses use to
+	// interpose a dnn.FaultyClassifier.
+	WrapClassifier func(dnn.Recognizer) core.Classifier
+	// CorruptIMU, when non-nil, rewrites a frame's IMU window before
+	// the engine sees it (frame is the zero-based frame index). The
+	// clean window is still used for the workload's arrival timeline.
+	CorruptIMU func(frame int, win []imu.Sample) []imu.Sample
+	// CorruptFrame, when non-nil, rewrites a frame's image likewise.
+	CorruptFrame func(frame int, im *vision.Image) *vision.Image
 }
 
 // defaults fills zero fields.
@@ -55,13 +67,15 @@ func (d *DeviceConfig) defaults() {
 
 // device is one instantiated pipeline plus its workload.
 type device struct {
-	name   string
-	engine *core.Engine
-	work   *trace.Workload
-	store  *cachestore.Store
-	client *p2p.Client
-	prev   time.Duration
-	next   int // next frame index
+	name         string
+	engine       *core.Engine
+	work         *trace.Workload
+	store        *cachestore.Store
+	client       *p2p.Client
+	corruptIMU   func(frame int, win []imu.Sample) []imu.Sample
+	corruptFrame func(frame int, im *vision.Image) *vision.Image
+	prev         time.Duration
+	next         int // next frame index
 }
 
 // buildDevice instantiates cfg on clock, optionally attached to net.
@@ -115,16 +129,23 @@ func buildDevice(cfg DeviceConfig, clock simclock.Clock, net *simnet.Network) (*
 			}
 		}
 	}
+	var rec core.Classifier = classifier
+	if cfg.WrapClassifier != nil {
+		rec = cfg.WrapClassifier(classifier)
+	}
 	eng, err := core.New(cfg.Engine, core.Deps{
 		Clock:      clock,
-		Classifier: classifier,
+		Classifier: rec,
 		Store:      store,
 		Peers:      peers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("device %s engine: %w", cfg.Name, err)
 	}
-	return &device{name: cfg.Name, engine: eng, work: w, store: store, client: peers}, nil
+	return &device{
+		name: cfg.Name, engine: eng, work: w, store: store, client: peers,
+		corruptIMU: cfg.CorruptIMU, corruptFrame: cfg.CorruptFrame,
+	}, nil
 }
 
 // step processes the device's next frame. Returns false when the
@@ -141,10 +162,18 @@ func (d *device) stepResult() (core.Result, bool, error) {
 		return core.Result{}, false, nil
 	}
 	fr := d.work.Frames[d.next]
+	idx := d.next
 	win := d.work.IMUWindow(d.prev, fr.Offset)
 	d.prev = fr.Offset
 	d.next++
-	res, err := d.engine.ProcessWithTruth(fr.Image, win, dnn.LabelOf(fr.Class))
+	im := fr.Image
+	if d.corruptIMU != nil {
+		win = d.corruptIMU(idx, win)
+	}
+	if d.corruptFrame != nil {
+		im = d.corruptFrame(idx, im)
+	}
+	res, err := d.engine.ProcessWithTruth(im, win, dnn.LabelOf(fr.Class))
 	if err != nil {
 		return core.Result{}, false, fmt.Errorf("device %s frame %d: %w", d.name, fr.Index, err)
 	}

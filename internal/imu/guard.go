@@ -1,0 +1,199 @@
+package imu
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// WindowFault classifies what is wrong with an IMU sample window. The
+// motion gate trusts window statistics to decide "the device has not
+// moved"; a malformed window can fake exactly that (a stuck sensor has
+// zero variance, a saturated one a constant magnitude), so the pipeline
+// checks every window before feeding the detector and routes faulty
+// ones past the inertial gate instead.
+type WindowFault int
+
+// Window fault classes, ordered roughly by severity.
+const (
+	// WindowOK: the window is usable.
+	WindowOK WindowFault = iota
+	// WindowNonFinite: a sample carries NaN or ±Inf readings — corrupt
+	// sensor data that would poison every statistic downstream.
+	WindowNonFinite
+	// WindowNonMonotonic: sample timestamps go backwards.
+	WindowNonMonotonic
+	// WindowDropout: a gap between consecutive samples exceeds the
+	// configured maximum — the sensor stream stalled mid-window.
+	WindowDropout
+	// WindowStuck: an axis repeats the exact same reading for too many
+	// consecutive samples — a frozen sensor reports zero variance and
+	// fakes "stationary".
+	WindowStuck
+	// WindowSaturated: readings sit at or beyond the sensor's physical
+	// range — clipped data understates motion.
+	WindowSaturated
+	// WindowClockSkew: the window spans an implausibly long interval or
+	// starts with a negative offset — the sensor clock and the frame
+	// clock disagree.
+	WindowClockSkew
+)
+
+// String returns the fault name.
+func (f WindowFault) String() string {
+	switch f {
+	case WindowOK:
+		return "ok"
+	case WindowNonFinite:
+		return "non-finite"
+	case WindowNonMonotonic:
+		return "non-monotonic"
+	case WindowDropout:
+		return "dropout"
+	case WindowStuck:
+		return "stuck"
+	case WindowSaturated:
+		return "saturated"
+	case WindowClockSkew:
+		return "clock-skew"
+	default:
+		return fmt.Sprintf("WindowFault(%d)", int(f))
+	}
+}
+
+// GuardConfig tunes the IMU window guard.
+type GuardConfig struct {
+	// MaxGap is the largest tolerated interval between consecutive
+	// samples before the window counts as a dropout. Zero disables the
+	// check.
+	MaxGap time.Duration
+	// MaxAccel is the accelerometer's plausible per-axis range, m/s².
+	// Readings at or beyond it count as saturated. Zero disables.
+	MaxAccel float64
+	// MaxGyro is the gyroscope's plausible per-axis range, rad/s.
+	// Readings at or beyond it count as saturated. Zero disables.
+	MaxGyro float64
+	// StuckRun is how many consecutive bit-identical readings on one
+	// axis flag a frozen sensor. Zero disables the check.
+	StuckRun int
+	// MaxSpan is the longest plausible window duration; a window
+	// spanning more (or starting at a negative offset) indicates clock
+	// skew between the sensor and frame timelines. Zero disables.
+	MaxSpan time.Duration
+}
+
+// DefaultGuardConfig returns thresholds sized to smartphone IMU
+// hardware: 50–200 Hz streams (a 100 ms gap is ≥ 5 missed samples),
+// ±8 g accelerometers, ±2000 °/s gyroscopes.
+func DefaultGuardConfig() GuardConfig {
+	return GuardConfig{
+		MaxGap:   100 * time.Millisecond,
+		MaxAccel: 78.5, // ±8 g
+		MaxGyro:  34.9, // ±2000 °/s
+		StuckRun: 25,
+		MaxSpan:  10 * time.Second,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c GuardConfig) Validate() error {
+	if c.MaxGap < 0 {
+		return fmt.Errorf("imu: guard MaxGap must be non-negative, got %v", c.MaxGap)
+	}
+	if c.MaxAccel < 0 || c.MaxGyro < 0 {
+		return fmt.Errorf("imu: guard sensor ranges must be non-negative")
+	}
+	if c.StuckRun < 0 {
+		return fmt.Errorf("imu: guard StuckRun must be non-negative, got %d", c.StuckRun)
+	}
+	if c.MaxSpan < 0 {
+		return fmt.Errorf("imu: guard MaxSpan must be non-negative, got %v", c.MaxSpan)
+	}
+	return nil
+}
+
+// CheckWindow inspects one frame's IMU window and returns the first
+// fault found (most severe classes are checked first), or WindowOK. An
+// empty window is WindowOK: "no samples arrived" is a legitimate state
+// the detector already treats conservatively.
+func CheckWindow(win []Sample, cfg GuardConfig) WindowFault {
+	if len(win) == 0 {
+		return WindowOK
+	}
+	for i := range win {
+		for ax := 0; ax < 3; ax++ {
+			if !isFinite(win[i].Accel[ax]) || !isFinite(win[i].Gyro[ax]) {
+				return WindowNonFinite
+			}
+		}
+	}
+	for i := 1; i < len(win); i++ {
+		if win[i].Offset < win[i-1].Offset {
+			return WindowNonMonotonic
+		}
+	}
+	if cfg.MaxGap > 0 {
+		for i := 1; i < len(win); i++ {
+			if win[i].Offset-win[i-1].Offset > cfg.MaxGap {
+				return WindowDropout
+			}
+		}
+	}
+	if stuckAxis(win, cfg.StuckRun) {
+		return WindowStuck
+	}
+	if cfg.MaxAccel > 0 || cfg.MaxGyro > 0 {
+		for i := range win {
+			for ax := 0; ax < 3; ax++ {
+				if cfg.MaxAccel > 0 && math.Abs(win[i].Accel[ax]) >= cfg.MaxAccel {
+					return WindowSaturated
+				}
+				if cfg.MaxGyro > 0 && math.Abs(win[i].Gyro[ax]) >= cfg.MaxGyro {
+					return WindowSaturated
+				}
+			}
+		}
+	}
+	if cfg.MaxSpan > 0 {
+		if win[0].Offset < 0 || win[len(win)-1].Offset-win[0].Offset > cfg.MaxSpan {
+			return WindowClockSkew
+		}
+	}
+	return WindowOK
+}
+
+// stuckAxis reports whether any single axis repeats the exact same
+// reading for run or more consecutive samples. Real sensors carry noise
+// in the low-order bits; bit-identical runs mean the driver stopped
+// updating.
+func stuckAxis(win []Sample, run int) bool {
+	if run <= 0 || len(win) < run {
+		return false
+	}
+	for ax := 0; ax < 3; ax++ {
+		if runLength(win, run, func(s Sample) float64 { return s.Accel[ax] }) ||
+			runLength(win, run, func(s Sample) float64 { return s.Gyro[ax] }) {
+			return true
+		}
+	}
+	return false
+}
+
+func runLength(win []Sample, run int, get func(Sample) float64) bool {
+	streak := 1
+	for i := 1; i < len(win); i++ {
+		if get(win[i]) == get(win[i-1]) {
+			streak++
+			if streak >= run {
+				return true
+			}
+		} else {
+			streak = 1
+		}
+	}
+	return false
+}
+
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}

@@ -1,0 +1,152 @@
+package imu
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// healthyWindow builds a realistic 50 Hz handheld window: small noise on
+// every axis, strictly increasing offsets.
+func healthyWindow(n int) []Sample {
+	out := make([]Sample, n)
+	for i := range out {
+		out[i].Offset = time.Duration(i) * 20 * time.Millisecond
+		for ax := 0; ax < 3; ax++ {
+			out[i].Accel[ax] = 0.05 * math.Sin(float64(i*(ax+1)))
+			out[i].Gyro[ax] = 0.01 * math.Cos(float64(i+ax))
+		}
+	}
+	return out
+}
+
+func TestCheckWindowFaultClasses(t *testing.T) {
+	cfg := DefaultGuardConfig()
+	tests := []struct {
+		name    string
+		corrupt func([]Sample) []Sample
+		want    WindowFault
+	}{
+		{"healthy", func(w []Sample) []Sample { return w }, WindowOK},
+		{"empty", func([]Sample) []Sample { return nil }, WindowOK},
+		{"nan accel", func(w []Sample) []Sample {
+			w[3].Accel[1] = math.NaN()
+			return w
+		}, WindowNonFinite},
+		{"inf gyro", func(w []Sample) []Sample {
+			w[7].Gyro[2] = math.Inf(1)
+			return w
+		}, WindowNonFinite},
+		{"non-monotonic", func(w []Sample) []Sample {
+			w[5].Offset = w[2].Offset - time.Millisecond
+			return w
+		}, WindowNonMonotonic},
+		{"dropout gap", func(w []Sample) []Sample {
+			for i := 10; i < len(w); i++ {
+				w[i].Offset += 500 * time.Millisecond
+			}
+			return w
+		}, WindowDropout},
+		{"stuck axis", func(w []Sample) []Sample {
+			for i := range w {
+				w[i].Accel[0] = 0.1234
+			}
+			return w
+		}, WindowStuck},
+		{"saturated accel", func(w []Sample) []Sample {
+			w[4].Accel[2] = 200
+			return w
+		}, WindowSaturated},
+		{"saturated gyro", func(w []Sample) []Sample {
+			w[9].Gyro[0] = -50
+			return w
+		}, WindowSaturated},
+		{"clock skew negative", func(w []Sample) []Sample {
+			for i := range w {
+				w[i].Offset -= time.Hour
+			}
+			return w
+		}, WindowClockSkew},
+		{"clock skew span", func(w []Sample) []Sample {
+			// Stretch to a >10 s span while keeping gaps under MaxGap
+			// impossible — so widen MaxGap locally via offsets just under
+			// the gap limit over many samples? Instead scale offsets so
+			// each gap is 99 ms but the total span exceeds MaxSpan.
+			for i := range w {
+				w[i].Offset = time.Duration(i) * 99 * time.Millisecond
+			}
+			return w
+		}, WindowClockSkew},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			n := 30
+			if tc.name == "clock skew span" {
+				n = 120 // 120 × 99 ms ≈ 11.9 s span with no dropout gaps
+			}
+			got := CheckWindow(tc.corrupt(healthyWindow(n)), cfg)
+			if got != tc.want {
+				t.Fatalf("CheckWindow(%s) = %v, want %v", tc.name, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestCheckWindowDisabledChecks(t *testing.T) {
+	w := healthyWindow(30)
+	for i := range w {
+		w[i].Accel[0] = 0.5 // stuck
+	}
+	if got := CheckWindow(w, GuardConfig{}); got != WindowOK {
+		t.Fatalf("zero config should disable threshold checks, got %v", got)
+	}
+	// Non-finite and non-monotonic are structural and stay on even with
+	// a zero config.
+	w2 := healthyWindow(5)
+	w2[2].Gyro[1] = math.NaN()
+	if got := CheckWindow(w2, GuardConfig{}); got != WindowNonFinite {
+		t.Fatalf("non-finite must be detected regardless of config, got %v", got)
+	}
+}
+
+func TestGuardConfigValidate(t *testing.T) {
+	if err := DefaultGuardConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := DefaultGuardConfig()
+	bad.MaxGap = -time.Second
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative MaxGap accepted")
+	}
+}
+
+func TestGeneratedWindowsPassGuard(t *testing.T) {
+	// Every regime the generator produces must pass the guard: guards
+	// exist to catch faults, not to reject healthy traffic.
+	cfg := DefaultGuardConfig()
+	for _, regime := range []Regime{Stationary, Handheld, Walking, Panning} {
+		gen, err := NewGenerator(100, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		win, err := gen.Generate(regime, 0, 2*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := CheckWindow(win, cfg); got != WindowOK {
+			t.Fatalf("regime %v flagged %v", regime, got)
+		}
+	}
+}
+
+func TestWindowFaultString(t *testing.T) {
+	for f, want := range map[WindowFault]string{
+		WindowOK: "ok", WindowNonFinite: "non-finite", WindowNonMonotonic: "non-monotonic",
+		WindowDropout: "dropout", WindowStuck: "stuck", WindowSaturated: "saturated",
+		WindowClockSkew: "clock-skew", WindowFault(99): "WindowFault(99)",
+	} {
+		if got := f.String(); got != want {
+			t.Fatalf("String(%d) = %q, want %q", int(f), got, want)
+		}
+	}
+}

@@ -26,11 +26,15 @@ const (
 	SourcePeer Source = "peer"
 	// SourceDNN: computed by running the DNN (a cache miss).
 	SourceDNN Source = "dnn"
+	// SourceFallback: served by the degradation ladder while the DNN
+	// was unavailable (best cache hit or last result, flagged
+	// low-confidence).
+	SourceFallback Source = "fallback"
 )
 
 // Sources lists all sources in pipeline order.
 func Sources() []Source {
-	return []Source{SourceIMU, SourceVideo, SourceLocal, SourcePeer, SourceDNN}
+	return []Source{SourceIMU, SourceVideo, SourceLocal, SourcePeer, SourceDNN, SourceFallback}
 }
 
 // ReuseSources lists the sources that count as cache hits.
@@ -165,14 +169,23 @@ type SessionStats struct {
 	breakerRecover int
 	degradedFrames int
 	repairs        int
+	sensorFaults   map[string]int
+	degradedServes map[string]int
+	wdTimeouts     int
+	wdRetries      int
+	wdTrips        int
+	wdRecoveries   int
+	wdFastFails    int
 	latencies      *LatencyRecorder
 }
 
 // NewSessionStats returns an empty aggregate.
 func NewSessionStats() *SessionStats {
 	return &SessionStats{
-		hits:      make(map[Source]int, 5),
-		latencies: NewLatencyRecorder(),
+		hits:           make(map[Source]int, 6),
+		sensorFaults:   make(map[string]int),
+		degradedServes: make(map[string]int),
+		latencies:      NewLatencyRecorder(),
 	}
 }
 
@@ -252,6 +265,116 @@ func (s *SessionStats) DegradedFrames() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.degradedFrames
+}
+
+// ObserveSensorFault records one rejected or rerouted device input
+// (IMU window or camera frame), keyed by fault class, e.g.
+// "imu-stuck" or "frame-low-entropy".
+func (s *SessionStats) ObserveSensorFault(kind string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sensorFaults[kind]++
+}
+
+// SensorFaults returns a copy of the per-class sensor fault counts.
+func (s *SessionStats) SensorFaults() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int, len(s.sensorFaults))
+	for k, v := range s.sensorFaults {
+		out[k] = v
+	}
+	return out
+}
+
+// SensorFaultTotal returns the total count across all fault classes.
+func (s *SessionStats) SensorFaultTotal() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := 0
+	for _, v := range s.sensorFaults {
+		total += v
+	}
+	return total
+}
+
+// ObserveDegradedServe records one frame answered by the degradation
+// ladder instead of the full pipeline, keyed by ladder rung (e.g.
+// "cache-only", "last-result").
+func (s *SessionStats) ObserveDegradedServe(level string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.degradedServes[level]++
+}
+
+// DegradedServes returns a copy of the per-rung degraded serve counts.
+func (s *SessionStats) DegradedServes() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int, len(s.degradedServes))
+	for k, v := range s.degradedServes {
+		out[k] = v
+	}
+	return out
+}
+
+// DegradedServeTotal returns the total frames served degraded.
+func (s *SessionStats) DegradedServeTotal() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := 0
+	for _, v := range s.degradedServes {
+		total += v
+	}
+	return total
+}
+
+// ObserveWatchdogTimeout records one classifier call killed by the
+// watchdog's per-call deadline.
+func (s *SessionStats) ObserveWatchdogTimeout() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.wdTimeouts++
+}
+
+// ObserveWatchdogRetry records one transient-error retry of the
+// classifier.
+func (s *SessionStats) ObserveWatchdogRetry() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.wdRetries++
+}
+
+// ObserveWatchdogTrip records the watchdog declaring the classifier
+// down after consecutive failures.
+func (s *SessionStats) ObserveWatchdogTrip() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.wdTrips++
+}
+
+// ObserveWatchdogRecovery records the classifier passing a probe after
+// a trip and returning to service.
+func (s *SessionStats) ObserveWatchdogRecovery() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.wdRecoveries++
+}
+
+// ObserveWatchdogFastFail records one classifier call rejected
+// immediately because the watchdog was tripped open.
+func (s *SessionStats) ObserveWatchdogFastFail() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.wdFastFails++
+}
+
+// WatchdogEvents returns the watchdog counters: per-call timeouts,
+// transient retries, trips, recoveries, and fast-fails while down.
+func (s *SessionStats) WatchdogEvents() (timeouts, retries, trips, recoveries, fastFails int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.wdTimeouts, s.wdRetries, s.wdTrips, s.wdRecoveries, s.wdFastFails
 }
 
 // ObserveRepairs records n cache entries purged because a revalidation

@@ -11,7 +11,7 @@ import (
 
 func TestSourcesOrder(t *testing.T) {
 	ss := Sources()
-	if len(ss) != 5 || ss[0] != SourceIMU || ss[4] != SourceDNN {
+	if len(ss) != 6 || ss[0] != SourceIMU || ss[4] != SourceDNN || ss[5] != SourceFallback {
 		t.Fatalf("Sources = %v", ss)
 	}
 	rs := ReuseSources()
@@ -206,5 +206,55 @@ func TestSessionStatsConcurrent(t *testing.T) {
 	}
 	if s.Latency().Count() != 1000 {
 		t.Fatalf("latency count = %d", s.Latency().Count())
+	}
+}
+
+func TestSensorFaultCounters(t *testing.T) {
+	s := NewSessionStats()
+	if s.SensorFaultTotal() != 0 || len(s.SensorFaults()) != 0 {
+		t.Fatal("fresh stats not zeroed")
+	}
+	s.ObserveSensorFault("imu-stuck")
+	s.ObserveSensorFault("imu-stuck")
+	s.ObserveSensorFault("frame-low-entropy")
+	faults := s.SensorFaults()
+	if faults["imu-stuck"] != 2 || faults["frame-low-entropy"] != 1 {
+		t.Fatalf("faults = %v", faults)
+	}
+	if s.SensorFaultTotal() != 3 {
+		t.Fatalf("total = %d", s.SensorFaultTotal())
+	}
+	faults["imu-stuck"] = 99 // returned map must be a copy
+	if s.SensorFaults()["imu-stuck"] != 2 {
+		t.Fatal("SensorFaults returned internal map")
+	}
+}
+
+func TestDegradedServeCounters(t *testing.T) {
+	s := NewSessionStats()
+	s.ObserveDegradedServe("cache-only")
+	s.ObserveDegradedServe("cache-only")
+	s.ObserveDegradedServe("last-result")
+	if got := s.DegradedServes(); got["cache-only"] != 2 || got["last-result"] != 1 {
+		t.Fatalf("serves = %v", got)
+	}
+	if s.DegradedServeTotal() != 3 {
+		t.Fatalf("total = %d", s.DegradedServeTotal())
+	}
+}
+
+func TestWatchdogCounters(t *testing.T) {
+	s := NewSessionStats()
+	s.ObserveWatchdogTimeout()
+	s.ObserveWatchdogRetry()
+	s.ObserveWatchdogRetry()
+	s.ObserveWatchdogTrip()
+	s.ObserveWatchdogRecovery()
+	for i := 0; i < 4; i++ {
+		s.ObserveWatchdogFastFail()
+	}
+	timeouts, retries, trips, recoveries, fastFails := s.WatchdogEvents()
+	if timeouts != 1 || retries != 2 || trips != 1 || recoveries != 1 || fastFails != 4 {
+		t.Fatalf("events = %d %d %d %d %d", timeouts, retries, trips, recoveries, fastFails)
 	}
 }

@@ -3,6 +3,8 @@ package approxcache
 import (
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 
 	"approxcache/internal/cachestore"
 )
@@ -35,4 +37,60 @@ func (c *Cache) LoadSnapshot(r io.Reader) (int, error) {
 		return 0, fmt.Errorf("approxcache: snapshots require ModeApprox")
 	}
 	return c.store.Import(r)
+}
+
+// SaveSnapshotFile atomically writes a snapshot to path: the bytes go
+// to a temporary file in the same directory, are synced to disk, and
+// only then renamed over path. A crash or power loss at any point
+// leaves either the old complete snapshot or the new complete snapshot
+// — never a torn file. Stray temporaries from interrupted saves are
+// ignored by loads and overwritten by the next save's unique name.
+func (c *Cache) SaveSnapshotFile(path string) (err error) {
+	if c.store == nil {
+		return fmt.Errorf("approxcache: snapshots require ModeApprox")
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("approxcache: save snapshot: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = c.store.Export(tmp); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("approxcache: save snapshot: %w", err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("approxcache: save snapshot: %w", err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("approxcache: save snapshot: %w", err)
+	}
+	return nil
+}
+
+// LoadSnapshotFile reads a snapshot file written by SaveSnapshotFile
+// (or any SaveSnapshot output) into the cache and returns how many
+// entries were inserted. A missing file is not an error — it returns
+// (0, nil), the cold-start case — while a corrupt one returns
+// ErrCorruptSnapshot and leaves the cache untouched.
+func (c *Cache) LoadSnapshotFile(path string) (int, error) {
+	if c.store == nil {
+		return 0, fmt.Errorf("approxcache: snapshots require ModeApprox")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("approxcache: load snapshot: %w", err)
+	}
+	defer f.Close()
+	return c.store.Import(f)
 }
