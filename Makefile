@@ -1,13 +1,18 @@
 GO ?= go
 
 # Alloc budgets for the hot-path benchmarks, enforced by cmd/benchgate.
-# NearestInto/ExtractInto with a reused buffer must stay allocation-free;
-# Candidates returns one slice. Substring-matched against benchmark names.
-HOTPATH_BUDGETS = HotPathNearest=0,HotPathExactNearest=0,HotPathSignature=0,HotPathTopK=0,HotPathCandidates=1,HotPathFusedExtract=0,HotPathGridIntegral=0,HotPathHistogram=0
+# NearestInto/ExtractInto/CandidatesInto with a reused buffer must stay
+# allocation-free. Substring-matched against benchmark names.
+HOTPATH_BUDGETS = HotPathNearest=0,HotPathExactNearest=0,HotPathSignature=0,HotPathTopK=0,HotPathCandidates=0,HotPathFusedExtract=0,HotPathGridIntegral=0,HotPathHistogram=0
 
-.PHONY: check build test race vet fmt bench bench-hotpath bench-gate fault-matrix
+# The serving-scale regression gate: sharded store + micro-batched
+# inference must beat the single-mutex baseline by at least this
+# frames/sec factor at 16 concurrent streams.
+MIN_THROUGHPUT_SPEEDUP = 3.0
 
-check: vet fmt test race bench-gate fault-matrix
+.PHONY: check build test race vet fmt bench bench-hotpath bench-gate bench-throughput throughput-gate fault-matrix
+
+check: vet fmt test race bench-gate throughput-gate fault-matrix
 
 build:
 	$(GO) build ./...
@@ -43,6 +48,21 @@ bench-gate:
 	$(GO) test -run '^$$' -bench HotPath -benchmem -benchtime 100x \
 		./internal/lsh/ ./internal/feature/ | \
 		$(GO) run ./cmd/benchgate -budgets '$(HOTPATH_BUDGETS)'
+
+# Multi-session saturation benchmark: drives 16 concurrent streams
+# through the architecture ladder (single-mutex → pool → sharded →
+# sharded+batched), records BENCH_throughput.json, and enforces the
+# speedup gate.
+bench-throughput:
+	$(GO) run ./cmd/approxbench -throughput -throughput-json BENCH_throughput.json
+	$(GO) run ./cmd/benchgate -throughput-json BENCH_throughput.json -min-speedup $(MIN_THROUGHPUT_SPEEDUP)
+
+# Fast serving gate for `make check`: re-measures the ladder (the run
+# itself is only a few seconds) and fails on regression below the
+# required speedup.
+throughput-gate:
+	$(GO) run ./cmd/approxbench -throughput -throughput-json /tmp/BENCH_throughput.gate.json
+	$(GO) run ./cmd/benchgate -throughput-json /tmp/BENCH_throughput.gate.json -min-speedup $(MIN_THROUGHPUT_SPEEDUP)
 
 # Device fault matrix (E19): every sensor fault class plus a DNN outage,
 # guards and watchdog toggled. The acceptance test asserts the shape;

@@ -221,12 +221,28 @@ type Options struct {
 	// DisableSensorGuards switches the input guards off entirely;
 	// corrupt sensor data then flows into the gates unchecked.
 	DisableSensorGuards bool
+	// Shards splits the cache store into this many lock-striped shards
+	// routed by an LSH signature prefix, so concurrent sessions stop
+	// serializing on one store mutex. 0 or 1 keeps the single-shard
+	// store. Lookups remain exact: every shard hashes with the same
+	// seed, and cross-shard results merge in distance order.
+	Shards int
+	// BatchSize enables micro-batched DNN inference in NewPool: up to
+	// BatchSize concurrent cache-miss classifications coalesce into one
+	// batched invocation, amortizing the model's fixed per-invocation
+	// cost. 0 or 1 runs unbatched. Requires a classifier implementing
+	// BatchClassifier (the simulated classifier does). Ignored by New —
+	// a single session has no concurrent misses to coalesce.
+	BatchSize int
+	// BatchWait caps how long a pending micro-batch waits for more
+	// frames before dispatching anyway (default 5ms).
+	BatchWait time.Duration
 }
 
 // Cache is the user-facing approximate recognition cache.
 type Cache struct {
 	engine *core.Engine
-	store  *cachestore.Store
+	store  cachestore.Interface
 	clock  Clock
 	cfg    core.Config
 }
@@ -236,6 +252,29 @@ func New(classifier Classifier, opts Options) (*Cache, error) {
 	if classifier == nil {
 		return nil, fmt.Errorf("approxcache: nil classifier")
 	}
+	cfg := engineConfig(opts)
+	clock := opts.Clock
+	if clock == nil {
+		clock = simclock.Real{}
+	}
+	store, err := newStore(cfg, opts, clock)
+	if err != nil {
+		return nil, err
+	}
+	engine, err := core.New(cfg, core.Deps{
+		Clock:      clock,
+		Classifier: classifier,
+		Store:      store,
+		Peers:      opts.Peers,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("approxcache: %w", err)
+	}
+	return &Cache{engine: engine, store: store, clock: clock, cfg: cfg}, nil
+}
+
+// engineConfig translates Options into the pipeline configuration.
+func engineConfig(opts Options) core.Config {
 	cfg := core.DefaultConfig()
 	if opts.Mode != 0 {
 		cfg.Mode = opts.Mode
@@ -276,68 +315,70 @@ func New(classifier Classifier, opts Options) (*Cache, error) {
 		cfg.FrameGuard = opts.FrameGuard
 	}
 	cfg.DisableSensorGuards = opts.DisableSensorGuards
+	return cfg
+}
 
-	clock := opts.Clock
-	if clock == nil {
-		clock = simclock.Real{}
+// newStore builds the cache store Options describes: nil outside
+// ModeApprox, a single-mutex store by default, a sharded store when
+// opts.Shards > 1. Every shard hashes with the same seed, so sharded
+// lookups return exactly what an unsharded store would.
+func newStore(cfg core.Config, opts Options, clock Clock) (cachestore.Interface, error) {
+	if cfg.Mode != ModeApprox {
+		return nil, nil
 	}
-
-	var store *cachestore.Store
-	if cfg.Mode == ModeApprox {
-		capacity := opts.Capacity
-		if capacity == 0 {
-			capacity = 256
-		}
-		policy := opts.Eviction
-		if policy == 0 {
-			policy = EvictCostAware
-		}
-		bits := opts.LSHBits
-		if bits == 0 {
-			bits = 12
-		}
-		tables := opts.LSHTables
-		if tables == 0 {
-			tables = 4
-		}
-		seed := opts.Seed
-		if seed == 0 {
-			seed = 1
-		}
-		var idx lsh.Index
-		var err error
+	capacity := opts.Capacity
+	if capacity == 0 {
+		capacity = 256
+	}
+	policy := opts.Eviction
+	if policy == 0 {
+		policy = EvictCostAware
+	}
+	bits := opts.LSHBits
+	if bits == 0 {
+		bits = 12
+	}
+	tables := opts.LSHTables
+	if tables == 0 {
+		tables = 4
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	dim := cfg.Extractor.Dim()
+	newIndex := func(int) (lsh.Index, error) {
 		if opts.AdaptiveLSH {
-			acfg := lsh.DefaultAdaptiveConfig(cfg.Extractor.Dim())
+			acfg := lsh.DefaultAdaptiveConfig(dim)
 			acfg.Bits = bits
 			acfg.Tables = tables
 			acfg.Seed = seed
-			idx, err = lsh.NewAdaptive(acfg)
-		} else {
-			idx, err = lsh.NewHyperplane(cfg.Extractor.Dim(), bits, tables, seed)
+			return lsh.NewAdaptive(acfg)
 		}
-		if err != nil {
-			return nil, fmt.Errorf("approxcache: lsh index: %w", err)
-		}
-		store, err = cachestore.New(cachestore.Config{
-			Capacity: capacity,
-			Policy:   policy,
-			TTL:      opts.TTL,
-		}, idx, clock)
+		return lsh.NewHyperplane(dim, bits, tables, seed)
+	}
+	scfg := cachestore.Config{Capacity: capacity, Policy: policy, TTL: opts.TTL}
+	if opts.Shards > 1 {
+		store, err := cachestore.NewSharded(cachestore.ShardedConfig{
+			Config:     scfg,
+			Dim:        dim,
+			Shards:     opts.Shards,
+			RouterSeed: seed,
+		}, newIndex, clock)
 		if err != nil {
 			return nil, fmt.Errorf("approxcache: store: %w", err)
 		}
+		return store, nil
 	}
-
-	engine, err := core.New(cfg, core.Deps{
-		Clock:      clock,
-		Classifier: classifier,
-		Store:      store,
-		Peers:      opts.Peers,
-	})
+	idx, err := newIndex(0)
 	if err != nil {
-		return nil, fmt.Errorf("approxcache: %w", err)
+		return nil, fmt.Errorf("approxcache: lsh index: %w", err)
 	}
-	return &Cache{engine: engine, store: store, clock: clock, cfg: cfg}, nil
+	store, err := cachestore.New(scfg, idx, clock)
+	if err != nil {
+		return nil, fmt.Errorf("approxcache: store: %w", err)
+	}
+	return store, nil
 }
 
 // Process recognizes one frame, charging all costs to the cache's

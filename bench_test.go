@@ -315,6 +315,25 @@ func BenchmarkE19DeviceFaults(b *testing.B) {
 	}
 }
 
+// BenchmarkE20ServingThroughput regenerates the architecture ladder
+// and reports the sharded+batched frames/sec advantage over the
+// single-mutex baseline.
+func BenchmarkE20ServingThroughput(b *testing.B) {
+	report := runExperiment(b, "E20")
+	parse := func(s string) float64 {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return v
+	}
+	base := parse(report.Rows[0][1])
+	batched := parse(report.Rows[len(report.Rows)-1][1])
+	if base > 0 {
+		b.ReportMetric(batched/base, "serving-speedup-x")
+	}
+}
+
 // ---------------------------------------------------------------------------
 // Micro-benchmarks: the real compute cost of each pipeline stage.
 // ---------------------------------------------------------------------------

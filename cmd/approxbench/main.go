@@ -8,14 +8,23 @@
 //	approxbench -frames 500     # smaller/faster runs
 //	approxbench -parallel 8     # fan experiments/sweeps across workers
 //	approxbench -list           # list the suite
+//	approxbench -throughput     # multi-session saturation benchmark
 //
 // Independent experiments and sweep points run concurrently under
 // -parallel; tables are printed in suite order and are identical to a
 // serial run. -cpuprofile/-memprofile write pprof profiles so hot-path
 // work can be driven by data.
+//
+// -throughput drives concurrent synthetic client streams through the
+// architecture ladder (single-mutex store → session pool → sharded
+// store → sharded + micro-batched inference) against a serial
+// accelerator occupancy model, and writes frames/sec, latency
+// percentiles, and per-shard contention counters as JSON (default
+// BENCH_throughput.json) for cmd/benchgate's speedup gate.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -44,9 +53,20 @@ func run(args []string) error {
 		parallel = fs.Int("parallel", 1, "worker count for experiments and sweep points (1 = serial, -1 = NumCPU)")
 		cpuprof  = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprof  = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		tput     = fs.Bool("throughput", false, "run the multi-session saturation benchmark and exit")
+		tputJSON = fs.String("throughput-json", "BENCH_throughput.json", "with -throughput, write the report JSON here (empty = stdout only)")
+		streams  = fs.Int("streams", 0, "with -throughput, concurrent client streams (0 = default 16)")
+		tpFrames = fs.Int("tp-frames", 0, "with -throughput, frames per stream (0 = default 30)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *tput {
+		return runThroughput(eval.ThroughputConfig{
+			Streams: *streams,
+			Frames:  *tpFrames,
+			Seed:    *seed,
+		}, *tputJSON)
 	}
 	if *list {
 		for _, e := range eval.All() {
@@ -107,6 +127,46 @@ func run(args []string) error {
 		if err := pprof.WriteHeapProfile(f); err != nil {
 			return fmt.Errorf("memprofile: %w", err)
 		}
+	}
+	return nil
+}
+
+// runThroughput executes the saturation benchmark, prints the
+// architecture ladder, and records the report for the regression gate.
+func runThroughput(cfg eval.ThroughputConfig, jsonPath string) error {
+	start := time.Now()
+	rep, err := eval.RunThroughput(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("throughput: %d streams × %d frames, %d shards, batch %d\n",
+		rep.Streams, rep.Frames, rep.Shards, rep.MaxBatch)
+	for _, r := range rep.Results {
+		var contended int64
+		for _, sh := range r.Shards {
+			contended += sh.Contended
+		}
+		line := fmt.Sprintf("  %-22s %8.1f fps  p50=%6.2fms p95=%6.2fms p99=%6.2fms  dnn=%d hit=%.0f%%",
+			r.Mode, r.FPS, r.P50MS, r.P95MS, r.P99MS, r.DNNFrames, r.HitRate*100)
+		if r.Shards != nil {
+			line += fmt.Sprintf(" contended=%d", contended)
+		}
+		if r.Batcher != nil {
+			line += fmt.Sprintf(" avg-batch=%.1f", r.Batcher.AvgSize())
+		}
+		fmt.Println(line)
+	}
+	fmt.Printf("speedup (sharded+batched vs single-mutex): %.2fx in %v\n",
+		rep.Speedup, time.Since(start).Round(time.Millisecond))
+	if jsonPath != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
 	}
 	return nil
 }

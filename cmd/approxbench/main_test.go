@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"strings"
+	"testing"
+)
 
 func TestRunList(t *testing.T) {
 	if err := run([]string{"-list"}); err != nil {
@@ -47,5 +51,24 @@ func TestRunByName(t *testing.T) {
 func TestRunBadFlag(t *testing.T) {
 	if err := run([]string{"-no-such-flag"}); err == nil {
 		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunThroughputTiny(t *testing.T) {
+	path := t.TempDir() + "/tp.json"
+	if err := run([]string{
+		"-throughput", "-streams", "4", "-tp-frames", "4",
+		"-throughput-json", path,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"single-mutex"`, `"pool-sharded-batched"`, `"speedup"`} {
+		if !strings.Contains(string(blob), want) {
+			t.Fatalf("report missing %s:\n%s", want, blob)
+		}
 	}
 }

@@ -13,6 +13,15 @@
 // and pin its maximum allowed allocs/op. A budgeted benchmark missing
 // from the input is an error — a silently deleted benchmark must not
 // pass the gate.
+//
+// A second mode gates the serving-throughput report instead of
+// benchmark output:
+//
+//	benchgate -throughput-json BENCH_throughput.json -min-speedup 3.0
+//
+// It reads the JSON written by `approxbench -throughput` and fails
+// unless the sharded+batched architecture beat the single-mutex
+// baseline by at least -min-speedup. Stdin is not read in this mode.
 package main
 
 import (
@@ -48,11 +57,16 @@ func main() {
 func run(args []string, in io.Reader, out io.Writer) error {
 	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
 	var (
-		jsonPath = fs.String("json", "", "write parsed results to this file as JSON")
-		budgets  = fs.String("budgets", "", "comma-separated Name=maxAllocsPerOp gates")
+		jsonPath   = fs.String("json", "", "write parsed results to this file as JSON")
+		budgets    = fs.String("budgets", "", "comma-separated Name=maxAllocsPerOp gates")
+		tputJSON   = fs.String("throughput-json", "", "gate a throughput report file instead of reading benchmarks from stdin")
+		minSpeedup = fs.Float64("min-speedup", 3.0, "with -throughput-json, minimum required sharded+batched speedup over single-mutex")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *tputJSON != "" {
+		return checkThroughput(*tputJSON, *minSpeedup, out)
 	}
 	results, err := parseBench(in)
 	if err != nil {
@@ -163,6 +177,43 @@ func checkBudgets(spec string, results []Result) error {
 	}
 	if len(failures) > 0 {
 		return fmt.Errorf("allocation budget violations:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+// throughputReport mirrors the fields of eval.ThroughputReport this
+// gate needs (benchgate stays stdlib-only, so it does not import eval).
+type throughputReport struct {
+	Streams int `json:"streams"`
+	Frames  int `json:"frames_per_stream"`
+	Results []struct {
+		Mode string  `json:"mode"`
+		FPS  float64 `json:"fps"`
+	} `json:"results"`
+	Speedup float64 `json:"speedup"`
+}
+
+// checkThroughput enforces the serving-scale regression gate on a
+// report written by `approxbench -throughput`.
+func checkThroughput(path string, minSpeedup float64, out io.Writer) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep throughputReport
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	if len(rep.Results) == 0 {
+		return fmt.Errorf("%s: no results", path)
+	}
+	for _, r := range rep.Results {
+		fmt.Fprintf(out, "%-24s %10.1f fps\n", r.Mode, r.FPS)
+	}
+	fmt.Fprintf(out, "speedup %.2fx at %d streams (gate: >= %.2fx)\n",
+		rep.Speedup, rep.Streams, minSpeedup)
+	if rep.Speedup < minSpeedup {
+		return fmt.Errorf("throughput speedup %.2fx below required %.2fx", rep.Speedup, minSpeedup)
 	}
 	return nil
 }

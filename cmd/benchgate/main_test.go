@@ -106,3 +106,62 @@ func TestRunEmptyInput(t *testing.T) {
 		t.Fatal("empty input accepted")
 	}
 }
+
+const throughputSample = `{
+  "streams": 16,
+  "frames_per_stream": 30,
+  "results": [
+    {"mode": "single-mutex", "fps": 100.0},
+    {"mode": "pool-sharded-batched", "fps": 350.0}
+  ],
+  "speedup": 3.5
+}`
+
+func writeThroughput(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "tp.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestThroughputGatePass(t *testing.T) {
+	var out strings.Builder
+	// Stdin carries no benchmarks: the throughput mode must not read it.
+	err := run([]string{"-throughput-json", writeThroughput(t, throughputSample), "-min-speedup", "3.0"},
+		strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"single-mutex", "pool-sharded-batched", "3.50x"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("summary missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestThroughputGateFail(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-throughput-json", writeThroughput(t, throughputSample), "-min-speedup", "4.0"},
+		strings.NewReader(""), &out)
+	if err == nil || !strings.Contains(err.Error(), "below required") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestThroughputGateBadFile(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-throughput-json", writeThroughput(t, "not json")},
+		strings.NewReader(""), &out); err == nil {
+		t.Fatal("corrupt report accepted")
+	}
+	if err := run([]string{"-throughput-json", writeThroughput(t, `{"speedup": 9}`)},
+		strings.NewReader(""), &out); err == nil {
+		t.Fatal("empty results accepted")
+	}
+	if err := run([]string{"-throughput-json", filepath.Join(t.TempDir(), "missing.json")},
+		strings.NewReader(""), &out); err == nil {
+		t.Fatal("missing report accepted")
+	}
+}

@@ -10,6 +10,12 @@
 //
 //	# terminal 2: a cold node that reuses terminal 1's work
 //	cachenode -addr 127.0.0.1:7071 -peers 127.0.0.1:7070 -frames 300
+//
+// A node can also serve many concurrent client sessions from one
+// process — a sharded cache store and (optionally) micro-batched
+// inference keep them from serializing on shared locks:
+//
+//	cachenode -serve -sessions 16 -shards 8 -batch 8
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"sync"
 	"syscall"
 	"time"
 
@@ -45,6 +52,9 @@ func run(args []string) error {
 		serve     = fs.Bool("serve", false, "keep serving after processing until interrupted")
 		budget    = fs.Duration("peer-budget", 0, "per-frame peer time budget (0 = quarter of mean inference latency, negative = unbounded)")
 		snapshot  = fs.String("snapshot", "", "snapshot file: warm-start from it on boot, save back to it on exit (crash-safe atomic write)")
+		sessions  = fs.Int("sessions", 1, "concurrent client sessions sharing this node's cache")
+		shards    = fs.Int("shards", 0, "cache store shards (0 = auto: unsharded for one session, 8 for more)")
+		batch     = fs.Int("batch", 0, "micro-batch size for DNN inference across sessions (0 = unbatched)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -53,6 +63,15 @@ func run(args []string) error {
 	profile, err := profileByName(*model)
 	if err != nil {
 		return err
+	}
+	if *sessions > 1 {
+		return runPool(poolParams{
+			name: *name, addr: *addr, peers: *peersFlag,
+			sessions: *sessions, shards: *shards, batch: *batch,
+			frames: *frames, warm: *warm,
+			seed: *seed, classSeed: *classSeed,
+			profile: profile, serve: *serve, budget: *budget, snapshot: *snapshot,
+		})
 	}
 	spec := approxcache.StationaryHeavyWorkload(*warm+*frames, *seed)
 	spec.ClassSeed = *classSeed
@@ -67,6 +86,7 @@ func run(args []string) error {
 	cache, err := approxcache.New(classifier, approxcache.Options{
 		Clock:      approxcache.NewVirtualClock(),
 		PeerBudget: *budget,
+		Shards:     *shards,
 	})
 	if err != nil {
 		return err
@@ -159,6 +179,154 @@ func run(args []string) error {
 		fmt.Printf("saved %d entries to %s\n", cache.Len(), *snapshot)
 	}
 	return nil
+}
+
+// poolParams carries the multi-session serving configuration.
+type poolParams struct {
+	name, addr, peers string
+	sessions          int
+	shards            int
+	batch             int
+	frames, warm      int
+	seed, classSeed   int64
+	profile           approxcache.ModelProfile
+	serve             bool
+	budget            time.Duration
+	snapshot          string
+}
+
+// runPool serves p.sessions concurrent client streams from one node:
+// every stream gets its own gate state, all streams share the (sharded)
+// cache store, the stats scoreboard, and a micro-batching inference
+// scheduler when -batch is set.
+func runPool(p poolParams) error {
+	if p.shards == 0 {
+		p.shards = 8
+	}
+	workloads := make([]*approxcache.Workload, p.sessions)
+	for i := range workloads {
+		spec := approxcache.StationaryHeavyWorkload(p.warm+p.frames, p.seed+int64(i)*101)
+		spec.ClassSeed = p.classSeed
+		w, err := approxcache.GenerateWorkload(spec)
+		if err != nil {
+			return fmt.Errorf("workload %d: %w", i, err)
+		}
+		workloads[i] = w
+	}
+	classifier, err := approxcache.NewSimulatedClassifier(p.profile, workloads[0], p.seed)
+	if err != nil {
+		return fmt.Errorf("classifier: %w", err)
+	}
+	pool, err := approxcache.NewPool(p.sessions, classifier, approxcache.Options{
+		Clock:      approxcache.NewVirtualClock(),
+		PeerBudget: p.budget,
+		Shards:     p.shards,
+		BatchSize:  p.batch,
+	})
+	if err != nil {
+		return err
+	}
+	defer pool.Close()
+	front := pool.Session(0)
+
+	if p.snapshot != "" {
+		n, lerr := front.LoadSnapshotFile(p.snapshot)
+		switch {
+		case lerr != nil:
+			fmt.Fprintf(os.Stderr, "cachenode: snapshot %s unusable (%v), starting cold\n", p.snapshot, lerr)
+		case n > 0:
+			fmt.Printf("warm-started %d shared entries from %s\n", n, p.snapshot)
+		}
+	}
+
+	srv, err := front.ServeTCP(p.name, p.addr)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := srv.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "cachenode: close:", cerr)
+		}
+	}()
+	fmt.Printf("%s listening on %s (model %s, %d sessions, %d shards, batch %d)\n",
+		p.name, srv.Addr(), p.profile.Name, p.sessions, p.shards, p.batch)
+
+	var client *approxcache.PeerClient
+	if p.peers != "" {
+		// The peer gate rides on session 0; every session still benefits
+		// because peer answers land in the shared store.
+		client, err = front.DialPeers(splitComma(p.peers)...)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("session 0 peering with %v\n", splitComma(p.peers))
+	}
+
+	total := p.warm + p.frames
+	if total > 0 {
+		start := time.Now()
+		var wg sync.WaitGroup
+		errs := make([]error, p.sessions)
+		for s := 0; s < p.sessions; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				c := pool.Session(s)
+				w := workloads[s]
+				prev := time.Duration(0)
+				for _, fr := range w.Frames {
+					win := w.IMUWindow(prev, fr.Offset)
+					prev = fr.Offset
+					if _, err := c.ProcessWithTruth(fr.Image, win, approxcache.LabelOf(fr.Class)); err != nil {
+						errs[s] = fmt.Errorf("session %d frame %d: %w", s, fr.Index, err)
+						return
+					}
+				}
+			}(s)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		wall := time.Since(start)
+		fmt.Printf("run: %d sessions × %d frames in %v wall time (%.1f frames/sec)\n",
+			p.sessions, total, wall.Round(time.Millisecond),
+			float64(p.sessions*total)/wall.Seconds())
+	}
+
+	printStats(front, client)
+	printServingStats(pool)
+	if p.serve {
+		fmt.Println("serving peers; ctrl-c to exit")
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+	}
+	if p.snapshot != "" {
+		if serr := front.SaveSnapshotFile(p.snapshot); serr != nil {
+			return fmt.Errorf("save snapshot: %w", serr)
+		}
+		fmt.Printf("saved %d entries to %s\n", front.Len(), p.snapshot)
+	}
+	return nil
+}
+
+// printServingStats reports the multi-session layers: per-shard
+// occupancy/contention and the micro-batcher's coalescing.
+func printServingStats(pool *approxcache.Pool) {
+	if shards := pool.ShardStats(); shards != nil {
+		fmt.Printf("shards (%d):\n", len(shards))
+		for _, sh := range shards {
+			fmt.Printf("  shard %d: %d entries, %d lookups, %d inserts, %d contended ops\n",
+				sh.Shard, sh.Entries, sh.Lookups, sh.Inserts, sh.Contended)
+		}
+	}
+	if bs, ok := pool.BatcherStats(); ok {
+		fmt.Printf("batcher: %d frames in %d batches (avg %.1f), %d full, %d deadline flushes\n",
+			bs.Frames, bs.Batches, bs.AvgSize(), bs.FullFlushes, bs.DeadlineFlushes)
+	}
 }
 
 func printStats(cache *approxcache.Cache, client *approxcache.PeerClient) {

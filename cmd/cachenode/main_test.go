@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"testing"
 )
 
@@ -54,6 +55,37 @@ func TestRunBadFlag(t *testing.T) {
 
 func TestRunStandalone(t *testing.T) {
 	if err := run([]string{"-frames", "40", "-warm", "20", "-addr", "127.0.0.1:0"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMultiSession(t *testing.T) {
+	if err := run([]string{
+		"-sessions", "4", "-shards", "4", "-batch", "4",
+		"-frames", "30", "-addr", "127.0.0.1:0",
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMultiSessionSnapshot(t *testing.T) {
+	path := t.TempDir() + "/node.snap"
+	// First run saves the shared (sharded) store...
+	if err := run([]string{
+		"-sessions", "2", "-frames", "20", "-addr", "127.0.0.1:0",
+		"-snapshot", path,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("snapshot not written: %v", err)
+	}
+	// ...and a single-session node warm-starts from it: the wire format
+	// carries entries, not shard topology.
+	if err := run([]string{
+		"-frames", "10", "-addr", "127.0.0.1:0",
+		"-snapshot", path,
+	}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,0 +1,59 @@
+package cachestore
+
+import (
+	"io"
+	"time"
+
+	"approxcache/internal/feature"
+	"approxcache/internal/lsh"
+)
+
+// Interface is the store contract the engine, the peer service, and
+// the facade program against. Three implementations exist:
+//
+//   - Store: one index under one RWMutex — the right shape for a
+//     single-stream device cache.
+//   - ShardedStore: N lock-striped Store shards routed by LSH
+//     signature prefix — the serving-scale shape, where concurrent
+//     streams insert into disjoint shards instead of one mutex.
+//   - SerializedStore: a Store behind a single exclusive mutex — the
+//     pre-sharding worst case, kept as the throughput-benchmark
+//     baseline.
+//
+// All implementations are safe for concurrent use and share the
+// snapshot wire format, so Export/Import round-trips across them.
+type Interface interface {
+	// Insert stores a recognition result and returns its ID.
+	Insert(vec feature.Vector, label string, confidence float64, source string, savedCost time.Duration) (lsh.ID, error)
+	// Get returns a snapshot of the entry and whether it is live.
+	Get(id lsh.ID) (Entry, bool)
+	// Touch records a cache hit on id.
+	Touch(id lsh.ID)
+	// Label resolves id to its label if live (shape of lsh.Vote's
+	// resolver).
+	Label(id lsh.ID) (string, bool)
+	// Nearest returns up to k neighbors of q among live entries.
+	Nearest(q feature.Vector, k int) ([]lsh.Neighbor, error)
+	// NearestInto is Nearest appending into dst's backing array.
+	NearestInto(q feature.Vector, k int, dst []lsh.Neighbor) ([]lsh.Neighbor, error)
+	// Remove deletes id.
+	Remove(id lsh.ID)
+	// Len returns the live entry count.
+	Len() int
+	// Evictions and Expiries count removals by cause.
+	Evictions() int
+	Expiries() int
+	// Stats returns an occupancy/churn summary.
+	Stats() StoreStats
+	// Snapshot returns copies of all live entries.
+	Snapshot() []Entry
+	// Export writes a checksummed snapshot; Import reads one back.
+	Export(w io.Writer) error
+	Import(r io.Reader) (int, error)
+}
+
+var (
+	_ Interface = (*Store)(nil)
+	_ Interface = (*ShardedStore)(nil)
+	_ Interface = (*SerializedStore)(nil)
+)

@@ -54,14 +54,11 @@ type wireSnapshot struct {
 	Entries []wireEntry `json:"entries"`
 }
 
-// Export writes all live entries to w: a header line carrying the
+// writeSnapshot serializes entries to w: a header line carrying the
 // format version and the payload's CRC-32, then the JSON payload. The
-// entry set is captured in one consistent read-locked pass (concurrent
-// inserts land either wholly before or wholly after it) and sorted, so
-// equal stores produce byte-identical snapshots.
-func (s *Store) Export(w io.Writer) error {
-	entries := s.Snapshot()
-	sort.Slice(entries, func(i, j int) bool { return entries[i].ID < entries[j].ID })
+// caller provides a consistent, sorted entry set, so equal stores
+// produce byte-identical snapshots. Shared by every store shape.
+func writeSnapshot(w io.Writer, entries []Entry) error {
 	out := wireSnapshot{
 		Version: snapshotFormatVersion,
 		Entries: make([]wireEntry, 0, len(entries)),
@@ -89,21 +86,16 @@ func (s *Store) Export(w io.Writer) error {
 	return nil
 }
 
-// Import reads a snapshot from r and inserts its entries, subject to
-// the store's normal capacity and eviction rules. It returns how many
-// entries were inserted. Imported entries keep their labels and costs
-// but start with fresh recency/frequency state.
-//
-// The snapshot is checksum-verified (v2), fully decoded, and validated
-// before anything is inserted: a truncated, bit-flipped, or otherwise
-// corrupt file returns ErrCorruptSnapshot (wrapped, with detail) and
-// leaves the store untouched. Headerless files are tried as legacy v1
-// bare JSON.
-func (s *Store) Import(r io.Reader) (int, error) {
+// readSnapshot decodes and fully validates a snapshot from r without
+// touching any store: the caller only sees entries that passed the
+// checksum (v2), strict JSON decoding, and per-entry validation, so
+// import is all-or-nothing. Headerless files are tried as legacy v1
+// bare JSON. Shared by every store shape.
+func readSnapshot(r io.Reader) (wireSnapshot, error) {
 	br := bufio.NewReader(r)
 	peek, err := br.Peek(len(snapshotMagic))
 	if err != nil && !errors.Is(err, io.EOF) {
-		return 0, fmt.Errorf("%w: %v", ErrCorruptSnapshot, err)
+		return wireSnapshot{}, fmt.Errorf("%w: %v", ErrCorruptSnapshot, err)
 	}
 	var in wireSnapshot
 	if string(peek) == snapshotMagic {
@@ -112,17 +104,43 @@ func (s *Store) Import(r io.Reader) (int, error) {
 		in, err = decodeLegacy(br)
 	}
 	if err != nil {
-		return 0, err
+		return wireSnapshot{}, err
 	}
 	for i, e := range in.Entries {
 		if len(e.Vec) == 0 || e.Label == "" {
-			return 0, fmt.Errorf("%w: entry %d invalid", ErrCorruptSnapshot, i)
+			return wireSnapshot{}, fmt.Errorf("%w: entry %d invalid", ErrCorruptSnapshot, i)
 		}
 		for _, v := range e.Vec {
 			if math.IsNaN(v) || math.IsInf(v, 0) {
-				return 0, fmt.Errorf("%w: entry %d has non-finite vector", ErrCorruptSnapshot, i)
+				return wireSnapshot{}, fmt.Errorf("%w: entry %d has non-finite vector", ErrCorruptSnapshot, i)
 			}
 		}
+	}
+	return in, nil
+}
+
+// Export writes all live entries to w in the checksummed snapshot
+// format. The entry set is captured in one consistent read-locked pass
+// (concurrent inserts land either wholly before or wholly after it).
+func (s *Store) Export(w io.Writer) error {
+	entries := s.Snapshot()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].ID < entries[j].ID })
+	return writeSnapshot(w, entries)
+}
+
+// Import reads a snapshot from r and inserts its entries, subject to
+// the store's normal capacity and eviction rules. It returns how many
+// entries were inserted. Imported entries keep their labels and costs
+// but start with fresh recency/frequency state.
+//
+// The snapshot is checksum-verified (v2), fully decoded, and validated
+// before anything is inserted: a truncated, bit-flipped, or otherwise
+// corrupt file returns ErrCorruptSnapshot (wrapped, with detail) and
+// leaves the store untouched.
+func (s *Store) Import(r io.Reader) (int, error) {
+	in, err := readSnapshot(r)
+	if err != nil {
+		return 0, err
 	}
 	inserted := 0
 	for i, e := range in.Entries {

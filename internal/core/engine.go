@@ -262,8 +262,11 @@ type Deps struct {
 	Clock simclock.Clock
 	// Classifier is the fallback DNN. Required.
 	Classifier Classifier
-	// Store is the local cache store. Required in ModeApprox.
-	Store *cachestore.Store
+	// Store is the local cache store — any shape (single, sharded, or
+	// serialized). Required in ModeApprox. Beware assigning a typed
+	// nil pointer (e.g. a nil *cachestore.Store): it makes the
+	// interface non-nil but unusable.
+	Store cachestore.Interface
 	// Peers queries nearby devices. Optional; nil disables the peer
 	// gate.
 	Peers *p2p.Client
@@ -306,9 +309,14 @@ type Engine struct {
 	mu        sync.RWMutex
 	detector  *imu.Detector
 	keyframes *video.KeyframeLibrary
-	last      *Result
-	streak    int // consecutive frames served by reuse sources
-	exact     map[uint64]exactEntry
+	// last holds the most recent result BY VALUE: readers copy it
+	// under the lock, so no caller ever shares slice-backed fields
+	// with the engine's own mutable state (the multi-session pool
+	// serves degraded frames from this copy concurrently).
+	last    Result
+	hasLast bool
+	streak  int // consecutive frames served by reuse sources
+	exact   map[uint64]exactEntry
 }
 
 // frameScratch is one frame's reusable working memory. The feature
@@ -333,6 +341,14 @@ type exactEntry struct {
 
 // New builds an engine from cfg and deps.
 func New(cfg Config, deps Deps) (*Engine, error) {
+	return newEngine(cfg, deps, nil, nil)
+}
+
+// newEngine builds an engine, optionally sharing session stats and a
+// classifier watchdog with sibling engines (the multi-session pool
+// passes both so every stream feeds one scoreboard and one breaker).
+// Nil stats/wd get fresh private instances.
+func newEngine(cfg Config, deps Deps, stats *metrics.SessionStats, wd *watchdog) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -342,8 +358,30 @@ func New(cfg Config, deps Deps) (*Engine, error) {
 	if deps.Classifier == nil {
 		return nil, fmt.Errorf("core: nil classifier")
 	}
-	e := &Engine{cfg: cfg, deps: deps, stats: metrics.NewSessionStats()}
-	e.wd = newWatchdog(cfg.Watchdog, deps.Classifier, deps.Clock, e.stats)
+	if stats == nil {
+		stats = metrics.NewSessionStats()
+	}
+	// Normalize typed-nil stores: a nil *Store in the interface would
+	// dodge the nil check below and crash on first use instead.
+	switch st := deps.Store.(type) {
+	case *cachestore.Store:
+		if st == nil {
+			deps.Store = nil
+		}
+	case *cachestore.ShardedStore:
+		if st == nil {
+			deps.Store = nil
+		}
+	case *cachestore.SerializedStore:
+		if st == nil {
+			deps.Store = nil
+		}
+	}
+	e := &Engine{cfg: cfg, deps: deps, stats: stats}
+	if wd == nil {
+		wd = newWatchdog(cfg.Watchdog, deps.Classifier, deps.Clock, stats)
+	}
+	e.wd = wd
 	if deps.Peers != nil {
 		deps.Peers.SetObserver(statsObserver{s: e.stats})
 	}
@@ -413,14 +451,13 @@ func (e *Engine) peers() *p2p.Client {
 // Mode returns the engine's mode.
 func (e *Engine) Mode() Mode { return e.cfg.Mode }
 
-// LastResult returns the most recent result, if any.
+// LastResult returns a copy of the most recent result, if any. The
+// copy is taken under the read lock and Result carries no slice-backed
+// fields, so callers never alias engine-internal state.
 func (e *Engine) LastResult() (Result, bool) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	if e.last == nil {
-		return Result{}, false
-	}
-	return *e.last, true
+	return e.last, e.hasLast
 }
 
 // Process recognizes one frame. imuWindow carries the inertial samples
@@ -489,7 +526,8 @@ func (e *Engine) process(im *vision.Image, imuWindow []imu.Sample, truth string,
 		e.stats.ObserveDegradedServe(res.Degradation.String())
 	}
 	e.mu.Lock()
-	e.last = &res
+	e.last = res
+	e.hasLast = true
 	if res.Source == metrics.SourceDNN {
 		e.streak = 0
 	} else {
@@ -523,8 +561,8 @@ func (e *Engine) processNoCache(im *vision.Image) (Result, error) {
 // last result — the baseline has no cache to fall back on.
 func (e *Engine) processNaiveSkip(im *vision.Image) (Result, error) {
 	e.mu.Lock()
-	last := e.last
-	skip := last != nil && (e.streak+1)%e.cfg.SkipEvery != 0
+	last, hasLast := e.last, e.hasLast // copied under the lock
+	skip := hasLast && (e.streak+1)%e.cfg.SkipEvery != 0
 	e.mu.Unlock()
 	if skip {
 		return Result{
@@ -536,7 +574,7 @@ func (e *Engine) processNaiveSkip(im *vision.Image) (Result, error) {
 		}, nil
 	}
 	res, err := e.processNoCache(im)
-	if err != nil && last != nil {
+	if err != nil && hasLast {
 		return Result{
 			Label:       last.Label,
 			Confidence:  last.Confidence * fallbackConfidence,
@@ -609,7 +647,7 @@ func (e *Engine) processApprox(im *vision.Image, imuWindow []imu.Sample, imuOK, 
 	if imuOK {
 		e.detector.ObserveAll(imuWindow)
 	}
-	last := e.last
+	last, hasLast := e.last, e.hasLast
 	// Bounded staleness: once a reuse streak reaches the cap, force a
 	// fresh inference so a single wrong result cannot serve forever.
 	revalidate := e.cfg.MaxReuseStreak > 0 && e.streak >= e.cfg.MaxReuseStreak
@@ -618,7 +656,7 @@ func (e *Engine) processApprox(im *vision.Image, imuWindow []imu.Sample, imuOK, 
 
 	// Gate 1: inertial reuse. If the device has not moved since the
 	// last verified recognition, return it at near-zero cost.
-	if imuOK && !revalidate && !e.cfg.DisableIMUGate && last != nil {
+	if imuOK && !revalidate && !e.cfg.DisableIMUGate && hasLast {
 		latency += e.cfg.Costs.IMUGateLatency
 		energy += e.cfg.Costs.IMUGateEnergyMJ
 		if e.detector.AllowReuse() {

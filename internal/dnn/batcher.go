@@ -1,0 +1,194 @@
+package dnn
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"approxcache/internal/metrics"
+	"approxcache/internal/vision"
+)
+
+// BatcherConfig tunes the micro-batching scheduler.
+type BatcherConfig struct {
+	// MaxBatch is the largest batch dispatched in one invocation. A
+	// batch dispatches immediately when it fills.
+	MaxBatch int
+	// MaxWait bounds how long the first frame of a batch waits for
+	// company before the batch dispatches anyway (wall-clock: batching
+	// trades a bounded real delay for amortized model cost).
+	MaxWait time.Duration
+}
+
+// DefaultBatcherConfig returns the production batching policy: up to 8
+// frames or 5 ms, whichever comes first.
+func DefaultBatcherConfig() BatcherConfig {
+	return BatcherConfig{MaxBatch: 8, MaxWait: 5 * time.Millisecond}
+}
+
+// Validate reports whether the configuration is usable.
+func (c BatcherConfig) Validate() error {
+	if c.MaxBatch <= 0 {
+		return fmt.Errorf("dnn: MaxBatch must be positive, got %d", c.MaxBatch)
+	}
+	if c.MaxWait <= 0 {
+		return fmt.Errorf("dnn: MaxWait must be positive, got %v", c.MaxWait)
+	}
+	return nil
+}
+
+// batchCall is one caller's slot in a pending batch.
+type batchCall struct {
+	im   *vision.Image
+	done chan struct{}
+	inf  Inference
+	err  error
+}
+
+// Batcher coalesces concurrent Infer calls into bounded batches
+// against a BatchClassifier. A batch dispatches when it reaches
+// MaxBatch frames (full flush) or when its oldest frame has waited
+// MaxWait (deadline flush). Single callers therefore pay at most
+// MaxWait extra latency; saturated callers get near-BatchLatency
+// amortization. Batcher implements the engine-facing classifier
+// interface (Infer + Profile), so it drops in front of the watchdog
+// unchanged.
+//
+// Dispatch runs on the caller's goroutine for full flushes and on the
+// timer goroutine for deadline flushes; the pending queue is swapped
+// out under the mutex either way, so a batch is dispatched exactly
+// once. After Close, Infer degrades to unbatched single-frame calls.
+type Batcher struct {
+	cfg   BatcherConfig
+	inner BatchClassifier
+
+	mu      sync.Mutex
+	pending []*batchCall
+	gen     uint64 // incremented per flush; lets a stale timer no-op
+	timer   *time.Timer
+	closed  bool
+
+	batches         atomic.Int64
+	frames          atomic.Int64
+	sizeSum         atomic.Int64
+	fullFlushes     atomic.Int64
+	deadlineFlushes atomic.Int64
+}
+
+// NewBatcher builds a micro-batching front for inner.
+func NewBatcher(cfg BatcherConfig, inner BatchClassifier) (*Batcher, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if inner == nil {
+		return nil, fmt.Errorf("dnn: nil batch classifier")
+	}
+	return &Batcher{cfg: cfg, inner: inner}, nil
+}
+
+// Profile returns the wrapped model's profile.
+func (b *Batcher) Profile() Profile { return b.inner.Profile() }
+
+// Infer submits im and blocks until its batch completes.
+func (b *Batcher) Infer(im *vision.Image) (Inference, error) {
+	call := &batchCall{im: im, done: make(chan struct{})}
+
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return b.inner.Infer(im)
+	}
+	b.pending = append(b.pending, call)
+	if len(b.pending) >= b.cfg.MaxBatch {
+		batch := b.takeLocked()
+		b.fullFlushes.Add(1)
+		b.mu.Unlock()
+		b.dispatch(batch)
+		<-call.done
+		return call.inf, call.err
+	}
+	if len(b.pending) == 1 {
+		gen := b.gen
+		b.timer = time.AfterFunc(b.cfg.MaxWait, func() { b.deadline(gen) })
+	}
+	b.mu.Unlock()
+
+	<-call.done
+	return call.inf, call.err
+}
+
+// takeLocked swaps out the pending queue and advances the generation
+// so any armed deadline timer for it becomes a no-op.
+func (b *Batcher) takeLocked() []*batchCall {
+	batch := b.pending
+	b.pending = nil
+	b.gen++
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	return batch
+}
+
+// deadline fires when a batch's oldest frame has waited MaxWait.
+func (b *Batcher) deadline(gen uint64) {
+	b.mu.Lock()
+	if b.gen != gen || len(b.pending) == 0 {
+		b.mu.Unlock()
+		return // the batch it was armed for already flushed full
+	}
+	batch := b.takeLocked()
+	b.deadlineFlushes.Add(1)
+	b.mu.Unlock()
+	b.dispatch(batch)
+}
+
+// dispatch runs one batch through the model and completes its calls.
+func (b *Batcher) dispatch(batch []*batchCall) {
+	if len(batch) == 0 {
+		return
+	}
+	b.batches.Add(1)
+	b.frames.Add(int64(len(batch)))
+	b.sizeSum.Add(int64(len(batch)))
+	ims := make([]*vision.Image, len(batch))
+	for i, c := range batch {
+		ims[i] = c.im
+	}
+	infs, err := b.inner.InferBatch(ims)
+	for i, c := range batch {
+		if err != nil {
+			c.err = err
+		} else {
+			c.inf = infs[i]
+		}
+		close(c.done)
+	}
+}
+
+// Close flushes any pending batch and stops accepting batched work.
+// Subsequent Infer calls pass through unbatched, so Close is safe
+// while traffic is still arriving.
+func (b *Batcher) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	batch := b.takeLocked()
+	b.mu.Unlock()
+	b.dispatch(batch)
+}
+
+// Stats returns a snapshot of the batcher's dispatch counters.
+func (b *Batcher) Stats() metrics.BatcherStats {
+	return metrics.BatcherStats{
+		Batches:         b.batches.Load(),
+		Frames:          b.frames.Load(),
+		SizeSum:         b.sizeSum.Load(),
+		FullFlushes:     b.fullFlushes.Load(),
+		DeadlineFlushes: b.deadlineFlushes.Load(),
+	}
+}

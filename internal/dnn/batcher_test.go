@@ -1,0 +1,270 @@
+package dnn
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"approxcache/internal/vision"
+)
+
+func batchImages(t *testing.T, cs *vision.ClassSet, n int) []*vision.Image {
+	t.Helper()
+	rng := rand.New(rand.NewSource(77))
+	out := make([]*vision.Image, n)
+	for i := range out {
+		im, err := cs.Render(i%cs.NumClasses(), vision.DefaultPerturbation(), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = im
+	}
+	return out
+}
+
+func TestBatchLatencyModel(t *testing.T) {
+	p := MobileNetV2
+	if got := BatchLatency(p, 1); got != p.MeanLatency {
+		t.Fatalf("BatchLatency(1) = %v, want %v", got, p.MeanLatency)
+	}
+	if got := BatchLatency(p, 0); got != 0 {
+		t.Fatalf("BatchLatency(0) = %v, want 0", got)
+	}
+	// A batch of 8 must cost far less than 8 separate frames but more
+	// than one.
+	b8 := BatchLatency(p, 8)
+	if b8 <= p.MeanLatency || b8 >= 8*p.MeanLatency/2 {
+		t.Fatalf("BatchLatency(8) = %v out of range", b8)
+	}
+	perFrame := b8 / 8
+	speedup := float64(p.MeanLatency) / float64(perFrame)
+	if speedup < 3 {
+		t.Fatalf("per-frame amortization %.2fx, want >= 3x", speedup)
+	}
+}
+
+// TestInferBatchMatchesInferDecisions: batched inference makes the
+// same feature-space decision per frame as single-frame inference
+// (label noise aside), at amortized per-frame cost.
+func TestInferBatchMatchesInferDecisions(t *testing.T) {
+	cs := testClasses(t)
+	// Top1Accuracy 1.0 disables label noise so decisions are
+	// deterministic and comparable.
+	profile := MobileNetV2
+	profile.Top1Accuracy = 1.0
+	a, err := NewClassifier(profile, cs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewClassifier(profile, cs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ims := batchImages(t, cs, 8)
+	batched, err := a.InferBatch(ims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batched) != len(ims) {
+		t.Fatalf("got %d results for %d frames", len(batched), len(ims))
+	}
+	for i, im := range ims {
+		single, err := b.Infer(im)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batched[i].Label != single.Label {
+			t.Fatalf("frame %d: batch label %q, single %q", i, batched[i].Label, single.Label)
+		}
+		if batched[i].Latency >= single.Latency {
+			t.Fatalf("frame %d: batched latency %v not cheaper than single %v",
+				i, batched[i].Latency, single.Latency)
+		}
+		if batched[i].EnergyMJ >= single.EnergyMJ {
+			t.Fatalf("frame %d: batched energy %v not cheaper than single %v",
+				i, batched[i].EnergyMJ, single.EnergyMJ)
+		}
+	}
+	if _, err := a.InferBatch(nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	if _, err := a.InferBatch([]*vision.Image{nil}); err == nil {
+		t.Fatal("nil image in batch: want error")
+	}
+}
+
+func TestBatcherConfigValidate(t *testing.T) {
+	if err := DefaultBatcherConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (BatcherConfig{MaxBatch: 0, MaxWait: time.Millisecond}).Validate(); err == nil {
+		t.Fatal("want error for MaxBatch 0")
+	}
+	if err := (BatcherConfig{MaxBatch: 8}).Validate(); err == nil {
+		t.Fatal("want error for MaxWait 0")
+	}
+	cs := testClasses(t)
+	c, err := NewClassifier(MobileNetV2, cs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewBatcher(BatcherConfig{}, c); err == nil {
+		t.Fatal("want error for invalid config")
+	}
+	if _, err := NewBatcher(DefaultBatcherConfig(), nil); err == nil {
+		t.Fatal("want error for nil classifier")
+	}
+}
+
+// TestBatcherFullFlush: MaxBatch concurrent callers form exactly one
+// full batch.
+func TestBatcherFullFlush(t *testing.T) {
+	cs := testClasses(t)
+	c, err := NewClassifier(MobileNetV2, cs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A long MaxWait proves the flush came from the size bound.
+	b, err := NewBatcher(BatcherConfig{MaxBatch: 4, MaxWait: 10 * time.Second}, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	ims := batchImages(t, cs, 4)
+	var wg sync.WaitGroup
+	for _, im := range ims {
+		wg.Add(1)
+		go func(im *vision.Image) {
+			defer wg.Done()
+			if _, err := b.Infer(im); err != nil {
+				t.Error(err)
+			}
+		}(im)
+	}
+	wg.Wait()
+	st := b.Stats()
+	if st.Batches != 1 || st.Frames != 4 || st.FullFlushes != 1 || st.DeadlineFlushes != 0 {
+		t.Fatalf("stats = %+v, want one full batch of 4", st)
+	}
+	if st.AvgSize() != 4 {
+		t.Fatalf("AvgSize = %v, want 4", st.AvgSize())
+	}
+}
+
+// TestBatcherDeadlineFlush: a lone caller is released by the MaxWait
+// timer, not stuck waiting for a full batch.
+func TestBatcherDeadlineFlush(t *testing.T) {
+	cs := testClasses(t)
+	c, err := NewClassifier(MobileNetV2, cs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBatcher(BatcherConfig{MaxBatch: 8, MaxWait: time.Millisecond}, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	im := batchImages(t, cs, 1)[0]
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Infer(im)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("lone caller never released")
+	}
+	st := b.Stats()
+	if st.DeadlineFlushes != 1 || st.Batches != 1 || st.Frames != 1 {
+		t.Fatalf("stats = %+v, want one deadline batch of 1", st)
+	}
+}
+
+// TestBatcherCloseDrains: Close flushes pending work and later calls
+// fall through unbatched.
+func TestBatcherCloseDrains(t *testing.T) {
+	cs := testClasses(t)
+	c, err := NewClassifier(MobileNetV2, cs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBatcher(BatcherConfig{MaxBatch: 8, MaxWait: 10 * time.Second}, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im := batchImages(t, cs, 1)[0]
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Infer(im)
+		done <- err
+	}()
+	// Wait for the call to be queued, then close.
+	for {
+		b.mu.Lock()
+		queued := len(b.pending) == 1
+		b.mu.Unlock()
+		if queued {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	b.Close()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// Post-close calls still work (unbatched passthrough).
+	if _, err := b.Infer(im); err != nil {
+		t.Fatal(err)
+	}
+	b.Close() // double-close is a no-op
+	if got := b.Stats().Batches; got != 1 {
+		t.Fatalf("Batches = %d, want 1 (post-close calls bypass batching)", got)
+	}
+}
+
+// TestBatcherConcurrentStress: many goroutines through a small batcher
+// under -race; every caller gets a result.
+func TestBatcherConcurrentStress(t *testing.T) {
+	cs := testClasses(t)
+	c, err := NewClassifier(MobileNetV2, cs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBatcher(BatcherConfig{MaxBatch: 4, MaxWait: time.Millisecond}, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	ims := batchImages(t, cs, 8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				inf, err := b.Infer(ims[(w+i)%len(ims)])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if inf.Label == "" {
+					t.Error("empty label")
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := b.Stats()
+	if st.Frames != 160 {
+		t.Fatalf("Frames = %d, want 160", st.Frames)
+	}
+	if st.Batches == 0 || st.SizeSum != st.Frames {
+		t.Fatalf("inconsistent stats %+v", st)
+	}
+}

@@ -68,8 +68,8 @@ func TestAllHaveUniqueIDs(t *testing.T) {
 			t.Fatalf("%s has no runner", e.ID)
 		}
 	}
-	if len(seen) != 19 {
-		t.Fatalf("suite has %d experiments, want 19", len(seen))
+	if len(seen) != 20 {
+		t.Fatalf("suite has %d experiments, want 20", len(seen))
 	}
 }
 

@@ -73,6 +73,7 @@ func All() []Experiment {
 		{ID: "E17", Name: "peer-churn", Run: E17PeerChurn},
 		{ID: "E18", Name: "chaos-resilience", Run: E18ChaosResilience},
 		{ID: "E19", Name: "device-faults", Run: E19DeviceFaults},
+		{ID: "E20", Name: "serving-throughput", Run: E20Throughput},
 	}
 }
 

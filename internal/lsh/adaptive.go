@@ -166,6 +166,14 @@ func (a *AdaptiveIndex) Candidates(q feature.Vector) ([]ID, error) {
 	return inner.Candidates(q)
 }
 
+// CandidatesInto is Candidates appending into dst's backing array.
+func (a *AdaptiveIndex) CandidatesInto(q feature.Vector, dst []ID) ([]ID, error) {
+	a.mu.Lock()
+	inner := a.inner
+	a.mu.Unlock()
+	return inner.CandidatesInto(q, dst)
+}
+
 // maybeRebuild checks occupancy skew and rebuilds if needed.
 func (a *AdaptiveIndex) maybeRebuild() {
 	a.mu.Lock()

@@ -345,6 +345,14 @@ func (x *HyperplaneIndex) getScratch() *queryScratch {
 // Candidates returns the deduplicated union of bucket contents that q
 // collides with across all tables, in first-collision order.
 func (x *HyperplaneIndex) Candidates(q feature.Vector) ([]ID, error) {
+	return x.CandidatesInto(q, nil)
+}
+
+// CandidatesInto is Candidates appending into dst's backing array (which
+// may be nil). With a caller-reused dst of sufficient capacity the whole
+// gather performs no allocation: the dedup state is pooled and the IDs
+// land in caller-owned memory.
+func (x *HyperplaneIndex) CandidatesInto(q feature.Vector, dst []ID) ([]ID, error) {
 	if len(q) != x.dim {
 		return nil, fmt.Errorf("lsh: query dim %d, index dim %d: %w",
 			len(q), x.dim, feature.ErrDimensionMismatch)
@@ -354,7 +362,7 @@ func (x *HyperplaneIndex) Candidates(q feature.Vector) ([]ID, error) {
 	x.mu.RLock()
 	defer x.mu.RUnlock()
 	sc.begin(len(x.slotID))
-	var out []ID
+	out := dst[:0]
 	for t := 0; t < x.tables; t++ {
 		sig := x.signature(t, q)
 		for _, slot := range x.buckets[t][sig] {

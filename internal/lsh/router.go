@@ -1,0 +1,85 @@
+package lsh
+
+import (
+	"fmt"
+	"math/rand"
+
+	"approxcache/internal/feature"
+)
+
+// Router assigns vectors to shards by random-hyperplane signature
+// prefix. It is the partitioning half of the sharded cache store:
+// every insert and every query routes through the same hyperplanes, so
+// a query always lands on the shard holding its near neighbors'
+// signatures — cross-shard merges are only needed because LSH is
+// approximate, not because routing is lossy.
+//
+// The router draws its own hyperplanes (independent of any index
+// seed): shard assignment must be stable across index rebuilds, and
+// the adaptive index re-seeds its planes on skew.
+type Router struct {
+	dim    int
+	shards int
+	bits   int
+	// planes holds one hyperplane per routing bit, flattened like
+	// HyperplaneIndex.planes.
+	planes []float64
+}
+
+// NewRouter builds a router over dim-dimensional vectors spreading
+// load across shards partitions. shards must be in [1, 256].
+func NewRouter(dim, shards int, seed int64) (*Router, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("lsh: router dim must be positive, got %d", dim)
+	}
+	if shards < 1 || shards > 256 {
+		return nil, fmt.Errorf("lsh: router shards must be in [1,256], got %d", shards)
+	}
+	bits := 0
+	for 1<<bits < shards {
+		bits++
+	}
+	// At least one spare bit keeps signature%shards roughly uniform
+	// when shards is not a power of two.
+	if bits < 8 {
+		bits = 8
+	}
+	r := &Router{
+		dim:    dim,
+		shards: shards,
+		bits:   bits,
+		planes: make([]float64, bits*dim),
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := range r.planes {
+		r.planes[i] = rng.NormFloat64()
+	}
+	return r, nil
+}
+
+// Shards returns the number of partitions.
+func (r *Router) Shards() int { return r.shards }
+
+// Route returns v's shard in [0, Shards()). A single-shard router
+// always returns 0 without projecting.
+func (r *Router) Route(v feature.Vector) (int, error) {
+	if len(v) != r.dim {
+		return 0, fmt.Errorf("lsh: router dim %d, vector dim %d: %w",
+			r.dim, len(v), feature.ErrDimensionMismatch)
+	}
+	if r.shards == 1 {
+		return 0, nil
+	}
+	var sig uint64
+	for b := 0; b < r.bits; b++ {
+		row := r.planes[b*r.dim : (b+1)*r.dim : (b+1)*r.dim]
+		var dot float64
+		for d, p := range row {
+			dot += p * v[d]
+		}
+		if dot >= 0 {
+			sig |= 1 << uint(b)
+		}
+	}
+	return int(sig % uint64(r.shards)), nil
+}

@@ -1,0 +1,116 @@
+package lsh
+
+import (
+	"math/rand"
+	"testing"
+
+	"approxcache/internal/feature"
+)
+
+func routerVecs(t *testing.T, n, dim int, seed int64) []feature.Vector {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	out := make([]feature.Vector, n)
+	for i := range out {
+		v := make(feature.Vector, dim)
+		for d := range v {
+			v[d] = r.NormFloat64()
+		}
+		v.Normalize()
+		out[i] = v
+	}
+	return out
+}
+
+func TestRouterValidation(t *testing.T) {
+	if _, err := NewRouter(0, 4, 1); err == nil {
+		t.Fatal("want error for dim 0")
+	}
+	if _, err := NewRouter(8, 0, 1); err == nil {
+		t.Fatal("want error for 0 shards")
+	}
+	if _, err := NewRouter(8, 257, 1); err == nil {
+		t.Fatal("want error for 257 shards")
+	}
+	r, err := NewRouter(8, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Route(make(feature.Vector, 5)); err == nil {
+		t.Fatal("want dimension mismatch")
+	}
+}
+
+func TestRouterSingleShard(t *testing.T) {
+	r, err := NewRouter(16, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range routerVecs(t, 32, 16, 9) {
+		s, err := r.Route(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s != 0 {
+			t.Fatalf("single-shard route = %d", s)
+		}
+	}
+}
+
+// TestRouterDeterministicAndBounded: the same vector always routes to
+// the same shard, and every route is in range.
+func TestRouterDeterministicAndBounded(t *testing.T) {
+	for _, shards := range []int{2, 3, 4, 8, 16} {
+		r1, err := NewRouter(32, shards, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := NewRouter(32, shards, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range routerVecs(t, 64, 32, 11) {
+			a, err := r1.Route(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := r2.Route(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b {
+				t.Fatalf("shards=%d: routes differ (%d vs %d)", shards, a, b)
+			}
+			if a < 0 || a >= shards {
+				t.Fatalf("shards=%d: route %d out of range", shards, a)
+			}
+		}
+	}
+}
+
+// TestRouterSpread: random vectors should not all collapse onto one
+// shard — at least half the shards see traffic on a 512-vector draw.
+func TestRouterSpread(t *testing.T) {
+	const shards = 8
+	r, err := NewRouter(80, shards, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit := make([]int, shards)
+	for _, v := range routerVecs(t, 512, 80, 13) {
+		s, err := r.Route(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hit[s]++
+	}
+	used := 0
+	for _, n := range hit {
+		if n > 0 {
+			used++
+		}
+	}
+	if used < shards/2 {
+		t.Fatalf("only %d/%d shards used: %v", used, shards, hit)
+	}
+}

@@ -1,0 +1,46 @@
+package metrics
+
+// Serving-scale counters: per-shard occupancy/contention for the
+// sharded cache store and aggregate micro-batcher statistics. Both are
+// plain value snapshots — the live counters stay inside their owners
+// (cachestore.ShardedStore, dnn.Batcher) and are copied out here for
+// reporting, so the metrics package never holds locks on the hot path.
+
+// ShardStat is one shard's occupancy and contention snapshot.
+type ShardStat struct {
+	// Shard is the shard number in [0, shards).
+	Shard int
+	// Entries is the shard's live entry count.
+	Entries int
+	// Lookups and Inserts count operations routed to this shard.
+	Lookups int64
+	Inserts int64
+	// Contended counts operations that began while another operation
+	// was already in flight on the same shard — an approximation of
+	// how often the old single-mutex design would have blocked.
+	Contended int64
+}
+
+// BatcherStats summarizes a micro-batching scheduler's behavior.
+type BatcherStats struct {
+	// Batches is the number of batches dispatched.
+	Batches int64
+	// Frames is the total frames classified through the batcher.
+	Frames int64
+	// SizeSum sums dispatched batch sizes (AvgSize = SizeSum/Batches).
+	SizeSum int64
+	// FullFlushes counts batches dispatched because they reached
+	// MaxBatch; DeadlineFlushes counts batches dispatched by the
+	// MaxWait timer with spare capacity left.
+	FullFlushes     int64
+	DeadlineFlushes int64
+}
+
+// AvgSize returns the mean dispatched batch size, or 0 before any
+// batch has been dispatched.
+func (b BatcherStats) AvgSize() float64 {
+	if b.Batches == 0 {
+		return 0
+	}
+	return float64(b.SizeSum) / float64(b.Batches)
+}

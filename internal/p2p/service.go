@@ -44,15 +44,16 @@ func DefaultServiceConfig(name string) ServiceConfig {
 	}
 }
 
-// Service answers peer protocol messages against a local cache store.
-// Service is safe for concurrent use.
+// Service answers peer protocol messages against a local cache store
+// of any shape (single, sharded, or serialized). Service is safe for
+// concurrent use.
 type Service struct {
 	cfg   ServiceConfig
-	store *cachestore.Store
+	store cachestore.Interface
 }
 
 // NewService builds a service over store.
-func NewService(cfg ServiceConfig, store *cachestore.Store) (*Service, error) {
+func NewService(cfg ServiceConfig, store cachestore.Interface) (*Service, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -66,7 +67,7 @@ func NewService(cfg ServiceConfig, store *cachestore.Store) (*Service, error) {
 func (s *Service) Name() string { return s.cfg.Name }
 
 // Store returns the backing cache store.
-func (s *Service) Store() *cachestore.Store { return s.store }
+func (s *Service) Store() cachestore.Interface { return s.store }
 
 // HandleQuery answers a cache query with a homogenized-kNN vote over
 // the local store.

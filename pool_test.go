@@ -1,0 +1,154 @@
+package approxcache_test
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"approxcache"
+)
+
+// stubClassifier implements Classifier but not BatchClassifier, to
+// exercise the BatchSize capability check.
+type stubClassifier struct{ approxcache.Classifier }
+
+func newPool(t *testing.T, sessions int, w *approxcache.Workload, opts approxcache.Options) *approxcache.Pool {
+	t.Helper()
+	clf, err := approxcache.NewSimulatedClassifier(approxcache.MobileNetV2, w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Clock == nil {
+		opts.Clock = approxcache.NewVirtualClock()
+	}
+	p, err := approxcache.NewPool(sessions, clf, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	return p
+}
+
+func TestNewPoolValidation(t *testing.T) {
+	if _, err := approxcache.NewPool(2, nil, approxcache.Options{}); err == nil {
+		t.Fatal("nil classifier accepted")
+	}
+	w := testWorkload(t, 10)
+	clf, err := approxcache.NewSimulatedClassifier(approxcache.MobileNetV2, w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := approxcache.NewPool(0, clf, approxcache.Options{}); err == nil {
+		t.Fatal("pool of 0 sessions accepted")
+	}
+	// BatchSize requires batch-capable inference.
+	if _, err := approxcache.NewPool(2, stubClassifier{clf}, approxcache.Options{BatchSize: 4}); err == nil {
+		t.Fatal("BatchSize accepted for a classifier without InferBatch")
+	}
+}
+
+// TestPoolConcurrentSessions drives the full serving-scale facade —
+// sharded store, micro-batcher, N concurrent streams — under -race.
+func TestPoolConcurrentSessions(t *testing.T) {
+	const sessions = 4
+	w := testWorkload(t, 40)
+	p := newPool(t, sessions, w, approxcache.Options{
+		Shards:    4,
+		BatchSize: 4,
+		BatchWait: time.Millisecond,
+	})
+	if p.Size() != sessions || len(p.Sessions()) != sessions {
+		t.Fatalf("size = %d, want %d", p.Size(), sessions)
+	}
+	var wg sync.WaitGroup
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			c := p.Session(s)
+			prev := time.Duration(0)
+			for _, fr := range w.Frames {
+				win := w.IMUWindow(prev, fr.Offset)
+				prev = fr.Offset
+				if _, err := c.ProcessWithTruth(fr.Image, win, approxcache.LabelOf(fr.Class)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	if got := p.Stats().Frames(); got != sessions*len(w.Frames) {
+		t.Fatalf("shared scoreboard saw %d frames, want %d", got, sessions*len(w.Frames))
+	}
+	if p.Len() == 0 {
+		t.Fatal("shared store is empty")
+	}
+	shards := p.ShardStats()
+	if len(shards) != 4 {
+		t.Fatalf("%d shard stats, want 4", len(shards))
+	}
+	var entries int
+	for _, sh := range shards {
+		entries += sh.Entries
+	}
+	if entries != p.Len() {
+		t.Fatalf("shard entries sum %d != store len %d", entries, p.Len())
+	}
+	bs, ok := p.BatcherStats()
+	if !ok || bs.Frames == 0 {
+		t.Fatalf("batcher stats = %+v ok=%v", bs, ok)
+	}
+	// Every session's stats handle is the shared scoreboard.
+	for s := 0; s < sessions; s++ {
+		if p.Session(s).Stats() != p.Stats() {
+			t.Fatalf("session %d has a private scoreboard", s)
+		}
+	}
+}
+
+// TestPoolUnshardedUnbatched: the zero-valued serving options still
+// yield a working pool (single-shard store, no batcher).
+func TestPoolUnshardedUnbatched(t *testing.T) {
+	w := testWorkload(t, 10)
+	p := newPool(t, 2, w, approxcache.Options{})
+	replay(t, p.Session(0), w)
+	if p.ShardStats() != nil {
+		t.Fatal("unsharded pool reported shard stats")
+	}
+	if _, ok := p.BatcherStats(); ok {
+		t.Fatal("unbatched pool reported batcher stats")
+	}
+	if p.Len() == 0 {
+		t.Fatal("store empty after replay")
+	}
+}
+
+// TestShardedSnapshotFacade: a sharded cache's snapshot warm-starts an
+// unsharded one and vice versa — the wire format carries entries, not
+// topology.
+func TestShardedSnapshotFacade(t *testing.T) {
+	w := testWorkload(t, 60)
+	sharded := newCache(t, w, approxcache.Options{Shards: 4})
+	replay(t, sharded, w)
+	if sharded.Len() == 0 {
+		t.Fatal("sharded cache empty after replay")
+	}
+	var buf bytes.Buffer
+	if err := sharded.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	plain := newCache(t, w, approxcache.Options{})
+	if n, err := plain.LoadSnapshot(bytes.NewReader(buf.Bytes())); err != nil || n != sharded.Len() {
+		t.Fatalf("plain load = %d, %v; want %d", n, err, sharded.Len())
+	}
+	var back bytes.Buffer
+	if err := plain.SaveSnapshot(&back); err != nil {
+		t.Fatal(err)
+	}
+	sharded2 := newCache(t, w, approxcache.Options{Shards: 8})
+	if n, err := sharded2.LoadSnapshot(&back); err != nil || n != plain.Len() {
+		t.Fatalf("sharded reload = %d, %v; want %d", n, err, plain.Len())
+	}
+}
