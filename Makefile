@@ -10,9 +10,14 @@ HOTPATH_BUDGETS = HotPathNearest=0,HotPathExactNearest=0,HotPathSignature=0,HotP
 # frames/sec factor at 16 concurrent streams.
 MIN_THROUGHPUT_SPEEDUP = 3.0
 
-.PHONY: check build test race vet fmt bench bench-hotpath bench-gate bench-throughput throughput-gate fault-matrix
+# The overload-resilience gate: with deadlines + admission control on,
+# the node must retain at least this fraction of its peak goodput when
+# offered 4x its measured capacity.
+MIN_GOODPUT_RETENTION = 0.85
 
-check: vet fmt test race bench-gate throughput-gate fault-matrix
+.PHONY: check build test race vet fmt bench bench-hotpath bench-gate bench-throughput throughput-gate bench-overload overload-gate fault-matrix
+
+check: vet fmt test race bench-gate throughput-gate overload-gate fault-matrix
 
 build:
 	$(GO) build ./...
@@ -63,6 +68,21 @@ bench-throughput:
 throughput-gate:
 	$(GO) run ./cmd/approxbench -throughput -throughput-json /tmp/BENCH_throughput.gate.json
 	$(GO) run ./cmd/benchgate -throughput-json /tmp/BENCH_throughput.gate.json -min-speedup $(MIN_THROUGHPUT_SPEEDUP)
+
+# Overload resilience benchmark (E21): open-loop arrivals from 0.5x to
+# 4x of measured capacity against a deadline+admission-protected node
+# and an unprotected one; records BENCH_overload.json and enforces the
+# goodput-retention gate.
+bench-overload:
+	$(GO) run ./cmd/approxbench -overload -overload-json BENCH_overload.json
+	$(GO) run ./cmd/benchgate -overload-json BENCH_overload.json -min-retention $(MIN_GOODPUT_RETENTION)
+
+# Fast overload gate for `make check`: re-runs the sweep (a few seconds
+# of real wall-clock load) and fails if shedding stops protecting
+# goodput under 4x overload.
+overload-gate:
+	$(GO) run ./cmd/approxbench -overload -overload-json /tmp/BENCH_overload.gate.json
+	$(GO) run ./cmd/benchgate -overload-json /tmp/BENCH_overload.gate.json -min-retention $(MIN_GOODPUT_RETENTION)
 
 # Device fault matrix (E19): every sensor fault class plus a DNN outage,
 # guards and watchdog toggled. The acceptance test asserts the shape;

@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"time"
 
+	"approxcache/internal/admission"
 	"approxcache/internal/cachestore"
 	"approxcache/internal/core"
 	"approxcache/internal/dnn"
@@ -107,6 +108,17 @@ type (
 	IMUGuardConfig = imu.GuardConfig
 	// FrameGuardConfig tunes the camera-frame validity guard.
 	FrameGuardConfig = vision.FrameGuardConfig
+	// AdmissionConfig tunes the AIMD overload limiter gating the DNN
+	// fallback (see Options.Admission). The zero value is disabled;
+	// DefaultAdmissionConfig returns sensible serving defaults.
+	AdmissionConfig = admission.Config
+	// AdmissionSnapshot is a point-in-time view of the overload
+	// limiter: current limit, in-flight count, shed/late counters, and
+	// the brownout level.
+	AdmissionSnapshot = admission.Snapshot
+	// AdmissionLevel is the brownout degradation level the limiter is
+	// operating at (full, no-peer, first-candidate).
+	AdmissionLevel = admission.Level
 )
 
 // Typed input and availability errors surfaced by Process.
@@ -121,6 +133,16 @@ var (
 	// ErrClassifierDown reports that the watchdog's breaker is open and
 	// no fallback answer was available.
 	ErrClassifierDown = core.ErrClassifierDown
+	// ErrDeadlineExceeded reports that a frame blew its RequestDeadline
+	// and no degraded answer (cached or last-result) was available.
+	ErrDeadlineExceeded = core.ErrDeadlineExceeded
+	// ErrOverloadShed reports that admission control refused the DNN
+	// fallback and no degraded answer was available.
+	ErrOverloadShed = core.ErrOverloadShed
+	// ErrBatcherClosed reports an inference submitted to a pool whose
+	// micro-batcher has been Closed; the degradation ladder normally
+	// absorbs it before it reaches the caller.
+	ErrBatcherClosed = dnn.ErrBatcherClosed
 )
 
 // Re-exported mode, source, eviction, and regime constants.
@@ -136,10 +158,17 @@ const (
 	SourcePeer     = metrics.SourcePeer
 	SourceDNN      = metrics.SourceDNN
 	SourceFallback = metrics.SourceFallback
+	SourceShed     = metrics.SourceShed
 
 	DegradeNone       = core.DegradeNone
 	DegradeCacheOnly  = core.DegradeCacheOnly
 	DegradeLastResult = core.DegradeLastResult
+	DegradeOverload   = core.DegradeOverload
+	DegradeDeadline   = core.DegradeDeadline
+
+	AdmissionFull           = admission.LevelFull
+	AdmissionNoPeer         = admission.LevelNoPeer
+	AdmissionFirstCandidate = admission.LevelFirstCandidate
 
 	EvictLRU       = cachestore.LRU
 	EvictLFU       = cachestore.LFU
@@ -237,6 +266,33 @@ type Options struct {
 	// BatchWait caps how long a pending micro-batch waits for more
 	// frames before dispatching anyway (default 5ms).
 	BatchWait time.Duration
+	// BatchPending bounds the micro-batcher's in-flight inferences
+	// (queued plus dispatched); excess submissions are refused with a
+	// typed overload error the degradation ladder absorbs. 0 keeps the
+	// default (8×BatchSize); negative removes the bound.
+	BatchPending int
+	// RequestDeadline is the per-request wall-clock budget. A frame
+	// that blows it is answered from the degradation ladder (typed
+	// SourceShed / DegradeDeadline) instead of occupying the
+	// classifier, and the micro-batcher drops it if it expires while
+	// queued. Zero (the default) disables deadlines. Deadlines are
+	// wall-clock even under a virtual Clock: queueing delay and
+	// accelerator occupancy are wall-clock phenomena.
+	RequestDeadline time.Duration
+	// Admission enables the AIMD overload limiter gating the DNN
+	// fallback. The zero value is disabled; start from
+	// DefaultAdmissionConfig. Shed frames are answered from the
+	// degradation ladder, typed SourceShed / DegradeOverload. Under
+	// sustained pressure the limiter also browns out the expensive
+	// reuse machinery (peer queries first, then the kNN vote).
+	Admission AdmissionConfig
+}
+
+// DefaultAdmissionConfig returns the standard overload limiter
+// configuration, enabled. Assign it to Options.Admission to turn
+// admission control on.
+func DefaultAdmissionConfig() AdmissionConfig {
+	return admission.DefaultConfig()
 }
 
 // Cache is the user-facing approximate recognition cache.
@@ -315,6 +371,10 @@ func engineConfig(opts Options) core.Config {
 		cfg.FrameGuard = opts.FrameGuard
 	}
 	cfg.DisableSensorGuards = opts.DisableSensorGuards
+	if opts.RequestDeadline > 0 {
+		cfg.RequestDeadline = opts.RequestDeadline
+	}
+	cfg.Admission = opts.Admission
 	return cfg
 }
 
@@ -397,6 +457,12 @@ func (c *Cache) ProcessWithTruth(im *Image, imuWindow []IMUSample, truth string)
 
 // Stats returns the session statistics.
 func (c *Cache) Stats() *Stats { return c.engine.Stats() }
+
+// AdmissionSnapshot returns the overload limiter's state; ok is false
+// when Options.Admission is disabled.
+func (c *Cache) AdmissionSnapshot() (AdmissionSnapshot, bool) {
+	return c.engine.AdmissionSnapshot()
+}
 
 // Mode returns the configured strategy.
 func (c *Cache) Mode() Mode { return c.engine.Mode() }

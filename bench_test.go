@@ -334,6 +334,34 @@ func BenchmarkE20ServingThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkE21OverloadResilience regenerates the overload sweep and
+// reports the protected node's goodput retention at the highest
+// offered load (1.0 = no goodput lost to 4x overload).
+func BenchmarkE21OverloadResilience(b *testing.B) {
+	report := runExperiment(b, "E21")
+	parse := func(s string) float64 {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return v
+	}
+	peak, atMax := 0.0, 0.0
+	for _, row := range report.Rows {
+		if row[0] != eval.OverloadResilient {
+			continue
+		}
+		g := parse(row[3])
+		if g > peak {
+			peak = g
+		}
+		atMax = g // rows arrive in ascending load order
+	}
+	if peak > 0 {
+		b.ReportMetric(atMax/peak, "goodput-retention")
+	}
+}
+
 // ---------------------------------------------------------------------------
 // Micro-benchmarks: the real compute cost of each pipeline stage.
 // ---------------------------------------------------------------------------

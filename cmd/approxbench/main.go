@@ -1,4 +1,4 @@
-// Command approxbench runs the evaluation suite (experiments E1–E19 from
+// Command approxbench runs the evaluation suite (experiments E1–E21 from
 // DESIGN.md) and prints the tables recorded in EXPERIMENTS.md.
 //
 // Usage:
@@ -9,6 +9,7 @@
 //	approxbench -parallel 8     # fan experiments/sweeps across workers
 //	approxbench -list           # list the suite
 //	approxbench -throughput     # multi-session saturation benchmark
+//	approxbench -overload       # open-loop overload sweep
 //
 // Independent experiments and sweep points run concurrently under
 // -parallel; tables are printed in suite order and are identical to a
@@ -21,6 +22,12 @@
 // accelerator occupancy model, and writes frames/sec, latency
 // percentiles, and per-shard contention counters as JSON (default
 // BENCH_throughput.json) for cmd/benchgate's speedup gate.
+//
+// -overload fires open-loop arrivals (0.5×–4× of measured capacity) at
+// a deadline-and-admission-protected serving node and at an
+// unprotected one, and writes goodput, latency percentiles, and shed
+// counters as JSON (default BENCH_overload.json) for cmd/benchgate's
+// goodput-retention gate.
 package main
 
 import (
@@ -45,7 +52,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("approxbench", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiment id (E1..E19), name, or \"all\"")
+		exp      = fs.String("exp", "all", "experiment id (E1..E21), name, or \"all\"")
 		frames   = fs.Int("frames", eval.DefaultScale().Frames, "per-device workload length in frames")
 		seed     = fs.Int64("seed", eval.DefaultScale().Seed, "root random seed")
 		format   = fs.String("format", "table", "output format: table | csv | markdown")
@@ -57,6 +64,9 @@ func run(args []string) error {
 		tputJSON = fs.String("throughput-json", "BENCH_throughput.json", "with -throughput, write the report JSON here (empty = stdout only)")
 		streams  = fs.Int("streams", 0, "with -throughput, concurrent client streams (0 = default 16)")
 		tpFrames = fs.Int("tp-frames", 0, "with -throughput, frames per stream (0 = default 30)")
+		overload = fs.Bool("overload", false, "run the open-loop overload sweep and exit")
+		olJSON   = fs.String("overload-json", "BENCH_overload.json", "with -overload, write the report JSON here (empty = stdout only)")
+		sessions = fs.Int("sessions", 0, "with -overload, serving pool sessions (0 = default 8)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -67,6 +77,12 @@ func run(args []string) error {
 			Frames:  *tpFrames,
 			Seed:    *seed,
 		}, *tputJSON)
+	}
+	if *overload {
+		return runOverloadBench(eval.OverloadConfig{
+			Sessions: *sessions,
+			Seed:     *seed,
+		}, *olJSON)
 	}
 	if *list {
 		for _, e := range eval.All() {
@@ -158,6 +174,42 @@ func runThroughput(cfg eval.ThroughputConfig, jsonPath string) error {
 	}
 	fmt.Printf("speedup (sharded+batched vs single-mutex): %.2fx in %v\n",
 		rep.Speedup, time.Since(start).Round(time.Millisecond))
+	if jsonPath != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	return nil
+}
+
+// runOverloadBench executes the open-loop overload sweep, prints the
+// load ladder for both node configurations, and records the report for
+// the goodput-retention gate.
+func runOverloadBench(cfg eval.OverloadConfig, jsonPath string) error {
+	start := time.Now()
+	rep, err := eval.RunOverload(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("overload: %d sessions, capacity %.0f req/s (closed-loop), deadline %.0fms\n",
+		rep.Sessions, rep.CapacityRPS, rep.DeadlineMS)
+	for _, p := range rep.Points {
+		line := fmt.Sprintf("  %-12s %4gx %8.0f req/s offered  goodput=%7.0f/s  p50=%8.2fms p99=%8.2fms  shed=%d err=%d unfinished=%d",
+			p.Mode, p.Load, p.OfferedRPS, p.GoodputRPS, p.P50MS, p.P99MS,
+			p.Shed, p.Errors, p.Unfinished)
+		if p.AdmissionLimit > 0 {
+			line += fmt.Sprintf("  limit=%d level=%s", p.AdmissionLimit, p.BrownoutLevel)
+		}
+		fmt.Println(line)
+	}
+	fmt.Printf("goodput retention at max load: %.2f (resilient p99 %.1fms vs unprotected %.1fms) in %v\n",
+		rep.Retention, rep.ResilientP99MS, rep.UnprotectedP99MS,
+		time.Since(start).Round(time.Millisecond))
 	if jsonPath != "" {
 		blob, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {

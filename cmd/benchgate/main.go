@@ -22,6 +22,14 @@
 // It reads the JSON written by `approxbench -throughput` and fails
 // unless the sharded+batched architecture beat the single-mutex
 // baseline by at least -min-speedup. Stdin is not read in this mode.
+//
+// A third mode gates the overload-resilience report:
+//
+//	benchgate -overload-json BENCH_overload.json -min-retention 0.85
+//
+// It reads the JSON written by `approxbench -overload` and fails
+// unless the admission-protected node retained at least -min-retention
+// of its peak goodput at the highest offered load.
 package main
 
 import (
@@ -61,12 +69,17 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		budgets    = fs.String("budgets", "", "comma-separated Name=maxAllocsPerOp gates")
 		tputJSON   = fs.String("throughput-json", "", "gate a throughput report file instead of reading benchmarks from stdin")
 		minSpeedup = fs.Float64("min-speedup", 3.0, "with -throughput-json, minimum required sharded+batched speedup over single-mutex")
+		olJSON     = fs.String("overload-json", "", "gate an overload report file instead of reading benchmarks from stdin")
+		minRetain  = fs.Float64("min-retention", 0.85, "with -overload-json, minimum required goodput retention at the highest offered load")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *tputJSON != "" {
 		return checkThroughput(*tputJSON, *minSpeedup, out)
+	}
+	if *olJSON != "" {
+		return checkOverload(*olJSON, *minRetain, out)
 	}
 	results, err := parseBench(in)
 	if err != nil {
@@ -214,6 +227,49 @@ func checkThroughput(path string, minSpeedup float64, out io.Writer) error {
 		rep.Speedup, rep.Streams, minSpeedup)
 	if rep.Speedup < minSpeedup {
 		return fmt.Errorf("throughput speedup %.2fx below required %.2fx", rep.Speedup, minSpeedup)
+	}
+	return nil
+}
+
+// overloadReport mirrors the fields of eval.OverloadReport this gate
+// needs (benchgate stays stdlib-only, so it does not import eval).
+type overloadReport struct {
+	Sessions    int     `json:"sessions"`
+	CapacityRPS float64 `json:"capacity_rps"`
+	Points      []struct {
+		Mode       string  `json:"mode"`
+		Load       float64 `json:"load"`
+		GoodputRPS float64 `json:"goodput_rps"`
+		P99MS      float64 `json:"p99_ms"`
+	} `json:"points"`
+	PeakGoodput  float64 `json:"peak_goodput_rps"`
+	GoodputAtMax float64 `json:"goodput_at_max_rps"`
+	Retention    float64 `json:"retention"`
+}
+
+// checkOverload enforces the overload-resilience regression gate on a
+// report written by `approxbench -overload`.
+func checkOverload(path string, minRetention float64, out io.Writer) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep overloadReport
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	if len(rep.Points) == 0 {
+		return fmt.Errorf("%s: no points", path)
+	}
+	for _, p := range rep.Points {
+		fmt.Fprintf(out, "%-12s %4gx %10.1f goodput/s %10.1f p99 ms\n",
+			p.Mode, p.Load, p.GoodputRPS, p.P99MS)
+	}
+	fmt.Fprintf(out, "goodput retention %.2f at %d sessions (gate: >= %.2f)\n",
+		rep.Retention, rep.Sessions, minRetention)
+	if rep.Retention < minRetention {
+		return fmt.Errorf("goodput retention %.2f below required %.2f (peak %.1f/s, at max load %.1f/s)",
+			rep.Retention, minRetention, rep.PeakGoodput, rep.GoodputAtMax)
 	}
 	return nil
 }

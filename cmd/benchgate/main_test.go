@@ -165,3 +165,56 @@ func TestThroughputGateBadFile(t *testing.T) {
 		t.Fatal("missing report accepted")
 	}
 }
+
+const overloadSample = `{
+  "sessions": 8,
+  "capacity_rps": 300.0,
+  "points": [
+    {"mode": "resilient", "load": 1, "goodput_rps": 280.0, "p99_ms": 40.0},
+    {"mode": "resilient", "load": 4, "goodput_rps": 270.0, "p99_ms": 80.0},
+    {"mode": "unprotected", "load": 4, "goodput_rps": 90.0, "p99_ms": 1500.0}
+  ],
+  "peak_goodput_rps": 280.0,
+  "goodput_at_max_rps": 270.0,
+  "retention": 0.96
+}`
+
+func TestOverloadGatePass(t *testing.T) {
+	var out strings.Builder
+	// Stdin carries no benchmarks: the overload mode must not read it.
+	err := run([]string{"-overload-json", writeThroughput(t, overloadSample), "-min-retention", "0.85"},
+		strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"resilient", "unprotected", "0.96"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("summary missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestOverloadGateFail(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-overload-json", writeThroughput(t, overloadSample), "-min-retention", "0.99"},
+		strings.NewReader(""), &out)
+	if err == nil || !strings.Contains(err.Error(), "below required") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOverloadGateBadFile(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-overload-json", writeThroughput(t, "not json")},
+		strings.NewReader(""), &out); err == nil {
+		t.Fatal("corrupt report accepted")
+	}
+	if err := run([]string{"-overload-json", writeThroughput(t, `{"retention": 1}`)},
+		strings.NewReader(""), &out); err == nil {
+		t.Fatal("empty points accepted")
+	}
+	if err := run([]string{"-overload-json", filepath.Join(t.TempDir(), "missing.json")},
+		strings.NewReader(""), &out); err == nil {
+		t.Fatal("missing report accepted")
+	}
+}

@@ -55,6 +55,8 @@ func run(args []string) error {
 		sessions  = fs.Int("sessions", 1, "concurrent client sessions sharing this node's cache")
 		shards    = fs.Int("shards", 0, "cache store shards (0 = auto: unsharded for one session, 8 for more)")
 		batch     = fs.Int("batch", 0, "micro-batch size for DNN inference across sessions (0 = unbatched)")
+		deadline  = fs.Duration("deadline", 0, "per-request wall-clock budget; blown requests are answered from the degradation ladder (0 = off)")
+		admit     = fs.Bool("admission", false, "enable AIMD admission control on the DNN fallback (sheds excess load under overload)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,6 +73,7 @@ func run(args []string) error {
 			frames: *frames, warm: *warm,
 			seed: *seed, classSeed: *classSeed,
 			profile: profile, serve: *serve, budget: *budget, snapshot: *snapshot,
+			deadline: *deadline, admission: *admit,
 		})
 	}
 	spec := approxcache.StationaryHeavyWorkload(*warm+*frames, *seed)
@@ -83,11 +86,16 @@ func run(args []string) error {
 	if err != nil {
 		return fmt.Errorf("classifier: %w", err)
 	}
-	cache, err := approxcache.New(classifier, approxcache.Options{
-		Clock:      approxcache.NewVirtualClock(),
-		PeerBudget: *budget,
-		Shards:     *shards,
-	})
+	opts := approxcache.Options{
+		Clock:           approxcache.NewVirtualClock(),
+		PeerBudget:      *budget,
+		Shards:          *shards,
+		RequestDeadline: *deadline,
+	}
+	if *admit {
+		opts.Admission = approxcache.DefaultAdmissionConfig()
+	}
+	cache, err := approxcache.New(classifier, opts)
 	if err != nil {
 		return err
 	}
@@ -193,6 +201,8 @@ type poolParams struct {
 	serve             bool
 	budget            time.Duration
 	snapshot          string
+	deadline          time.Duration
+	admission         bool
 }
 
 // runPool serves p.sessions concurrent client streams from one node:
@@ -217,12 +227,17 @@ func runPool(p poolParams) error {
 	if err != nil {
 		return fmt.Errorf("classifier: %w", err)
 	}
-	pool, err := approxcache.NewPool(p.sessions, classifier, approxcache.Options{
-		Clock:      approxcache.NewVirtualClock(),
-		PeerBudget: p.budget,
-		Shards:     p.shards,
-		BatchSize:  p.batch,
-	})
+	opts := approxcache.Options{
+		Clock:           approxcache.NewVirtualClock(),
+		PeerBudget:      p.budget,
+		Shards:          p.shards,
+		BatchSize:       p.batch,
+		RequestDeadline: p.deadline,
+	}
+	if p.admission {
+		opts.Admission = approxcache.DefaultAdmissionConfig()
+	}
+	pool, err := approxcache.NewPool(p.sessions, classifier, opts)
 	if err != nil {
 		return err
 	}
@@ -324,8 +339,16 @@ func printServingStats(pool *approxcache.Pool) {
 		}
 	}
 	if bs, ok := pool.BatcherStats(); ok {
-		fmt.Printf("batcher: %d frames in %d batches (avg %.1f), %d full, %d deadline flushes\n",
+		fmt.Printf("batcher: %d frames in %d batches (avg %.1f), %d full, %d deadline flushes",
 			bs.Frames, bs.Batches, bs.AvgSize(), bs.FullFlushes, bs.DeadlineFlushes)
+		if bs.ExpiredDrops > 0 || bs.Overflows > 0 {
+			fmt.Printf(", %d expired in queue, %d queue overflows", bs.ExpiredDrops, bs.Overflows)
+		}
+		fmt.Println()
+	}
+	if snap, ok := pool.AdmissionSnapshot(); ok {
+		fmt.Printf("admission: limit %d (inflight %d), %d admitted, %d shed, brownout %s (%d transitions)\n",
+			snap.Limit, snap.Inflight, snap.Admitted, snap.Shed, snap.Level, snap.Transitions)
 	}
 }
 
@@ -336,10 +359,19 @@ func printStats(cache *approxcache.Cache, client *approxcache.PeerClient) {
 	sum := stats.Latency().Summary()
 	fmt.Printf("latency: mean=%v p50=%v p99=%v\n", sum.Mean, sum.P50, sum.P99)
 	counts := stats.CountBySource()
-	fmt.Printf("sources: imu=%d video=%d local=%d peer=%d dnn=%d fallback=%d\n",
+	fmt.Printf("sources: imu=%d video=%d local=%d peer=%d dnn=%d fallback=%d shed=%d\n",
 		counts[approxcache.SourceIMU], counts[approxcache.SourceVideo],
 		counts[approxcache.SourceLocal], counts[approxcache.SourcePeer],
-		counts[approxcache.SourceDNN], counts[approxcache.SourceFallback])
+		counts[approxcache.SourceDNN], counts[approxcache.SourceFallback],
+		counts[approxcache.SourceShed])
+	if sheds, drops := stats.Sheds(), stats.ExpiredDrops(); sheds > 0 || drops > 0 {
+		up, down := stats.BrownoutTransitions()
+		fmt.Printf("overload: %d shed, %d expired in queue, brownout %d up / %d down\n",
+			sheds, drops, up, down)
+	}
+	if inDeadline, late := stats.DeadlineCompletions(); inDeadline+late > 0 {
+		fmt.Printf("deadlines: %d in-deadline, %d late\n", inDeadline, late)
+	}
 	if sf := stats.SensorFaultTotal(); sf > 0 {
 		fmt.Printf("sensor faults: %d flagged", sf)
 		for _, kind := range sortedFaultKinds(stats.SensorFaults()) {

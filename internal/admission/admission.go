@@ -1,0 +1,398 @@
+// Package admission implements overload protection for the serving
+// path: an AIMD concurrency limiter that gates entry to the expensive
+// DNN fallback, and a brownout ladder that progressively disables the
+// costlier reuse stages while the limiter is pinned at its floor.
+//
+// The limiter is a classic additive-increase/multiplicative-decrease
+// controller over the number of in-flight fallback inferences. Every
+// in-deadline completion nudges the limit up (additively, scaled by the
+// current limit so growth is one slot per "window" of completions);
+// every deadline miss or queue overflow multiplies it down toward a
+// floor. Requests arriving above the limit are shed — answered from
+// the degradation ladder at reduced confidence — instead of queueing
+// without bound in front of a saturated accelerator.
+//
+// Brownout rides on the limiter: when it has been pressed to its floor
+// for a sustained run of events the controller raises the brownout
+// level, first disabling peer-to-peer queries, then replacing the
+// homogenized-kNN vote with a first-candidate check. Calm runs of
+// in-deadline completions with the limit off the floor lower it again.
+// Both directions use hysteresis counters so one burst cannot flap the
+// ladder.
+package admission
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Level is a brownout rung. Higher levels shed more per-request work.
+type Level int
+
+// Brownout rungs, cheapest degradation first.
+const (
+	// LevelFull runs the whole pipeline.
+	LevelFull Level = iota
+	// LevelNoPeer skips peer-to-peer queries — the most expensive and
+	// most shed-tolerant reuse stage.
+	LevelNoPeer
+	// LevelFirstCandidate additionally serves the nearest in-range
+	// cache candidate without the homogenized-kNN vote.
+	LevelFirstCandidate
+)
+
+// maxLevel is the deepest brownout rung.
+const maxLevel = LevelFirstCandidate
+
+// String returns the rung name.
+func (l Level) String() string {
+	switch l {
+	case LevelFull:
+		return "full"
+	case LevelNoPeer:
+		return "no-peer"
+	case LevelFirstCandidate:
+		return "first-candidate"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// Config tunes the controller. The zero value is DISABLED — overload
+// protection is opt-in so existing deployments keep their behaviour.
+type Config struct {
+	// Enabled turns the controller on.
+	Enabled bool
+	// MinLimit is the concurrency floor the limiter can never back off
+	// below (default 1). At least one fallback inference is always
+	// admitted, so the pipeline keeps probing the accelerator.
+	MinLimit int
+	// MaxLimit caps additive growth (default 64).
+	MaxLimit int
+	// InitialLimit is the starting concurrency limit (default 8).
+	InitialLimit int
+	// Increase is the additive step per in-deadline completion, applied
+	// as Increase/limit so the limit grows by about Increase per full
+	// window of completions (default 1).
+	Increase float64
+	// Backoff multiplies the limit on a deadline miss or queue overflow
+	// (default 0.5). Must be in (0, 1).
+	Backoff float64
+	// BackoffCooldown is the minimum number of completions between two
+	// multiplicative backoffs, so one late burst costs one halving, not
+	// one per frame in the burst (default 2).
+	BackoffCooldown int
+	// BrownoutRaiseAfter is how many consecutive pressure events (sheds
+	// or backoffs with the limit at its floor) raise the brownout level
+	// one rung (default 8).
+	BrownoutRaiseAfter int
+	// BrownoutLowerAfter is how many consecutive calm events
+	// (in-deadline completions with the limit off the floor) lower it
+	// one rung (default 64 — recovery is deliberately slower than
+	// degradation).
+	BrownoutLowerAfter int
+}
+
+// DefaultConfig returns an enabled controller with production defaults.
+func DefaultConfig() Config {
+	return Config{
+		Enabled:            true,
+		MinLimit:           1,
+		MaxLimit:           64,
+		InitialLimit:       8,
+		Increase:           1,
+		Backoff:            0.5,
+		BackoffCooldown:    2,
+		BrownoutRaiseAfter: 8,
+		BrownoutLowerAfter: 64,
+	}
+}
+
+// withDefaults fills zero fields of an enabled config.
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.MinLimit == 0 {
+		c.MinLimit = d.MinLimit
+	}
+	if c.MaxLimit == 0 {
+		c.MaxLimit = d.MaxLimit
+	}
+	if c.InitialLimit == 0 {
+		c.InitialLimit = d.InitialLimit
+	}
+	if c.Increase == 0 {
+		c.Increase = d.Increase
+	}
+	if c.Backoff == 0 {
+		c.Backoff = d.Backoff
+	}
+	if c.BackoffCooldown == 0 {
+		c.BackoffCooldown = d.BackoffCooldown
+	}
+	if c.BrownoutRaiseAfter == 0 {
+		c.BrownoutRaiseAfter = d.BrownoutRaiseAfter
+	}
+	if c.BrownoutLowerAfter == 0 {
+		c.BrownoutLowerAfter = d.BrownoutLowerAfter
+	}
+	return c
+}
+
+// Validate reports whether the configuration is usable. A disabled
+// config is always valid.
+func (c Config) Validate() error {
+	if !c.Enabled {
+		return nil
+	}
+	c = c.withDefaults()
+	if c.MinLimit < 1 {
+		return fmt.Errorf("admission: MinLimit must be >= 1, got %d", c.MinLimit)
+	}
+	if c.MaxLimit < c.MinLimit {
+		return fmt.Errorf("admission: MaxLimit %d below MinLimit %d", c.MaxLimit, c.MinLimit)
+	}
+	if c.InitialLimit < c.MinLimit || c.InitialLimit > c.MaxLimit {
+		return fmt.Errorf("admission: InitialLimit %d outside [%d, %d]",
+			c.InitialLimit, c.MinLimit, c.MaxLimit)
+	}
+	if c.Increase <= 0 {
+		return fmt.Errorf("admission: Increase must be positive, got %v", c.Increase)
+	}
+	if c.Backoff <= 0 || c.Backoff >= 1 {
+		return fmt.Errorf("admission: Backoff must be in (0,1), got %v", c.Backoff)
+	}
+	if c.BackoffCooldown < 1 {
+		return fmt.Errorf("admission: BackoffCooldown must be >= 1, got %d", c.BackoffCooldown)
+	}
+	if c.BrownoutRaiseAfter < 1 || c.BrownoutLowerAfter < 1 {
+		return fmt.Errorf("admission: brownout hysteresis counts must be >= 1")
+	}
+	return nil
+}
+
+// Snapshot is a point-in-time copy of the controller's state and
+// counters, safe to hand to reports and printouts.
+type Snapshot struct {
+	// Limit is the current concurrency limit (floor of the internal
+	// fractional limit).
+	Limit int `json:"limit"`
+	// Inflight is the number of admitted, uncompleted requests.
+	Inflight int `json:"inflight"`
+	// Admitted and Shed count TryAcquire outcomes.
+	Admitted int64 `json:"admitted"`
+	Shed     int64 `json:"shed"`
+	// InDeadline and Late count Release outcomes.
+	InDeadline int64 `json:"in_deadline"`
+	Late       int64 `json:"late"`
+	// Overflows counts queue-overflow completions (the batcher refused
+	// or expired the request before the accelerator saw it).
+	Overflows int64 `json:"overflows"`
+	// Backoffs counts multiplicative decreases actually applied.
+	Backoffs int64 `json:"backoffs"`
+	// Level is the current brownout rung.
+	Level Level `json:"level"`
+	// Transitions counts brownout level changes in either direction.
+	Transitions int64 `json:"transitions"`
+	// AtFloor reports whether the limit sits at MinLimit.
+	AtFloor bool `json:"at_floor"`
+}
+
+// Controller is the admission limiter plus brownout ladder. It is safe
+// for concurrent use; one controller is shared by every session of a
+// serving pool, because they share the accelerator it protects.
+type Controller struct {
+	cfg Config
+
+	mu       sync.Mutex
+	limit    float64
+	inflight int
+
+	admitted   int64
+	shed       int64
+	inDeadline int64
+	late       int64
+	overflows  int64
+	backoffs   int64
+
+	sinceBackoff int // completions since the last backoff
+	pressureRun  int // consecutive pressure events
+	calmRun      int // consecutive calm events
+	level        Level
+	transitions  int64
+	onTransition func(from, to Level)
+}
+
+// New builds a controller. A nil return with nil error means the config
+// is disabled — callers treat a nil controller as "no admission
+// control".
+func New(cfg Config) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !cfg.Enabled {
+		return nil, nil
+	}
+	cfg = cfg.withDefaults()
+	return &Controller{
+		cfg:          cfg,
+		limit:        float64(cfg.InitialLimit),
+		sinceBackoff: cfg.BackoffCooldown, // the first miss may back off immediately
+	}, nil
+}
+
+// SetTransitionHook installs a callback invoked (under the controller
+// lock — keep it cheap) on every brownout level change. Used to feed
+// session stats.
+func (c *Controller) SetTransitionHook(fn func(from, to Level)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onTransition = fn
+}
+
+// TryAcquire claims one in-flight slot. False means the request must be
+// shed to the degradation ladder (and no Release call is owed).
+func (c *Controller) TryAcquire() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.inflight >= c.limitLocked() {
+		c.shed++
+		c.pressureLocked()
+		return false
+	}
+	c.inflight++
+	c.admitted++
+	return true
+}
+
+// Release completes an admitted request. inDeadline reports whether the
+// request finished within its deadline (always true when deadlines are
+// off): in-deadline completions grow the limit additively, late ones
+// back it off multiplicatively.
+func (c *Controller) Release(inDeadline bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.releaseLocked()
+	if inDeadline {
+		c.inDeadline++
+		c.limit += c.cfg.Increase / c.limit
+		if ceil := float64(c.cfg.MaxLimit); c.limit > ceil {
+			c.limit = ceil
+		}
+		c.calmLocked()
+		return
+	}
+	c.late++
+	c.backoffLocked()
+}
+
+// ReleaseOverflow completes an admitted request that never reached the
+// accelerator because the inference queue refused it (full) or expired
+// it. Overflow is a backoff signal just like a deadline miss.
+func (c *Controller) ReleaseOverflow() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.releaseLocked()
+	c.overflows++
+	c.backoffLocked()
+}
+
+func (c *Controller) releaseLocked() {
+	if c.inflight > 0 {
+		c.inflight--
+	}
+	c.sinceBackoff++
+}
+
+// backoffLocked applies a multiplicative decrease, rate-limited by the
+// cooldown, and records pressure for the brownout ladder.
+func (c *Controller) backoffLocked() {
+	if c.sinceBackoff >= c.cfg.BackoffCooldown {
+		c.limit *= c.cfg.Backoff
+		if floor := float64(c.cfg.MinLimit); c.limit < floor {
+			c.limit = floor
+		}
+		c.backoffs++
+		c.sinceBackoff = 0
+	}
+	c.pressureLocked()
+}
+
+// pressureLocked records one pressure event: sheds and backoffs count
+// toward raising the brownout level only while the limiter sits at its
+// floor — a backoff from a high limit is normal congestion control, not
+// brownout territory.
+func (c *Controller) pressureLocked() {
+	if c.limitLocked() > c.cfg.MinLimit {
+		return
+	}
+	c.calmRun = 0
+	c.pressureRun++
+	if c.pressureRun >= c.cfg.BrownoutRaiseAfter && c.level < maxLevel {
+		c.setLevelLocked(c.level + 1)
+		c.pressureRun = 0
+	}
+}
+
+// calmLocked records one calm event: in-deadline completions with the
+// limit off the floor. Sustained calm lowers the brownout level.
+func (c *Controller) calmLocked() {
+	if c.limitLocked() <= c.cfg.MinLimit {
+		return
+	}
+	c.pressureRun = 0
+	c.calmRun++
+	if c.calmRun >= c.cfg.BrownoutLowerAfter && c.level > LevelFull {
+		c.setLevelLocked(c.level - 1)
+		c.calmRun = 0
+	}
+}
+
+func (c *Controller) setLevelLocked(to Level) {
+	from := c.level
+	c.level = to
+	c.transitions++
+	if c.onTransition != nil {
+		c.onTransition(from, to)
+	}
+}
+
+func (c *Controller) limitLocked() int {
+	l := int(c.limit)
+	if l < c.cfg.MinLimit {
+		l = c.cfg.MinLimit
+	}
+	return l
+}
+
+// Level returns the current brownout rung.
+func (c *Controller) Level() Level {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.level
+}
+
+// Limit returns the current concurrency limit.
+func (c *Controller) Limit() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.limitLocked()
+}
+
+// Snapshot returns a copy of the controller's state and counters.
+func (c *Controller) Snapshot() Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Snapshot{
+		Limit:       c.limitLocked(),
+		Inflight:    c.inflight,
+		Admitted:    c.admitted,
+		Shed:        c.shed,
+		InDeadline:  c.inDeadline,
+		Late:        c.late,
+		Overflows:   c.overflows,
+		Backoffs:    c.backoffs,
+		Level:       c.level,
+		Transitions: c.transitions,
+		AtFloor:     c.limitLocked() <= c.cfg.MinLimit,
+	}
+}

@@ -1,0 +1,251 @@
+package admission
+
+import (
+	"sync"
+	"testing"
+)
+
+func mustNew(t *testing.T, cfg Config) *Controller {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == nil {
+		t.Fatal("enabled config returned nil controller")
+	}
+	return c
+}
+
+func TestDisabledConfigYieldsNilController(t *testing.T) {
+	c, err := New(Config{})
+	if err != nil || c != nil {
+		t.Fatalf("New(zero) = %v, %v; want nil, nil", c, err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Enabled: true, MinLimit: -1},
+		{Enabled: true, MaxLimit: 2, InitialLimit: 5},
+		{Enabled: true, Backoff: 1.5},
+		{Enabled: true, Increase: -1},
+		{Enabled: true, MinLimit: 4, MaxLimit: 2},
+		{Enabled: true, BackoffCooldown: -3},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	if err := (Config{}).Validate(); err != nil {
+		t.Errorf("disabled config rejected: %v", err)
+	}
+}
+
+func TestLimitEnforced(t *testing.T) {
+	c := mustNew(t, Config{Enabled: true, InitialLimit: 2, MinLimit: 1, MaxLimit: 4})
+	if !c.TryAcquire() || !c.TryAcquire() {
+		t.Fatal("first two acquires should be admitted")
+	}
+	if c.TryAcquire() {
+		t.Fatal("third acquire above limit 2 should be shed")
+	}
+	snap := c.Snapshot()
+	if snap.Admitted != 2 || snap.Shed != 1 || snap.Inflight != 2 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	c.Release(true)
+	if !c.TryAcquire() {
+		t.Fatal("slot freed by Release should be reusable")
+	}
+}
+
+func TestAdditiveIncrease(t *testing.T) {
+	c := mustNew(t, Config{Enabled: true, InitialLimit: 2, MaxLimit: 4})
+	// Each in-deadline completion adds 1/limit; after enough
+	// completions the limit reaches the cap and stops.
+	for i := 0; i < 100; i++ {
+		if !c.TryAcquire() {
+			t.Fatalf("acquire %d shed below limit", i)
+		}
+		c.Release(true)
+	}
+	if got := c.Limit(); got != 4 {
+		t.Fatalf("limit after sustained success = %d, want cap 4", got)
+	}
+}
+
+func TestMultiplicativeBackoff(t *testing.T) {
+	c := mustNew(t, Config{
+		Enabled: true, InitialLimit: 16, MaxLimit: 32,
+		Backoff: 0.5, BackoffCooldown: 1,
+	})
+	if !c.TryAcquire() {
+		t.Fatal("shed at limit 16")
+	}
+	c.Release(false) // deadline miss
+	if got := c.Limit(); got != 8 {
+		t.Fatalf("limit after one miss = %d, want 8", got)
+	}
+	if !c.TryAcquire() {
+		t.Fatal("shed at limit 8")
+	}
+	c.ReleaseOverflow() // queue overflow is an equal backoff signal
+	if got := c.Limit(); got != 4 {
+		t.Fatalf("limit after overflow = %d, want 4", got)
+	}
+	// Repeated misses never push the limit below the floor.
+	for i := 0; i < 10; i++ {
+		c.TryAcquire()
+		c.Release(false)
+	}
+	if got := c.Limit(); got != 1 {
+		t.Fatalf("limit after sustained misses = %d, want floor 1", got)
+	}
+}
+
+func TestBackoffCooldownRateLimitsDecrease(t *testing.T) {
+	c := mustNew(t, Config{
+		Enabled: true, InitialLimit: 16, MaxLimit: 32,
+		Backoff: 0.5, BackoffCooldown: 3,
+	})
+	// Three admitted requests, all late, released back-to-back: only
+	// the first may back off (cooldown 3 completions).
+	for i := 0; i < 3; i++ {
+		if !c.TryAcquire() {
+			t.Fatalf("acquire %d shed", i)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		c.Release(false)
+	}
+	if got := c.Snapshot().Backoffs; got != 1 {
+		t.Fatalf("backoffs applied = %d, want 1 (cooldown)", got)
+	}
+	if got := c.Limit(); got != 8 {
+		t.Fatalf("limit = %d, want one halving to 8", got)
+	}
+}
+
+func TestBrownoutRaisesUnderFloorPressureAndRecovers(t *testing.T) {
+	c := mustNew(t, Config{
+		Enabled: true, InitialLimit: 1, MinLimit: 1, MaxLimit: 8,
+		BrownoutRaiseAfter: 4, BrownoutLowerAfter: 4,
+		Backoff: 0.5, BackoffCooldown: 1,
+	})
+	var transitions [][2]Level
+	c.SetTransitionHook(func(from, to Level) {
+		transitions = append(transitions, [2]Level{from, to})
+	})
+	// Occupy the single slot, then shed 8 requests at the floor: the
+	// ladder should climb both rungs.
+	if !c.TryAcquire() {
+		t.Fatal("initial acquire shed")
+	}
+	for i := 0; i < 8; i++ {
+		if c.TryAcquire() {
+			t.Fatalf("acquire %d admitted above floor limit", i)
+		}
+	}
+	if got := c.Level(); got != LevelFirstCandidate {
+		t.Fatalf("level under sustained floor pressure = %v, want %v", got, LevelFirstCandidate)
+	}
+	c.Release(true)
+	// Calm: in-deadline completions. The first completions grow the
+	// limit off the floor; once off the floor they count as calm and
+	// step the ladder back down to full.
+	for i := 0; i < 40 && c.Level() != LevelFull; i++ {
+		if !c.TryAcquire() {
+			t.Fatalf("calm acquire %d shed", i)
+		}
+		c.Release(true)
+	}
+	if got := c.Level(); got != LevelFull {
+		t.Fatalf("level after sustained calm = %v, want %v", got, LevelFull)
+	}
+	want := [][2]Level{
+		{LevelFull, LevelNoPeer},
+		{LevelNoPeer, LevelFirstCandidate},
+		{LevelFirstCandidate, LevelNoPeer},
+		{LevelNoPeer, LevelFull},
+	}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transition %d = %v, want %v", i, transitions[i], want[i])
+		}
+	}
+	if got := c.Snapshot().Transitions; got != int64(len(want)) {
+		t.Fatalf("transition counter = %d, want %d", got, len(want))
+	}
+}
+
+func TestBackoffAboveFloorIsNotBrownoutPressure(t *testing.T) {
+	c := mustNew(t, Config{
+		Enabled: true, InitialLimit: 32, MaxLimit: 64,
+		Backoff: 0.5, BackoffCooldown: 1,
+		BrownoutRaiseAfter: 2,
+	})
+	// Two misses halve 32 -> 16 -> 8; the limit never touches the
+	// floor, so the brownout ladder must not move.
+	for i := 0; i < 2; i++ {
+		c.TryAcquire()
+		c.Release(false)
+	}
+	if got := c.Level(); got != LevelFull {
+		t.Fatalf("level after above-floor backoffs = %v, want full", got)
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	cases := map[Level]string{
+		LevelFull:           "full",
+		LevelNoPeer:         "no-peer",
+		LevelFirstCandidate: "first-candidate",
+		Level(9):            "Level(9)",
+	}
+	for l, want := range cases {
+		if got := l.String(); got != want {
+			t.Errorf("Level(%d).String() = %q, want %q", int(l), got, want)
+		}
+	}
+}
+
+func TestControllerConcurrency(t *testing.T) {
+	c := mustNew(t, Config{Enabled: true, InitialLimit: 4, MaxLimit: 16})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if !c.TryAcquire() {
+					continue
+				}
+				switch (g + i) % 3 {
+				case 0:
+					c.Release(true)
+				case 1:
+					c.Release(false)
+				default:
+					c.ReleaseOverflow()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := c.Snapshot()
+	if snap.Inflight != 0 {
+		t.Fatalf("inflight after drain = %d, want 0", snap.Inflight)
+	}
+	if snap.Admitted != snap.InDeadline+snap.Late+snap.Overflows {
+		t.Fatalf("admitted %d != completions %d+%d+%d",
+			snap.Admitted, snap.InDeadline, snap.Late, snap.Overflows)
+	}
+	if snap.Limit < 1 || snap.Limit > 16 {
+		t.Fatalf("limit %d outside [1,16]", snap.Limit)
+	}
+}

@@ -13,11 +13,13 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"sync"
 	"time"
 
+	"approxcache/internal/admission"
 	"approxcache/internal/cachestore"
 	"approxcache/internal/dnn"
 	"approxcache/internal/feature"
@@ -177,6 +179,20 @@ type Config struct {
 	// failure breaker with a degraded-serving fallback. The zero value
 	// is a transparent passthrough.
 	Watchdog WatchdogConfig
+	// RequestDeadline is the per-request wall-clock budget. A frame that
+	// blows it is answered from the degradation ladder (typed
+	// metrics.SourceShed / DegradeDeadline) instead of occupying the
+	// accelerator, and the micro-batcher stale-drops it if it expires in
+	// the inference queue. Deadlines are wall-clock because queueing
+	// delay and accelerator occupancy are wall-clock phenomena the
+	// virtual experiment clock cannot see. Zero (the default) disables
+	// deadlines.
+	RequestDeadline time.Duration
+	// Admission configures the AIMD overload limiter gating the DNN
+	// fallback path (see internal/admission). The zero value is
+	// disabled; frames shed by the limiter are answered from the
+	// degradation ladder, typed SourceShed / DegradeOverload.
+	Admission admission.Config
 }
 
 // DefaultConfig returns the standard pipeline configuration.
@@ -209,6 +225,12 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: naive-skip needs positive SkipEvery, got %d", c.SkipEvery)
 	}
 	if err := c.Watchdog.Validate(); err != nil {
+		return err
+	}
+	if c.RequestDeadline < 0 {
+		return fmt.Errorf("core: RequestDeadline must be non-negative, got %v", c.RequestDeadline)
+	}
+	if err := c.Admission.Validate(); err != nil {
 		return err
 	}
 	if err := c.FrameGuard.Validate(); err != nil {
@@ -300,6 +322,13 @@ type Engine struct {
 	deps  Deps
 	stats *metrics.SessionStats
 	wd    *watchdog
+	// ctrl is the admission/brownout controller, shared pool-wide (nil
+	// when admission control is disabled).
+	ctrl *admission.Controller
+	// jitterSeed seeds this session's deterministic retry-jitter
+	// schedule, derived from the pool session index so sibling sessions
+	// never retry in lockstep.
+	jitterSeed uint64
 
 	// scratch pools per-frame working memory (feature vector, neighbor
 	// buffer) so the steady-state lookup path allocates nothing even
@@ -341,14 +370,17 @@ type exactEntry struct {
 
 // New builds an engine from cfg and deps.
 func New(cfg Config, deps Deps) (*Engine, error) {
-	return newEngine(cfg, deps, nil, nil)
+	return newEngine(cfg, deps, nil, nil, nil, 0)
 }
 
-// newEngine builds an engine, optionally sharing session stats and a
-// classifier watchdog with sibling engines (the multi-session pool
-// passes both so every stream feeds one scoreboard and one breaker).
-// Nil stats/wd get fresh private instances.
-func newEngine(cfg Config, deps Deps, stats *metrics.SessionStats, wd *watchdog) (*Engine, error) {
+// newEngine builds an engine, optionally sharing session stats, a
+// classifier watchdog, and an admission controller with sibling engines
+// (the multi-session pool passes all three so every stream feeds one
+// scoreboard, one breaker, and one overload limiter — they share the
+// accelerator those protect). Nil stats/wd/ctrl get fresh private
+// instances (ctrl only when cfg.Admission is enabled). session is the
+// pool session index; it seeds the per-session retry jitter.
+func newEngine(cfg Config, deps Deps, stats *metrics.SessionStats, wd *watchdog, ctrl *admission.Controller, session int) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -360,6 +392,17 @@ func newEngine(cfg Config, deps Deps, stats *metrics.SessionStats, wd *watchdog)
 	}
 	if stats == nil {
 		stats = metrics.NewSessionStats()
+	}
+	if ctrl == nil && cfg.Admission.Enabled {
+		var err error
+		ctrl, err = admission.New(cfg.Admission)
+		if err != nil {
+			return nil, err
+		}
+		s := stats
+		ctrl.SetTransitionHook(func(from, to admission.Level) {
+			s.ObserveBrownoutTransition(to > from)
+		})
 	}
 	// Normalize typed-nil stores: a nil *Store in the interface would
 	// dodge the nil check below and crash on first use instead.
@@ -377,7 +420,7 @@ func newEngine(cfg Config, deps Deps, stats *metrics.SessionStats, wd *watchdog)
 			deps.Store = nil
 		}
 	}
-	e := &Engine{cfg: cfg, deps: deps, stats: stats}
+	e := &Engine{cfg: cfg, deps: deps, stats: stats, ctrl: ctrl, jitterSeed: jitterSeedFor(session)}
 	if wd == nil {
 		wd = newWatchdog(cfg.Watchdog, deps.Classifier, deps.Clock, stats)
 	}
@@ -406,8 +449,23 @@ func newEngine(cfg Config, deps Deps, stats *metrics.SessionStats, wd *watchdog)
 	return e, nil
 }
 
+// jitterSeedFor spreads session indices across the 64-bit space so the
+// watchdog's per-session retry jitter diverges even for adjacent ids.
+func jitterSeedFor(session int) uint64 {
+	return (uint64(session) + 1) * 0x9e3779b97f4a7c15
+}
+
 // Stats returns the engine's session statistics.
 func (e *Engine) Stats() *metrics.SessionStats { return e.stats }
+
+// AdmissionSnapshot returns the overload controller's state; ok is
+// false when admission control is disabled.
+func (e *Engine) AdmissionSnapshot() (admission.Snapshot, bool) {
+	if e.ctrl == nil {
+		return admission.Snapshot{}, false
+	}
+	return e.ctrl.Snapshot(), true
+}
 
 // statsObserver forwards the peer client's resilience events into the
 // engine's session stats.
@@ -504,17 +562,27 @@ func (e *Engine) process(im *vision.Image, imuWindow []imu.Sample, truth string,
 			imuOK = false
 		}
 	}
+	// The request deadline is wall-clock: queueing delay and accelerator
+	// occupancy — the things that blow it under overload — happen in
+	// real time, invisible to a virtual experiment clock.
+	var deadline time.Time
+	if e.cfg.RequestDeadline > 0 {
+		deadline = time.Now().Add(e.cfg.RequestDeadline)
+	}
 	var res Result
 	var err error
 	switch e.cfg.Mode {
 	case ModeNoCache:
-		res, err = e.processNoCache(im)
+		res, err = e.processNoCache(im, deadline)
 	case ModeExactCache:
-		res, err = e.processExact(im)
+		res, err = e.processExact(im, deadline)
 	case ModeNaiveSkip:
-		res, err = e.processNaiveSkip(im)
+		res, err = e.processNaiveSkip(im, deadline)
 	default:
-		res, err = e.processApprox(im, imuWindow, imuOK, frameOK)
+		res, err = e.processApprox(im, imuWindow, imuOK, frameOK, deadline)
+	}
+	if !deadline.IsZero() && err == nil {
+		e.stats.ObserveDeadlineCompletion(time.Now().Before(deadline))
 	}
 	if err != nil {
 		return Result{}, err
@@ -540,8 +608,8 @@ func (e *Engine) process(im *vision.Image, imuWindow []imu.Sample, truth string,
 	return res, nil
 }
 
-func (e *Engine) processNoCache(im *vision.Image) (Result, error) {
-	inf, penalty, err := e.wd.infer(im)
+func (e *Engine) processNoCache(im *vision.Image, deadline time.Time) (Result, error) {
+	inf, penalty, err := e.wd.infer(im, deadline, e.jitterSeed)
 	if err != nil {
 		return Result{}, fmt.Errorf("infer: %w", err)
 	}
@@ -559,7 +627,7 @@ func (e *Engine) processNoCache(im *vision.Image) (Result, error) {
 // crude temporal-locality heuristic) so reports separate it from DNN
 // work. With the DNN down, a due inference degrades to repeating the
 // last result — the baseline has no cache to fall back on.
-func (e *Engine) processNaiveSkip(im *vision.Image) (Result, error) {
+func (e *Engine) processNaiveSkip(im *vision.Image, deadline time.Time) (Result, error) {
 	e.mu.Lock()
 	last, hasLast := e.last, e.hasLast // copied under the lock
 	skip := hasLast && (e.streak+1)%e.cfg.SkipEvery != 0
@@ -573,7 +641,7 @@ func (e *Engine) processNaiveSkip(im *vision.Image) (Result, error) {
 			EnergyMJ:   e.cfg.Costs.IMUGateEnergyMJ,
 		}, nil
 	}
-	res, err := e.processNoCache(im)
+	res, err := e.processNoCache(im, deadline)
 	if err != nil && hasLast {
 		return Result{
 			Label:       last.Label,
@@ -605,7 +673,7 @@ func exactHash(im *vision.Image) uint64 {
 	return h.Sum64()
 }
 
-func (e *Engine) processExact(im *vision.Image) (Result, error) {
+func (e *Engine) processExact(im *vision.Image, deadline time.Time) (Result, error) {
 	key := exactHash(im)
 	cost := e.cfg.Costs.DiffLatency // hashing is diff-class work
 	energy := e.cfg.Costs.DiffEnergyMJ
@@ -621,7 +689,7 @@ func (e *Engine) processExact(im *vision.Image) (Result, error) {
 			EnergyMJ:   energy,
 		}, nil
 	}
-	inf, penalty, err := e.wd.infer(im)
+	inf, penalty, err := e.wd.infer(im, deadline, e.jitterSeed)
 	if err != nil {
 		return Result{}, fmt.Errorf("infer: %w", err)
 	}
@@ -642,7 +710,14 @@ func (e *Engine) processExact(im *vision.Image) (Result, error) {
 // the detector feed and the inertial gate; an untrusted (low-entropy)
 // frame skips the video gate, the cache gates, and every cache
 // mutation — its features would be meaningless — leaving only the DNN.
-func (e *Engine) processApprox(im *vision.Image, imuWindow []imu.Sample, imuOK, frameOK bool) (Result, error) {
+func (e *Engine) processApprox(im *vision.Image, imuWindow []imu.Sample, imuOK, frameOK bool, deadline time.Time) (Result, error) {
+	// Brownout level snapshot: under sustained overload the controller
+	// disables the expensive reuse stages (first P2P, then the kNN
+	// vote), keeping the nearly-free IMU and video gates.
+	brownout := admission.LevelFull
+	if e.ctrl != nil {
+		brownout = e.ctrl.Level()
+	}
 	e.mu.Lock()
 	if imuOK {
 		e.detector.ObserveAll(imuWindow)
@@ -714,13 +789,27 @@ func (e *Engine) processApprox(im *vision.Image, imuWindow []imu.Sample, imuOK, 
 	if frameOK && !revalidate {
 		latency += e.cfg.Costs.LookupLatency
 		energy += e.cfg.Costs.LookupEnergyMJ
-		ns, err := e.deps.Store.NearestInto(vec, e.cfg.Vote.K, sc.ns)
+		k := e.cfg.Vote.K
+		if brownout >= admission.LevelFirstCandidate {
+			k = 1
+		}
+		ns, err := e.deps.Store.NearestInto(vec, k, sc.ns)
 		if err != nil {
 			return Result{}, fmt.Errorf("nearest: %w", err)
 		}
 		sc.ns = ns[:0]
-		verdict, err := lsh.Vote(ns, e.deps.Store.Label, e.cfg.Vote)
-		if err != nil {
+		var verdict lsh.Verdict
+		if brownout >= admission.LevelFirstCandidate {
+			// Deep brownout: skip the homogenized-kNN vote and serve the
+			// nearest in-range candidate directly. Cheaper and less
+			// verified — acceptable exactly because the alternative
+			// under this much pressure is shedding the frame entirely.
+			if len(ns) > 0 && ns[0].Distance <= e.cfg.Vote.MaxDistance {
+				if entry, ok := e.deps.Store.Get(ns[0].ID); ok {
+					verdict = lsh.Verdict{Accepted: true, Label: entry.Label, Confidence: entry.Confidence}
+				}
+			}
+		} else if verdict, err = lsh.Vote(ns, e.deps.Store.Label, e.cfg.Vote); err != nil {
 			return Result{}, fmt.Errorf("vote: %w", err)
 		}
 		if verdict.Accepted {
@@ -742,9 +831,26 @@ func (e *Engine) processApprox(im *vision.Image, imuWindow []imu.Sample, imuOK, 
 		// a dead or slow peer can never stall the frame past it. When
 		// every peer's circuit is open the gate is skipped at zero
 		// cost: the local gates and the DNN keep serving while the
-		// breaker re-probes peers on its backoff schedule.
-		if peers != nil {
-			out, err := peers.QueryFrame(vec, e.peerBudget())
+		// breaker re-probes peers on its backoff schedule. Brownout
+		// disables the gate first — it is the most expensive reuse
+		// stage and the node is already short on time.
+		budget := e.peerBudget()
+		peerTime := true
+		if !deadline.IsZero() {
+			// The peer budget cannot exceed what is left of the request
+			// deadline; with the budget gone the gate is skipped
+			// entirely (the fallback's deadline check sheds the frame).
+			// QueryFrame reads budget 0 as unbounded, so an exhausted
+			// deadline must skip, not cap to zero.
+			remaining := time.Until(deadline)
+			if remaining <= 0 {
+				peerTime = false
+			} else if budget == 0 || remaining < budget {
+				budget = remaining
+			}
+		}
+		if peers != nil && peerTime && brownout < admission.LevelNoPeer {
+			out, err := peers.QueryFrame(vec, budget)
 			if err != nil {
 				return Result{}, fmt.Errorf("peer query: %w", err)
 			}
@@ -779,11 +885,39 @@ func (e *Engine) processApprox(im *vision.Image, imuWindow []imu.Sample, imuOK, 
 		}
 	}
 
-	// Fallback: run the DNN under the watchdog. If it is down, walk the
-	// degradation ladder instead of failing the frame.
-	inf, penalty, ierr := e.wd.infer(im)
+	// Fallback: run the DNN under the watchdog — but overload protection
+	// first. A frame that has already blown its deadline, or that the
+	// admission limiter refuses, is answered from the degradation ladder
+	// instead of occupying the accelerator.
+	if !deadline.IsZero() && !time.Now().Before(deadline) {
+		e.stats.ObserveExpiredDrop()
+		return e.serveShed(vec, sc, frameOK, latency, energy, DegradeDeadline, ErrDeadlineExceeded)
+	}
+	if e.ctrl != nil && !e.ctrl.TryAcquire() {
+		e.stats.ObserveShed()
+		return e.serveShed(vec, sc, frameOK, latency, energy, DegradeOverload, ErrOverloadShed)
+	}
+	inf, penalty, ierr := e.wd.infer(im, deadline, e.jitterSeed)
+	if e.ctrl != nil {
+		// Complete the admitted slot: queue refusals back the limit off
+		// as overflow; everything else reports whether the frame is
+		// still inside its budget (AIMD increase or backoff).
+		if dnn.IsOverloadError(ierr) {
+			e.ctrl.ReleaseOverflow()
+		} else {
+			e.ctrl.Release(deadline.IsZero() || time.Now().Before(deadline))
+		}
+	}
 	latency += penalty
 	if ierr != nil {
+		switch {
+		case errors.Is(ierr, dnn.ErrExpiredInQueue):
+			e.stats.ObserveExpiredDrop()
+			return e.serveShed(vec, sc, frameOK, latency, energy, DegradeDeadline, ierr)
+		case errors.Is(ierr, dnn.ErrQueueFull):
+			e.stats.ObserveShed()
+			return e.serveShed(vec, sc, frameOK, latency, energy, DegradeOverload, ierr)
+		}
 		return e.serveDegraded(vec, sc, frameOK, latency, energy, ierr)
 	}
 	latency += inf.Latency
@@ -866,6 +1000,23 @@ func (e *Engine) serveDegraded(vec feature.Vector, sc *frameScratch, haveVec boo
 		}, nil
 	}
 	return Result{}, fmt.Errorf("recognition unavailable: %w", cause)
+}
+
+// serveShed answers a frame that overload protection kept off the
+// accelerator — admission shed, queue overflow, or a blown deadline —
+// from the same ladder as serveDegraded, retyped metrics.SourceShed
+// with the overload marker so callers can tell load shedding apart from
+// classifier failure. Like every degraded serve, the answer is never a
+// silent drop: it is a typed, reduced-confidence result, or the typed
+// cause when the ladder is empty.
+func (e *Engine) serveShed(vec feature.Vector, sc *frameScratch, haveVec bool, latency time.Duration, energy float64, marker DegradationLevel, cause error) (Result, error) {
+	res, err := e.serveDegraded(vec, sc, haveVec, latency, energy, cause)
+	if err != nil {
+		return res, err
+	}
+	res.Source = metrics.SourceShed
+	res.Degradation = marker
+	return res, nil
 }
 
 // repairContradicted removes cached entries within half the reuse

@@ -25,6 +25,14 @@ var (
 	// final attempt failed after the breaker opened) and no degraded
 	// answer was available.
 	ErrClassifierDown = errors.New("core: classifier down")
+	// ErrDeadlineExceeded: the frame's request deadline expired and no
+	// rung of the degradation ladder had an answer for it. This is the
+	// ladder's last resort for deadline-carrying requests — typed, never
+	// a silent drop.
+	ErrDeadlineExceeded = errors.New("core: request deadline exceeded")
+	// ErrOverloadShed: admission control refused the frame's DNN
+	// fallback and no rung of the degradation ladder had an answer.
+	ErrOverloadShed = errors.New("core: shed by admission control")
 )
 
 // DegradationLevel records how far down the serving ladder a frame's
@@ -45,6 +53,14 @@ const (
 	// DegradeLastResult: the DNN and the cache both had nothing; the
 	// answer repeats the previous frame's result.
 	DegradeLastResult
+	// DegradeOverload: admission control (or a full inference queue)
+	// shed the frame before the DNN could run; the answer came from the
+	// same cache-only/last-result ladder, typed metrics.SourceShed.
+	DegradeOverload
+	// DegradeDeadline: the request deadline expired before the DNN
+	// could run (in the gate ladder or the inference queue); the answer
+	// came from the ladder, typed metrics.SourceShed.
+	DegradeDeadline
 )
 
 // String returns the level name.
@@ -56,6 +72,10 @@ func (d DegradationLevel) String() string {
 		return "cache-only"
 	case DegradeLastResult:
 		return "last-result"
+	case DegradeOverload:
+		return "overload"
+	case DegradeDeadline:
+		return "deadline"
 	default:
 		return fmt.Sprintf("DegradationLevel(%d)", int(d))
 	}
@@ -79,6 +99,12 @@ type WatchdogConfig struct {
 	// RetryBackoff is the simulated pause charged to the frame before
 	// each retry.
 	RetryBackoff time.Duration
+	// RetryJitter is the maximum extra pause added to each retry's
+	// backoff, derived deterministically from the session's jitter seed
+	// and the attempt number. Pool sessions therefore spread their
+	// retries instead of hammering a recovering classifier in lockstep,
+	// while single-session runs stay reproducible. Zero disables jitter.
+	RetryJitter time.Duration
 	// TripThreshold is how many consecutive failed calls open the
 	// breaker. While open, calls fast-fail without touching the
 	// classifier until Cooldown elapses on the engine clock, then one
@@ -98,6 +124,7 @@ func DefaultWatchdogConfig() WatchdogConfig {
 		CallTimeout:   time.Second,
 		MaxRetries:    1,
 		RetryBackoff:  20 * time.Millisecond,
+		RetryJitter:   10 * time.Millisecond,
 		TripThreshold: 3,
 		Cooldown:      500 * time.Millisecond,
 	}
@@ -113,6 +140,9 @@ func (c WatchdogConfig) Validate() error {
 	}
 	if c.RetryBackoff < 0 {
 		return fmt.Errorf("core: watchdog RetryBackoff must be non-negative, got %v", c.RetryBackoff)
+	}
+	if c.RetryJitter < 0 {
+		return fmt.Errorf("core: watchdog RetryJitter must be non-negative, got %v", c.RetryJitter)
 	}
 	if c.Cooldown < 0 {
 		return fmt.Errorf("core: watchdog Cooldown must be non-negative, got %v", c.Cooldown)
@@ -143,9 +173,16 @@ func newWatchdog(cfg WatchdogConfig, inner Classifier, clock simclock.Clock, sta
 // infer runs one supervised classification. penalty is the simulated
 // latency the supervision itself cost (timeouts, retry backoff) and
 // must be charged to the frame whether or not the call succeeded.
-func (w *watchdog) infer(im *vision.Image) (inf dnn.Inference, penalty time.Duration, err error) {
+//
+// deadline is the frame's wall-clock request deadline (zero = none):
+// it caps the per-call timeout and, when the classifier front supports
+// it (dnn.DeadlineInferrer), rides along so the micro-batcher can
+// stale-drop the frame if it expires in the queue. jitterSeed selects
+// the session's deterministic retry-jitter schedule; the watchdog is
+// shared pool-wide, so the seed travels with the call.
+func (w *watchdog) infer(im *vision.Image, deadline time.Time, jitterSeed uint64) (inf dnn.Inference, penalty time.Duration, err error) {
 	if w.cfg.Disabled {
-		inf, err = w.inner.Infer(im)
+		inf, err = w.call(im, deadline)
 		return inf, 0, err
 	}
 	w.mu.Lock()
@@ -160,19 +197,26 @@ func (w *watchdog) infer(im *vision.Image) (inf dnn.Inference, penalty time.Dura
 	var lastErr error
 	for attempt := 0; attempt <= w.cfg.MaxRetries; attempt++ {
 		if attempt > 0 {
-			penalty += w.cfg.RetryBackoff
+			penalty += w.cfg.RetryBackoff + w.retryJitter(jitterSeed, attempt)
 			w.stats.ObserveWatchdogRetry()
 		}
 		var timedOut bool
-		inf, lastErr, timedOut = w.callOnce(im)
+		var waited time.Duration
+		inf, lastErr, timedOut, waited = w.callOnce(im, deadline)
 		if timedOut {
-			penalty += w.cfg.CallTimeout
+			penalty += waited
 			w.stats.ObserveWatchdogTimeout()
 			break // a wedged call will not un-wedge within a frame
 		}
 		if lastErr == nil {
 			w.observeSuccess()
 			return inf, penalty, nil
+		}
+		if dnn.IsOverloadError(lastErr) || errors.Is(lastErr, dnn.ErrBatcherClosed) {
+			// Queue pressure and shutdown refusals are not classifier
+			// failures: the model never saw the frame, so retrying
+			// won't drain the queue and the breaker must not trip.
+			return dnn.Inference{}, penalty, lastErr
 		}
 	}
 	if w.observeFailure() {
@@ -181,13 +225,53 @@ func (w *watchdog) infer(im *vision.Image) (inf dnn.Inference, penalty time.Dura
 	return dnn.Inference{}, penalty, fmt.Errorf("core: infer failed: %w", lastErr)
 }
 
-// callOnce runs a single classifier call under the wall-clock deadline.
+// call invokes the inner classifier, routing through its deadline-aware
+// entry point when one exists and the frame carries a deadline.
+func (w *watchdog) call(im *vision.Image, deadline time.Time) (dnn.Inference, error) {
+	if !deadline.IsZero() {
+		if di, ok := w.inner.(dnn.DeadlineInferrer); ok {
+			return di.InferDeadline(im, deadline)
+		}
+	}
+	return w.inner.Infer(im)
+}
+
+// retryJitter returns the deterministic extra pause for one retry,
+// in [0, RetryJitter), derived from the session seed and attempt via a
+// splitmix64-style mix so distinct sessions get divergent schedules.
+func (w *watchdog) retryJitter(seed uint64, attempt int) time.Duration {
+	if w.cfg.RetryJitter <= 0 {
+		return 0
+	}
+	x := seed + 0x9e3779b97f4a7c15*uint64(attempt+1)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return time.Duration(x % uint64(w.cfg.RetryJitter))
+}
+
+// callOnce runs a single classifier call under the wall-clock timeout:
+// CallTimeout, capped by the time remaining until the request deadline.
 // On timeout the call's goroutine is abandoned (it exits when the inner
-// call eventually returns; the buffered channel never blocks it).
-func (w *watchdog) callOnce(im *vision.Image) (dnn.Inference, error, bool) {
-	if w.cfg.CallTimeout <= 0 {
-		inf, err := w.inner.Infer(im)
-		return inf, err, false
+// call eventually returns; the buffered channel never blocks it) and
+// waited reports the bound actually charged.
+func (w *watchdog) callOnce(im *vision.Image, deadline time.Time) (dnn.Inference, error, bool, time.Duration) {
+	timeout := w.cfg.CallTimeout
+	if !deadline.IsZero() {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			// The budget is already gone; don't occupy the accelerator.
+			return dnn.Inference{}, dnn.ErrExpiredInQueue, false, 0
+		}
+		if timeout <= 0 || remaining < timeout {
+			timeout = remaining
+		}
+	}
+	if timeout <= 0 {
+		inf, err := w.call(im, deadline)
+		return inf, err, false, 0
 	}
 	type outcome struct {
 		inf dnn.Inference
@@ -195,16 +279,16 @@ func (w *watchdog) callOnce(im *vision.Image) (dnn.Inference, error, bool) {
 	}
 	ch := make(chan outcome, 1)
 	go func() {
-		inf, err := w.inner.Infer(im)
+		inf, err := w.call(im, deadline)
 		ch <- outcome{inf, err}
 	}()
-	timer := time.NewTimer(w.cfg.CallTimeout)
+	timer := time.NewTimer(timeout)
 	defer timer.Stop()
 	select {
 	case o := <-ch:
-		return o.inf, o.err, false
+		return o.inf, o.err, false, 0
 	case <-timer.C:
-		return dnn.Inference{}, fmt.Errorf("core: classifier call exceeded %v", w.cfg.CallTimeout), true
+		return dnn.Inference{}, fmt.Errorf("core: classifier call exceeded %v", timeout), true, timeout
 	}
 }
 

@@ -1,6 +1,7 @@
 package dnn
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -9,6 +10,41 @@ import (
 	"approxcache/internal/metrics"
 	"approxcache/internal/vision"
 )
+
+// Typed overload errors. Callers (the engine's degradation ladder, the
+// admission controller) dispatch on these rather than string-matching.
+var (
+	// ErrBatcherClosed is returned by Infer/InferDeadline after Close.
+	// The behavior is deliberately explicit: a closed batcher refuses
+	// work instead of silently falling through to unbatched inference,
+	// so a shutdown race surfaces as a typed error the engine's
+	// degradation ladder can absorb.
+	ErrBatcherClosed = errors.New("dnn: batcher closed")
+	// ErrQueueFull is returned when the bounded pending queue refuses a
+	// frame. The request never reached the accelerator.
+	ErrQueueFull = errors.New("dnn: batcher queue full")
+	// ErrExpiredInQueue is returned when a frame's deadline passed
+	// while it waited in the pending queue (stale-drop) or had already
+	// passed on arrival. The accelerator never saw it.
+	ErrExpiredInQueue = errors.New("dnn: request expired in queue")
+)
+
+// IsOverloadError reports whether err is a queue-pressure signal
+// (ErrQueueFull or ErrExpiredInQueue) — a request the accelerator never
+// processed, as opposed to a classifier failure. The watchdog passes
+// these through without charging its breaker, and the admission
+// controller treats them as backoff signals.
+func IsOverloadError(err error) bool {
+	return errors.Is(err, ErrQueueFull) || errors.Is(err, ErrExpiredInQueue)
+}
+
+// DeadlineInferrer is a classifier front that accepts a per-request
+// wall-clock deadline. The batcher implements it: frames whose deadline
+// passes while they sit in the pending queue are dropped at dispatch
+// time instead of occupying the accelerator.
+type DeadlineInferrer interface {
+	InferDeadline(im *vision.Image, deadline time.Time) (Inference, error)
+}
 
 // BatcherConfig tunes the micro-batching scheduler.
 type BatcherConfig struct {
@@ -19,10 +55,17 @@ type BatcherConfig struct {
 	// company before the batch dispatches anyway (wall-clock: batching
 	// trades a bounded real delay for amortized model cost).
 	MaxWait time.Duration
+	// MaxPending bounds the frames admitted into the batcher and not
+	// yet completed (queued plus dispatched-in-flight). Above the bound
+	// Infer returns ErrQueueFull immediately instead of queueing
+	// without limit in front of a saturated accelerator. Zero means the
+	// default bound (8×MaxBatch); negative means unbounded, preserving
+	// the pre-overload-protection behavior.
+	MaxPending int
 }
 
 // DefaultBatcherConfig returns the production batching policy: up to 8
-// frames or 5 ms, whichever comes first.
+// frames or 5 ms, whichever comes first, with the default queue bound.
 func DefaultBatcherConfig() BatcherConfig {
 	return BatcherConfig{MaxBatch: 8, MaxWait: 5 * time.Millisecond}
 }
@@ -38,12 +81,24 @@ func (c BatcherConfig) Validate() error {
 	return nil
 }
 
+// bound returns the effective in-flight bound, or 0 for unbounded.
+func (c BatcherConfig) bound() int {
+	if c.MaxPending < 0 {
+		return 0
+	}
+	if c.MaxPending == 0 {
+		return 8 * c.MaxBatch
+	}
+	return c.MaxPending
+}
+
 // batchCall is one caller's slot in a pending batch.
 type batchCall struct {
-	im   *vision.Image
-	done chan struct{}
-	inf  Inference
-	err  error
+	im       *vision.Image
+	deadline time.Time // zero means no deadline
+	done     chan struct{}
+	inf      Inference
+	err      error
 }
 
 // Batcher coalesces concurrent Infer calls into bounded batches
@@ -53,27 +108,32 @@ type batchCall struct {
 // MaxWait extra latency; saturated callers get near-BatchLatency
 // amortization. Batcher implements the engine-facing classifier
 // interface (Infer + Profile), so it drops in front of the watchdog
-// unchanged.
+// unchanged, and DeadlineInferrer for deadline-aware callers.
 //
 // Dispatch runs on the caller's goroutine for full flushes and on the
 // timer goroutine for deadline flushes; the pending queue is swapped
 // out under the mutex either way, so a batch is dispatched exactly
-// once. After Close, Infer degrades to unbatched single-frame calls.
+// once. Frames whose request deadline has passed by dispatch time are
+// stale-dropped: completed with ErrExpiredInQueue without touching the
+// model. After Close, Infer returns ErrBatcherClosed.
 type Batcher struct {
 	cfg   BatcherConfig
 	inner BatchClassifier
 
-	mu      sync.Mutex
-	pending []*batchCall
-	gen     uint64 // incremented per flush; lets a stale timer no-op
-	timer   *time.Timer
-	closed  bool
+	mu       sync.Mutex
+	pending  []*batchCall
+	inflight int    // admitted and not yet completed (queued + dispatched)
+	gen      uint64 // incremented per flush; lets a stale timer no-op
+	timer    *time.Timer
+	closed   bool
 
 	batches         atomic.Int64
 	frames          atomic.Int64
 	sizeSum         atomic.Int64
 	fullFlushes     atomic.Int64
 	deadlineFlushes atomic.Int64
+	expiredDrops    atomic.Int64
+	overflows       atomic.Int64
 }
 
 // NewBatcher builds a micro-batching front for inner.
@@ -92,13 +152,32 @@ func (b *Batcher) Profile() Profile { return b.inner.Profile() }
 
 // Infer submits im and blocks until its batch completes.
 func (b *Batcher) Infer(im *vision.Image) (Inference, error) {
-	call := &batchCall{im: im, done: make(chan struct{})}
+	return b.InferDeadline(im, time.Time{})
+}
+
+// InferDeadline submits im with a wall-clock deadline and blocks until
+// its batch completes or the frame is stale-dropped. A zero deadline
+// means no deadline. Frames already expired on arrival, and frames
+// whose deadline passes while they wait in the pending queue, complete
+// with ErrExpiredInQueue without occupying the accelerator.
+func (b *Batcher) InferDeadline(im *vision.Image, deadline time.Time) (Inference, error) {
+	if !deadline.IsZero() && !time.Now().Before(deadline) {
+		b.expiredDrops.Add(1)
+		return Inference{}, ErrExpiredInQueue
+	}
+	call := &batchCall{im: im, deadline: deadline, done: make(chan struct{})}
 
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
-		return b.inner.Infer(im)
+		return Inference{}, ErrBatcherClosed
 	}
+	if bound := b.cfg.bound(); bound > 0 && b.inflight >= bound {
+		b.mu.Unlock()
+		b.overflows.Add(1)
+		return Inference{}, ErrQueueFull
+	}
+	b.inflight++
 	b.pending = append(b.pending, call)
 	if len(b.pending) >= b.cfg.MaxBatch {
 		batch := b.takeLocked()
@@ -144,32 +223,59 @@ func (b *Batcher) deadline(gen uint64) {
 	b.dispatch(batch)
 }
 
+// complete finishes one call and releases its in-flight slot.
+func (b *Batcher) complete(c *batchCall, inf Inference, err error) {
+	c.inf = inf
+	c.err = err
+	close(c.done)
+	b.mu.Lock()
+	b.inflight--
+	b.mu.Unlock()
+}
+
 // dispatch runs one batch through the model and completes its calls.
+// Frames whose request deadline has already passed are stale-dropped
+// here — the whole point of checking at dispatch time rather than
+// enqueue time is that queueing delay is exactly what blows deadlines
+// under overload.
 func (b *Batcher) dispatch(batch []*batchCall) {
 	if len(batch) == 0 {
 		return
 	}
+	live := batch[:0]
+	now := time.Now()
+	for _, c := range batch {
+		if !c.deadline.IsZero() && !now.Before(c.deadline) {
+			b.expiredDrops.Add(1)
+			b.complete(c, Inference{}, ErrExpiredInQueue)
+			continue
+		}
+		live = append(live, c)
+	}
+	if len(live) == 0 {
+		return
+	}
 	b.batches.Add(1)
-	b.frames.Add(int64(len(batch)))
-	b.sizeSum.Add(int64(len(batch)))
-	ims := make([]*vision.Image, len(batch))
-	for i, c := range batch {
+	b.frames.Add(int64(len(live)))
+	b.sizeSum.Add(int64(len(live)))
+	ims := make([]*vision.Image, len(live))
+	for i, c := range live {
 		ims[i] = c.im
 	}
 	infs, err := b.inner.InferBatch(ims)
-	for i, c := range batch {
+	for i, c := range live {
 		if err != nil {
-			c.err = err
+			b.complete(c, Inference{}, err)
 		} else {
-			c.inf = infs[i]
+			b.complete(c, infs[i], nil)
 		}
-		close(c.done)
 	}
 }
 
-// Close flushes any pending batch and stops accepting batched work.
-// Subsequent Infer calls pass through unbatched, so Close is safe
-// while traffic is still arriving.
+// Close flushes any pending batch and stops accepting work. Subsequent
+// Infer/InferDeadline calls return ErrBatcherClosed; callers racing
+// Close either get their batch's result or the typed error, never a
+// hang. Close is safe to call more than once.
 func (b *Batcher) Close() {
 	b.mu.Lock()
 	if b.closed {
@@ -190,5 +296,7 @@ func (b *Batcher) Stats() metrics.BatcherStats {
 		SizeSum:         b.sizeSum.Load(),
 		FullFlushes:     b.fullFlushes.Load(),
 		DeadlineFlushes: b.deadlineFlushes.Load(),
+		ExpiredDrops:    b.expiredDrops.Load(),
+		Overflows:       b.overflows.Load(),
 	}
 }

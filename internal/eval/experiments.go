@@ -74,6 +74,7 @@ func All() []Experiment {
 		{ID: "E18", Name: "chaos-resilience", Run: E18ChaosResilience},
 		{ID: "E19", Name: "device-faults", Run: E19DeviceFaults},
 		{ID: "E20", Name: "serving-throughput", Run: E20Throughput},
+		{ID: "E21", Name: "overload-resilience", Run: E21Overload},
 	}
 }
 
@@ -234,10 +235,17 @@ func E3HitBreakdown(s Scale) (Report, error) {
 	if err := s.validate(); err != nil {
 		return Report{}, err
 	}
+	// Source columns are derived from metrics.Sources() so the headers
+	// can never drift from the per-source cells appended below.
+	headers := []string{"workload"}
+	for _, src := range metrics.Sources() {
+		headers = append(headers, string(src))
+	}
+	headers = append(headers, "hit-rate", "accuracy")
 	report := Report{
 		ID:      "E3",
 		Title:   "Hit-rate breakdown by reuse source and workload",
-		Headers: []string{"workload", "imu", "video", "local", "peer", "dnn", "hit-rate", "accuracy"},
+		Headers: headers,
 		Notes: []string{
 			"IMU reuse dominates stationary regimes; video locality absorbs handheld jitter; panning forces DNN work",
 		},

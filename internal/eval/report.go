@@ -48,7 +48,14 @@ func (r Report) String() string {
 			if i > 0 {
 				b.WriteString("  ")
 			}
-			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+			// A row may carry more cells than there are headers (a
+			// malformed report); render the extras unpadded rather than
+			// panic mid-String.
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			fmt.Fprintf(&b, "%-*s", w, cell)
 		}
 		b.WriteByte('\n')
 	}

@@ -30,11 +30,15 @@ const (
 	// was unavailable (best cache hit or last result, flagged
 	// low-confidence).
 	SourceFallback Source = "fallback"
+	// SourceShed: served by the degradation ladder because admission
+	// control or a blown request deadline kept the frame off the
+	// accelerator (overload, not failure).
+	SourceShed Source = "shed"
 )
 
 // Sources lists all sources in pipeline order.
 func Sources() []Source {
-	return []Source{SourceIMU, SourceVideo, SourceLocal, SourcePeer, SourceDNN, SourceFallback}
+	return []Source{SourceIMU, SourceVideo, SourceLocal, SourcePeer, SourceDNN, SourceFallback, SourceShed}
 }
 
 // ReuseSources lists the sources that count as cache hits.
@@ -176,6 +180,12 @@ type SessionStats struct {
 	wdTrips        int
 	wdRecoveries   int
 	wdFastFails    int
+	sheds          int
+	expiredDrops   int
+	inDeadline     int
+	lateFrames     int
+	brownoutUp     int
+	brownoutDown   int
 	latencies      *LatencyRecorder
 }
 
@@ -375,6 +385,78 @@ func (s *SessionStats) WatchdogEvents() (timeouts, retries, trips, recoveries, f
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.wdTimeouts, s.wdRetries, s.wdTrips, s.wdRecoveries, s.wdFastFails
+}
+
+// ObserveShed records one frame shed by the admission controller — the
+// DNN fallback was refused and the frame was answered from the
+// degradation ladder instead.
+func (s *SessionStats) ObserveShed() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sheds++
+}
+
+// Sheds returns how many frames admission control shed.
+func (s *SessionStats) Sheds() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sheds
+}
+
+// ObserveExpiredDrop records one frame whose deadline expired in the
+// inference queue before the accelerator saw it (batcher stale-drop or
+// pre-submit deadline check).
+func (s *SessionStats) ObserveExpiredDrop() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expiredDrops++
+}
+
+// ExpiredDrops returns how many frames expired in the queue.
+func (s *SessionStats) ExpiredDrops() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.expiredDrops
+}
+
+// ObserveDeadlineCompletion records whether a deadline-carrying frame
+// finished within its budget.
+func (s *SessionStats) ObserveDeadlineCompletion(inDeadline bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if inDeadline {
+		s.inDeadline++
+	} else {
+		s.lateFrames++
+	}
+}
+
+// DeadlineCompletions returns (inDeadline, late) counts of frames that
+// carried a request deadline.
+func (s *SessionStats) DeadlineCompletions() (inDeadline, late int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inDeadline, s.lateFrames
+}
+
+// ObserveBrownoutTransition records one brownout-ladder level change;
+// raised is true when the level went up (deeper degradation).
+func (s *SessionStats) ObserveBrownoutTransition(raised bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if raised {
+		s.brownoutUp++
+	} else {
+		s.brownoutDown++
+	}
+}
+
+// BrownoutTransitions returns (raised, lowered) counts of brownout
+// level changes.
+func (s *SessionStats) BrownoutTransitions() (raised, lowered int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.brownoutUp, s.brownoutDown
 }
 
 // ObserveRepairs records n cache entries purged because a revalidation

@@ -11,7 +11,7 @@ import (
 
 func TestSourcesOrder(t *testing.T) {
 	ss := Sources()
-	if len(ss) != 6 || ss[0] != SourceIMU || ss[4] != SourceDNN || ss[5] != SourceFallback {
+	if len(ss) != 7 || ss[0] != SourceIMU || ss[4] != SourceDNN || ss[5] != SourceFallback || ss[6] != SourceShed {
 		t.Fatalf("Sources = %v", ss)
 	}
 	rs := ReuseSources()

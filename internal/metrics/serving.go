@@ -34,6 +34,13 @@ type BatcherStats struct {
 	// MaxWait timer with spare capacity left.
 	FullFlushes     int64
 	DeadlineFlushes int64
+	// ExpiredDrops counts frames stale-dropped because their request
+	// deadline passed before the accelerator saw them (on arrival or at
+	// dispatch time).
+	ExpiredDrops int64
+	// Overflows counts frames refused because the bounded pending queue
+	// was full.
+	Overflows int64
 }
 
 // AvgSize returns the mean dispatched batch size, or 0 before any

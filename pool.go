@@ -66,7 +66,11 @@ func NewPool(sessions int, classifier Classifier, opts Options) (*Pool, error) {
 			return nil, fmt.Errorf("approxcache: BatchSize %d needs a BatchClassifier, %T cannot batch",
 				opts.BatchSize, classifier)
 		}
-		bcfg := dnn.BatcherConfig{MaxBatch: opts.BatchSize, MaxWait: opts.BatchWait}
+		bcfg := dnn.BatcherConfig{
+			MaxBatch:   opts.BatchSize,
+			MaxWait:    opts.BatchWait,
+			MaxPending: opts.BatchPending,
+		}
 		if bcfg.MaxWait <= 0 {
 			bcfg.MaxWait = dnn.DefaultBatcherConfig().MaxWait
 		}
@@ -133,8 +137,16 @@ func (p *Pool) BatcherStats() (BatcherStats, bool) {
 	return p.batcher.Stats(), true
 }
 
-// Close flushes the micro-batching scheduler. Call it when the pool's
-// streams have drained; subsequent Process calls still work, unbatched.
+// AdmissionSnapshot returns the shared overload limiter's state; ok is
+// false when Options.Admission is disabled.
+func (p *Pool) AdmissionSnapshot() (AdmissionSnapshot, bool) {
+	return p.pool.AdmissionSnapshot()
+}
+
+// Close flushes and stops the micro-batching scheduler. Call it when
+// the pool's streams have drained. A Process racing Close may have its
+// inference refused with ErrBatcherClosed; the degradation ladder
+// absorbs the refusal (cached or last-result answer) when it can.
 func (p *Pool) Close() {
 	if p.batcher != nil {
 		p.batcher.Close()

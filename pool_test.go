@@ -2,6 +2,9 @@ package approxcache_test
 
 import (
 	"bytes"
+	"errors"
+	"io"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -122,6 +125,70 @@ func TestPoolUnshardedUnbatched(t *testing.T) {
 	}
 	if p.Len() == 0 {
 		t.Fatal("store empty after replay")
+	}
+}
+
+// TestPoolShutdownRace drives sessions mid-Process against a
+// concurrent snapshot save and the pool shutdown, under -race. A
+// Process that loses the race must either succeed (ladder absorbed the
+// refusal) or fail with the typed ErrBatcherClosed — never panic or
+// return an untyped error — and the batcher goroutine must not leak.
+func TestPoolShutdownRace(t *testing.T) {
+	const sessions = 4
+	w := testWorkload(t, 30)
+	before := runtime.NumGoroutine()
+	clf, err := approxcache.NewSimulatedClassifier(approxcache.MobileNetV2, w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := approxcache.NewPool(sessions, clf, approxcache.Options{
+		Shards:    4,
+		BatchSize: 4,
+		BatchWait: time.Millisecond,
+		Clock:     approxcache.NewVirtualClock(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			c := p.Session(s)
+			for round := 0; round < 3; round++ {
+				prev := time.Duration(0)
+				for _, fr := range w.Frames {
+					win := w.IMUWindow(prev, fr.Offset)
+					prev = fr.Offset
+					_, err := c.Process(fr.Image, win)
+					if err != nil && !errors.Is(err, approxcache.ErrBatcherClosed) {
+						t.Errorf("session %d: untyped mid-shutdown error: %v", s, err)
+						return
+					}
+				}
+			}
+		}(s)
+	}
+	// The snapshot save races both the streams and the shutdown.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := p.Session(0).SaveSnapshot(io.Discard); err != nil {
+			t.Errorf("snapshot save during shutdown: %v", err)
+		}
+	}()
+	time.Sleep(2 * time.Millisecond) // let the streams get mid-Process
+	p.Close()
+	wg.Wait()
+	p.Close() // second Close is a no-op
+	// The micro-batcher's flush goroutine must have exited.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before+2 {
+		t.Fatalf("goroutine leak: %d before pool, %d after close", before, g)
 	}
 }
 
