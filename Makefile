@@ -15,9 +15,15 @@ MIN_THROUGHPUT_SPEEDUP = 3.0
 # offered 4x its measured capacity.
 MIN_GOODPUT_RETENTION = 0.85
 
-.PHONY: check build test race vet fmt bench bench-hotpath bench-gate bench-throughput throughput-gate bench-overload overload-gate fault-matrix
+# The lookup-pipeline gate: multi-probe + sketch + quantized candidate
+# scoring at T/2 tables must beat the exact-bucket pipeline at T tables
+# by at least this ns/op factor, at equal-or-better recall, with zero
+# warm-path allocations.
+MIN_LOOKUP_SPEEDUP = 1.3
 
-check: vet fmt test race bench-gate throughput-gate overload-gate fault-matrix
+.PHONY: check build test race vet fmt bench bench-hotpath bench-gate bench-throughput throughput-gate bench-overload overload-gate bench-lookup lookup-gate fault-matrix
+
+check: vet fmt test race bench-gate throughput-gate overload-gate lookup-gate fault-matrix
 
 build:
 	$(GO) build ./...
@@ -83,6 +89,20 @@ bench-overload:
 overload-gate:
 	$(GO) run ./cmd/approxbench -overload -overload-json /tmp/BENCH_overload.gate.json
 	$(GO) run ./cmd/benchgate -overload-json /tmp/BENCH_overload.gate.json -min-retention $(MIN_GOODPUT_RETENTION)
+
+# Lookup-bound hit-heavy benchmark: exact-bucket pipeline vs the
+# multi-probe + sketch + quantized pipeline over a warm 4096-entry
+# cache; records BENCH_lookup.json and enforces the lookup gate.
+bench-lookup:
+	$(GO) run ./cmd/approxbench -hitheavy -lookup-json BENCH_lookup.json
+	$(GO) run ./cmd/benchgate -lookup-json BENCH_lookup.json -min-lookup-speedup $(MIN_LOOKUP_SPEEDUP)
+
+# Fast lookup gate for `make check`: re-measures both pipelines (about
+# a second of wall clock; timing passes are interleaved so the ratio is
+# stable under machine noise) and fails on regression.
+lookup-gate:
+	$(GO) run ./cmd/approxbench -hitheavy -lookup-json /tmp/BENCH_lookup.gate.json
+	$(GO) run ./cmd/benchgate -lookup-json /tmp/BENCH_lookup.gate.json -min-lookup-speedup $(MIN_LOOKUP_SPEEDUP)
 
 # Device fault matrix (E19): every sensor fault class plus a DNN outage,
 # guards and watchdog toggled. The acceptance test asserts the shape;

@@ -209,6 +209,21 @@ type Options struct {
 	// correlates hyperplane signs), the index rebuilds itself centered
 	// on the observed data mean.
 	AdaptiveLSH bool
+	// Probes sets how many buckets each LSH table examines per lookup:
+	// the query's own bucket plus Probes−1 perturbed buckets visited in
+	// increasing hyperplane-margin cost (multi-probe LSH). 0 or 1 keeps
+	// the classic single-bucket probe. With Probes ≈ 8, halving
+	// LSHTables preserves recall while halving signature arithmetic —
+	// see the lookup-tuning section of the README.
+	Probes int
+	// Sketch enables the packed-sketch + quantized scoring pipeline:
+	// each cached entry carries a 64-bit binary sign sketch (candidates
+	// are prefiltered by popcount Hamming distance before any float
+	// math) and an int8 quantized copy scored with an integer dot
+	// kernel; only the top few survivors pay a full-precision distance.
+	// Results stay deterministic; the final ranking is exact over the
+	// surviving candidates.
+	Sketch bool
 	// Seed drives the LSH hyperplanes (default 1).
 	Seed int64
 	// Clock supplies time; defaults to the wall clock. Experiments
@@ -375,6 +390,13 @@ func engineConfig(opts Options) core.Config {
 		cfg.RequestDeadline = opts.RequestDeadline
 	}
 	cfg.Admission = opts.Admission
+	if opts.Probes > 1 {
+		cfg.IndexTuning.Probes = opts.Probes
+	}
+	if opts.Sketch {
+		cfg.IndexTuning.SketchBits = 64
+		cfg.IndexTuning.Quantize = true
+	}
 	return cfg
 }
 
@@ -407,15 +429,17 @@ func newStore(cfg core.Config, opts Options, clock Clock) (cachestore.Interface,
 		seed = 1
 	}
 	dim := cfg.Extractor.Dim()
+	tuning := cfg.IndexTuning
 	newIndex := func(int) (lsh.Index, error) {
 		if opts.AdaptiveLSH {
 			acfg := lsh.DefaultAdaptiveConfig(dim)
 			acfg.Bits = bits
 			acfg.Tables = tables
 			acfg.Seed = seed
+			acfg.Tuning = tuning
 			return lsh.NewAdaptive(acfg)
 		}
-		return lsh.NewHyperplane(dim, bits, tables, seed)
+		return lsh.NewHyperplaneTuned(dim, bits, tables, seed, tuning)
 	}
 	scfg := cachestore.Config{Capacity: capacity, Policy: policy, TTL: opts.TTL}
 	if opts.Shards > 1 {

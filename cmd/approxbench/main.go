@@ -1,4 +1,4 @@
-// Command approxbench runs the evaluation suite (experiments E1–E21 from
+// Command approxbench runs the evaluation suite (experiments E1–E22 from
 // DESIGN.md) and prints the tables recorded in EXPERIMENTS.md.
 //
 // Usage:
@@ -52,7 +52,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("approxbench", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiment id (E1..E21), name, or \"all\"")
+		exp      = fs.String("exp", "all", "experiment id (E1..E22), name, or \"all\"")
 		frames   = fs.Int("frames", eval.DefaultScale().Frames, "per-device workload length in frames")
 		seed     = fs.Int64("seed", eval.DefaultScale().Seed, "root random seed")
 		format   = fs.String("format", "table", "output format: table | csv | markdown")
@@ -67,9 +67,18 @@ func run(args []string) error {
 		overload = fs.Bool("overload", false, "run the open-loop overload sweep and exit")
 		olJSON   = fs.String("overload-json", "BENCH_overload.json", "with -overload, write the report JSON here (empty = stdout only)")
 		sessions = fs.Int("sessions", 0, "with -overload, serving pool sessions (0 = default 8)")
+		hitheavy = fs.Bool("hitheavy", false, "run the lookup-bound hit-heavy benchmark and exit")
+		luJSON   = fs.String("lookup-json", "BENCH_lookup.json", "with -hitheavy, write the report JSON here (empty = stdout only)")
+		entries  = fs.Int("entries", 0, "with -hitheavy, resident cache entries (0 = default 4096)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *hitheavy {
+		return runLookupBench(eval.LookupConfig{
+			Entries: *entries,
+			Seed:    *seed,
+		}, *luJSON)
 	}
 	if *tput {
 		return runThroughput(eval.ThroughputConfig{
@@ -174,6 +183,40 @@ func runThroughput(cfg eval.ThroughputConfig, jsonPath string) error {
 	}
 	fmt.Printf("speedup (sharded+batched vs single-mutex): %.2fx in %v\n",
 		rep.Speedup, time.Since(start).Round(time.Millisecond))
+	if jsonPath != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	return nil
+}
+
+// runLookupBench executes the lookup-bound hit-heavy benchmark, prints
+// both pipeline configurations, and records the report for the lookup
+// regression gate.
+func runLookupBench(cfg eval.LookupConfig, jsonPath string) error {
+	start := time.Now()
+	rep, err := eval.RunLookup(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("lookup: %d entries, %d hit-heavy queries, dim %d, k=%d, %d bits\n",
+		rep.Entries, rep.Queries, rep.Dim, rep.K, rep.Bits)
+	for _, r := range rep.Results {
+		sketch := "off"
+		if r.SketchBits > 0 {
+			sketch = fmt.Sprintf("%db+int8", r.SketchBits)
+		}
+		fmt.Printf("  %-24s tables=%d probes=%d sketch=%-8s %9.0f ns/op  recall=%.3f  cand=%.0f  allocs=%.0f\n",
+			r.Name, r.Tables, r.Probes, sketch, r.NsPerOp, r.Recall, r.Candidates, r.AllocsPerOp)
+	}
+	fmt.Printf("speedup (tuned vs exact-bucket): %.2fx at recall %.3f vs %.3f in %v\n",
+		rep.Speedup, rep.RecallTuned, rep.RecallBase, time.Since(start).Round(time.Millisecond))
 	if jsonPath != "" {
 		blob, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {

@@ -30,6 +30,16 @@
 // It reads the JSON written by `approxbench -overload` and fails
 // unless the admission-protected node retained at least -min-retention
 // of its peak goodput at the highest offered load.
+//
+// A fourth mode gates the lookup-pipeline report:
+//
+//	benchgate -lookup-json BENCH_lookup.json -min-lookup-speedup 1.3
+//
+// It reads the JSON written by `approxbench -hitheavy` and fails
+// unless the multi-probe + sketch + quantized pipeline beat the
+// exact-bucket baseline by at least -min-lookup-speedup ns/op AND
+// matched or beat its recall AND ran the warm path with zero heap
+// allocations.
 package main
 
 import (
@@ -71,6 +81,8 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		minSpeedup = fs.Float64("min-speedup", 3.0, "with -throughput-json, minimum required sharded+batched speedup over single-mutex")
 		olJSON     = fs.String("overload-json", "", "gate an overload report file instead of reading benchmarks from stdin")
 		minRetain  = fs.Float64("min-retention", 0.85, "with -overload-json, minimum required goodput retention at the highest offered load")
+		luJSON     = fs.String("lookup-json", "", "gate a lookup-pipeline report file instead of reading benchmarks from stdin")
+		minLookup  = fs.Float64("min-lookup-speedup", 1.3, "with -lookup-json, minimum required tuned-pipeline speedup over exact-bucket")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -80,6 +92,9 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	}
 	if *olJSON != "" {
 		return checkOverload(*olJSON, *minRetain, out)
+	}
+	if *luJSON != "" {
+		return checkLookup(*luJSON, *minLookup, out)
 	}
 	results, err := parseBench(in)
 	if err != nil {
@@ -270,6 +285,58 @@ func checkOverload(path string, minRetention float64, out io.Writer) error {
 	if rep.Retention < minRetention {
 		return fmt.Errorf("goodput retention %.2f below required %.2f (peak %.1f/s, at max load %.1f/s)",
 			rep.Retention, minRetention, rep.PeakGoodput, rep.GoodputAtMax)
+	}
+	return nil
+}
+
+// lookupReport mirrors the fields of eval.LookupReport this gate needs
+// (benchgate stays stdlib-only, so it does not import eval).
+type lookupReport struct {
+	Entries int `json:"entries"`
+	Queries int `json:"queries"`
+	Results []struct {
+		Name        string  `json:"name"`
+		Tables      int     `json:"tables"`
+		Probes      int     `json:"probes"`
+		NsPerOp     float64 `json:"ns_per_op"`
+		Recall      float64 `json:"recall"`
+		AllocsPerOp float64 `json:"allocs_per_op"`
+	} `json:"results"`
+	Speedup     float64 `json:"speedup"`
+	RecallBase  float64 `json:"recall_base"`
+	RecallTuned float64 `json:"recall_tuned"`
+}
+
+// checkLookup enforces the lookup-pipeline regression gate on a report
+// written by `approxbench -hitheavy`: the tuned pipeline must be
+// faster by at least minSpeedup, at equal-or-better recall, with zero
+// warm-path allocations in every configuration.
+func checkLookup(path string, minSpeedup float64, out io.Writer) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep lookupReport
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	if len(rep.Results) == 0 {
+		return fmt.Errorf("%s: no results", path)
+	}
+	for _, r := range rep.Results {
+		fmt.Fprintf(out, "%-24s tables=%d probes=%d %10.0f ns/op  recall=%.3f  allocs=%.0f\n",
+			r.Name, r.Tables, r.Probes, r.NsPerOp, r.Recall, r.AllocsPerOp)
+		if r.AllocsPerOp != 0 {
+			return fmt.Errorf("%s: %.0f warm-path allocs/op, budget is 0", r.Name, r.AllocsPerOp)
+		}
+	}
+	fmt.Fprintf(out, "lookup speedup %.2fx at recall %.3f vs %.3f over %d entries (gate: >= %.2fx, recall >= base)\n",
+		rep.Speedup, rep.RecallTuned, rep.RecallBase, rep.Entries, minSpeedup)
+	if rep.Speedup < minSpeedup {
+		return fmt.Errorf("lookup speedup %.2fx below required %.2fx", rep.Speedup, minSpeedup)
+	}
+	if rep.RecallTuned < rep.RecallBase {
+		return fmt.Errorf("tuned recall %.3f below exact-bucket recall %.3f", rep.RecallTuned, rep.RecallBase)
 	}
 	return nil
 }

@@ -193,6 +193,12 @@ type Config struct {
 	// disabled; frames shed by the limiter are answered from the
 	// degradation ladder, typed SourceShed / DegradeOverload.
 	Admission admission.Config
+	// IndexTuning configures the LSH candidate pipeline (multi-probe
+	// sequence length, packed-sketch prefilter, quantized re-rank) of
+	// the cache store's index. The zero value keeps the classic
+	// exact-bucket pipeline. Consumed by the store constructor; the
+	// engine itself only sees lookup results.
+	IndexTuning lsh.Tuning
 }
 
 // DefaultConfig returns the standard pipeline configuration.
@@ -231,6 +237,9 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: RequestDeadline must be non-negative, got %v", c.RequestDeadline)
 	}
 	if err := c.Admission.Validate(); err != nil {
+		return err
+	}
+	if err := c.IndexTuning.Validate(); err != nil {
 		return err
 	}
 	if err := c.FrameGuard.Validate(); err != nil {

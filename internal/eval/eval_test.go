@@ -68,8 +68,8 @@ func TestAllHaveUniqueIDs(t *testing.T) {
 			t.Fatalf("%s has no runner", e.ID)
 		}
 	}
-	if len(seen) != 21 {
-		t.Fatalf("suite has %d experiments, want 21", len(seen))
+	if len(seen) != 22 {
+		t.Fatalf("suite has %d experiments, want 22", len(seen))
 	}
 }
 

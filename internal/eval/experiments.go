@@ -75,6 +75,7 @@ func All() []Experiment {
 		{ID: "E19", Name: "device-faults", Run: E19DeviceFaults},
 		{ID: "E20", Name: "serving-throughput", Run: E20Throughput},
 		{ID: "E21", Name: "overload-resilience", Run: E21Overload},
+		{ID: "E22", Name: "lookup-pipeline", Run: E22Lookup},
 	}
 }
 

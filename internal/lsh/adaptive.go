@@ -13,7 +13,14 @@ import (
 // so uncentered random hyperplanes see correlated signs and pile items
 // into a few buckets).
 func NewHyperplaneCentered(dim, bits, tables int, seed int64, center feature.Vector) (*HyperplaneIndex, error) {
-	x, err := NewHyperplane(dim, bits, tables, seed)
+	return NewHyperplaneCenteredTuned(dim, bits, tables, seed, center, Tuning{})
+}
+
+// NewHyperplaneCenteredTuned is NewHyperplaneCentered with an explicit
+// candidate-pipeline tuning. The center applies to sketch projections
+// too, so sketches stay meaningful for off-origin data.
+func NewHyperplaneCenteredTuned(dim, bits, tables int, seed int64, center feature.Vector, tun Tuning) (*HyperplaneIndex, error) {
+	x, err := NewHyperplaneTuned(dim, bits, tables, seed, tun)
 	if err != nil {
 		return nil, err
 	}
@@ -37,6 +44,9 @@ type AdaptiveConfig struct {
 	// SkewThreshold triggers a rebuild when the largest bucket holds
 	// more than this fraction of all items (0 < t <= 1).
 	SkewThreshold float64
+	// Tuning configures the candidate pipeline of the underlying index
+	// (and of every rebuilt index). Zero value = classic pipeline.
+	Tuning Tuning
 }
 
 // Validate reports whether the configuration is usable.
@@ -51,7 +61,7 @@ func (c AdaptiveConfig) Validate() error {
 	if c.SkewThreshold <= 0 || c.SkewThreshold > 1 {
 		return fmt.Errorf("lsh: SkewThreshold must be in (0,1], got %v", c.SkewThreshold)
 	}
-	return nil
+	return c.Tuning.Validate()
 }
 
 // DefaultAdaptiveConfig returns the production rebuild policy for a
@@ -88,7 +98,7 @@ func NewAdaptive(cfg AdaptiveConfig) (*AdaptiveIndex, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	inner, err := NewHyperplane(cfg.Dim, cfg.Bits, cfg.Tables, cfg.Seed)
+	inner, err := NewHyperplaneTuned(cfg.Dim, cfg.Bits, cfg.Tables, cfg.Seed, cfg.Tuning)
 	if err != nil {
 		return nil, err
 	}
@@ -209,7 +219,7 @@ func (a *AdaptiveIndex) maybeRebuild() {
 		return // lost a race with another rebuild
 	}
 	seed := a.cfg.Seed + int64(a.rebuilds+1)*7919
-	fresh, err := NewHyperplaneCentered(a.cfg.Dim, a.cfg.Bits, a.cfg.Tables, seed, center)
+	fresh, err := NewHyperplaneCenteredTuned(a.cfg.Dim, a.cfg.Bits, a.cfg.Tables, seed, center, a.cfg.Tuning)
 	if err != nil {
 		return // static config was validated; unreachable in practice
 	}

@@ -15,6 +15,8 @@ package lsh
 
 import (
 	"fmt"
+	"math"
+	"math/bits"
 	"math/rand"
 	"sync"
 
@@ -75,6 +77,16 @@ type HyperplaneIndex struct {
 	// projection (see NewHyperplaneCentered).
 	center feature.Vector
 
+	// tun configures the candidate pipeline (multi-probe, sketch
+	// prefilter, quantized re-rank). The zero value keeps the classic
+	// exact-bucket path byte-for-byte.
+	tun Tuning
+	// sketchPlanes is the dedicated sketch hyperplane matrix (row b at
+	// [b*dim:(b+1)*dim]); sketchWords = SketchBits/64 is the packed
+	// sketch width. Both are nil/0 when the sketch is off.
+	sketchPlanes []float64
+	sketchWords  int
+
 	mu sync.RWMutex
 	// buckets[t] maps a table-t signature to the arena slots holding
 	// colliding vectors. Buckets hold slots, not IDs, so the distance
@@ -88,11 +100,19 @@ type HyperplaneIndex struct {
 	slotID  []ID
 	slotSig []uint64
 	free    []int32
+	// Tuned-pipeline per-slot arenas, parallel to arena: sketch holds
+	// slot s's packed sketch at [s*sketchWords:(s+1)*sketchWords],
+	// codes its int8 quantized copy at [s*dim:(s+1)*dim], quant its
+	// quantization map. Empty when the corresponding mechanism is off.
+	sketch []uint64
+	codes  []int8
+	quant  []feature.Quant
 	// idSlot maps an ID to its slot. Only Insert/Remove touch it; the
 	// query path never chases it.
 	idSlot map[ID]int32
 
 	scratch sync.Pool // *queryScratch
+	idBuf   sync.Pool // *[]ID, gather buffer for Candidates
 }
 
 var _ IntoIndex = (*HyperplaneIndex)(nil)
@@ -103,6 +123,35 @@ var _ IntoIndex = (*HyperplaneIndex)(nil)
 type queryScratch struct {
 	visited []uint32
 	epoch   uint32
+
+	// Tuned-pipeline scratch, sized lazily on first tuned lookup:
+	// margins holds per-bit |projection| for the probed table, sorted
+	// and order back the probe generator's margin argsort, heap its
+	// perturbation-set frontier, qcodes the query's int8 codes, and
+	// approx the quantized-stage selection buffer.
+	margins []float64
+	sorted  []float64
+	order   []int
+	heap    []probeSet
+	qcodes  []int8
+	approx  []Neighbor
+}
+
+// ensureTuned sizes the tuned-pipeline scratch for an index with the
+// given signature width and dimensionality.
+func (sc *queryScratch) ensureTuned(bits, dim int) {
+	if cap(sc.margins) < bits {
+		sc.margins = make([]float64, bits)
+		sc.sorted = make([]float64, bits)
+		sc.order = make([]int, bits)
+	}
+	sc.margins = sc.margins[:bits]
+	sc.sorted = sc.sorted[:bits]
+	sc.order = sc.order[:bits]
+	if cap(sc.qcodes) < dim {
+		sc.qcodes = make([]int8, dim)
+	}
+	sc.qcodes = sc.qcodes[:dim]
 }
 
 // begin readies the scratch for one query over nslots slots.
@@ -125,8 +174,19 @@ const MaxSignatureBits = 64
 
 // NewHyperplane builds an LSH index over dim-dimensional vectors with
 // bits hyperplanes per table and tables hash tables, seeding all
-// hyperplanes deterministically from seed.
+// hyperplanes deterministically from seed. The candidate pipeline is
+// the classic one: exact-bucket probing, full-precision distances.
 func NewHyperplane(dim, bits, tables int, seed int64) (*HyperplaneIndex, error) {
+	return NewHyperplaneTuned(dim, bits, tables, seed, Tuning{})
+}
+
+// NewHyperplaneTuned is NewHyperplane with an explicit candidate
+// pipeline tuning (multi-probe, sketch prefilter, quantized re-rank).
+// A zero Tuning reproduces NewHyperplane exactly: the table hyperplanes
+// are drawn first and identically regardless of tuning, and the sketch
+// hyperplanes come from a separate RNG derived from seed, so enabling
+// the sketch never perturbs signatures.
+func NewHyperplaneTuned(dim, bits, tables int, seed int64, tun Tuning) (*HyperplaneIndex, error) {
 	if dim <= 0 {
 		return nil, fmt.Errorf("lsh: dim must be positive, got %d", dim)
 	}
@@ -136,14 +196,20 @@ func NewHyperplane(dim, bits, tables int, seed int64) (*HyperplaneIndex, error) 
 	if tables <= 0 {
 		return nil, fmt.Errorf("lsh: tables must be positive, got %d", tables)
 	}
+	if err := tun.Validate(); err != nil {
+		return nil, err
+	}
+	tun = tun.normalize()
 	rng := rand.New(rand.NewSource(seed))
 	x := &HyperplaneIndex{
-		dim:     dim,
-		bits:    bits,
-		tables:  tables,
-		planes:  make([]float64, tables*bits*dim),
-		buckets: make([]map[uint64][]int32, tables),
-		idSlot:  make(map[ID]int32),
+		dim:         dim,
+		bits:        bits,
+		tables:      tables,
+		planes:      make([]float64, tables*bits*dim),
+		buckets:     make([]map[uint64][]int32, tables),
+		idSlot:      make(map[ID]int32),
+		tun:         tun,
+		sketchWords: tun.SketchBits / 64,
 	}
 	// Draw order (table, bit, dim) is part of the index's identity:
 	// the same seed must yield the same hyperplanes across versions.
@@ -156,8 +222,37 @@ func NewHyperplane(dim, bits, tables int, seed int64) (*HyperplaneIndex, error) 
 			}
 		}
 	}
+	if tun.SketchBits > 0 {
+		srng := rand.New(rand.NewSource(seed ^ sketchSeedMix))
+		x.sketchPlanes = make([]float64, tun.SketchBits*dim)
+		for i := range x.sketchPlanes {
+			x.sketchPlanes[i] = srng.NormFloat64()
+		}
+		// Make every sketch hyperplane zero-sum: ⟨p, v⟩ is then
+		// invariant to a uniform offset of v. Image descriptors are
+		// all-positive, and without this their shared mean dominates
+		// every projection, correlating all sketch signs and defanging
+		// the Hamming prefilter. Zero-summing is a fixed, data-free
+		// transform, so sketches stay a deterministic function of
+		// (seed, SketchBits, v).
+		for b := 0; b < tun.SketchBits; b++ {
+			row := x.sketchPlanes[b*dim : (b+1)*dim]
+			var m float64
+			for _, p := range row {
+				m += p
+			}
+			m /= float64(dim)
+			for d := range row {
+				row[d] -= m
+			}
+		}
+	}
 	return x, nil
 }
+
+// TuningConfig returns the index's normalized candidate-pipeline
+// tuning.
+func (x *HyperplaneIndex) TuningConfig() Tuning { return x.tun }
 
 // planeRow returns hyperplane b of table t as a slice into the flat
 // matrix.
@@ -168,6 +263,12 @@ func (x *HyperplaneIndex) planeRow(t, b int) []float64 {
 
 // Dim returns the index dimensionality.
 func (x *HyperplaneIndex) Dim() int { return x.dim }
+
+// Bits returns the per-table signature width.
+func (x *HyperplaneIndex) Bits() int { return x.bits }
+
+// Tables returns the hash-table count.
+func (x *HyperplaneIndex) Tables() int { return x.tables }
 
 // Len returns the number of indexed vectors.
 func (x *HyperplaneIndex) Len() int {
@@ -246,10 +347,89 @@ func (x *HyperplaneIndex) signature(t int, v feature.Vector) uint64 {
 	return sig
 }
 
+// signatureMargins is signature() that additionally records each bit's
+// margin — the |dot product| against its hyperplane, i.e. how close the
+// query came to landing on the other side — into margins[0:bits]. The
+// probe generator ranks bit flips by these margins. Bit values are
+// computed with the same four-chain accumulation as signature(), so the
+// returned signature is bit-identical to it.
+func (x *HyperplaneIndex) signatureMargins(t int, v feature.Vector, margins []float64) uint64 {
+	var sig uint64
+	n := x.dim
+	b := 0
+	for ; b+4 <= x.bits; b += 4 {
+		off := (t*x.bits + b) * n
+		r0 := x.planes[off : off+n : off+n]
+		r1 := x.planes[off+n : off+2*n : off+2*n][:len(r0)]
+		r2 := x.planes[off+2*n : off+3*n : off+3*n][:len(r0)]
+		r3 := x.planes[off+3*n : off+4*n : off+4*n][:len(r0)]
+		vs := v[:len(r0)]
+		var d0, d1, d2, d3 float64
+		if x.center == nil {
+			for d, p0 := range r0 {
+				vv := vs[d]
+				d0 += p0 * vv
+				d1 += r1[d] * vv
+				d2 += r2[d] * vv
+				d3 += r3[d] * vv
+			}
+		} else {
+			ct := x.center[:len(r0)]
+			for d, p0 := range r0 {
+				c := vs[d] - ct[d]
+				d0 += p0 * c
+				d1 += r1[d] * c
+				d2 += r2[d] * c
+				d3 += r3[d] * c
+			}
+		}
+		if d0 >= 0 {
+			sig |= 1 << uint(b)
+		}
+		if d1 >= 0 {
+			sig |= 1 << uint(b+1)
+		}
+		if d2 >= 0 {
+			sig |= 1 << uint(b+2)
+		}
+		if d3 >= 0 {
+			sig |= 1 << uint(b+3)
+		}
+		margins[b] = math.Abs(d0)
+		margins[b+1] = math.Abs(d1)
+		margins[b+2] = math.Abs(d2)
+		margins[b+3] = math.Abs(d3)
+	}
+	for ; b < x.bits; b++ {
+		row := x.planeRow(t, b)
+		var dot float64
+		if x.center == nil {
+			for d, p := range row {
+				dot += p * v[d]
+			}
+		} else {
+			for d, p := range row {
+				dot += p * (v[d] - x.center[d])
+			}
+		}
+		if dot >= 0 {
+			sig |= 1 << uint(b)
+		}
+		margins[b] = math.Abs(dot)
+	}
+	return sig
+}
+
 // slotVec returns slot s's vector as a view into the arena.
 func (x *HyperplaneIndex) slotVec(s int32) feature.Vector {
 	off := int(s) * x.dim
 	return feature.Vector(x.arena[off : off+x.dim : off+x.dim])
+}
+
+// slotCodes returns slot s's int8 code vector as a view into the arena.
+func (x *HyperplaneIndex) slotCodes(s int32) []int8 {
+	off := int(s) * x.dim
+	return x.codes[off : off+x.dim : off+x.dim]
 }
 
 // allocSlotLocked returns a free arena slot, growing the arena if none
@@ -264,6 +444,13 @@ func (x *HyperplaneIndex) allocSlotLocked() int32 {
 	x.arena = append(x.arena, make([]float64, x.dim)...)
 	x.slotID = append(x.slotID, 0)
 	x.slotSig = append(x.slotSig, make([]uint64, x.tables)...)
+	if x.sketchWords > 0 {
+		x.sketch = append(x.sketch, make([]uint64, x.sketchWords)...)
+	}
+	if x.tun.Quantize {
+		x.codes = append(x.codes, make([]int8, x.dim)...)
+		x.quant = append(x.quant, feature.Quant{})
+	}
 	return s
 }
 
@@ -286,6 +473,15 @@ func (x *HyperplaneIndex) Insert(id ID, v feature.Vector) error {
 		sig := x.signature(t, vc)
 		x.slotSig[int(slot)*x.tables+t] = sig
 		x.buckets[t][sig] = append(x.buckets[t][sig], slot)
+	}
+	// Derived per-slot representations are recomputed, never stored:
+	// snapshot import re-inserts through this same path, so sketches and
+	// codes round-trip deterministically from (seed, vector) alone.
+	if x.sketchWords > 0 {
+		x.sketchInto(vc, x.slotSketch(slot))
+	}
+	if x.tun.Quantize {
+		x.quant[slot] = feature.QuantizeInto(vc, x.slotCodes(slot))
 	}
 	x.idSlot[id] = slot
 	return nil
@@ -343,15 +539,34 @@ func (x *HyperplaneIndex) getScratch() *queryScratch {
 }
 
 // Candidates returns the deduplicated union of bucket contents that q
-// collides with across all tables, in first-collision order.
+// collides with across all tables, in first-collision order. The gather
+// runs through CandidatesInto on a pooled buffer, so the only per-call
+// allocation is the exact-size result slice handed to the caller.
 func (x *HyperplaneIndex) Candidates(q feature.Vector) ([]ID, error) {
-	return x.CandidatesInto(q, nil)
+	bufp, _ := x.idBuf.Get().(*[]ID)
+	if bufp == nil {
+		bufp = new([]ID)
+	}
+	ids, err := x.CandidatesInto(q, (*bufp)[:0])
+	if err != nil {
+		x.idBuf.Put(bufp)
+		return nil, err
+	}
+	out := make([]ID, len(ids))
+	copy(out, ids)
+	*bufp = ids[:0] // keep any growth for the next caller
+	x.idBuf.Put(bufp)
+	return out, nil
 }
 
 // CandidatesInto is Candidates appending into dst's backing array (which
 // may be nil). With a caller-reused dst of sufficient capacity the whole
 // gather performs no allocation: the dedup state is pooled and the IDs
 // land in caller-owned memory.
+//
+// Under a tuned pipeline the gather walks the full multi-probe sequence
+// and applies the sketch prefilter, so the returned set is exactly the
+// population NearestInto would score.
 func (x *HyperplaneIndex) CandidatesInto(q feature.Vector, dst []ID) ([]ID, error) {
 	if len(q) != x.dim {
 		return nil, fmt.Errorf("lsh: query dim %d, index dim %d: %w",
@@ -363,15 +578,55 @@ func (x *HyperplaneIndex) CandidatesInto(q feature.Vector, dst []ID) ([]ID, erro
 	defer x.mu.RUnlock()
 	sc.begin(len(x.slotID))
 	out := dst[:0]
-	for t := 0; t < x.tables; t++ {
-		sig := x.signature(t, q)
-		for _, slot := range x.buckets[t][sig] {
-			if sc.visited[slot] == sc.epoch {
-				continue
+	if !x.tun.enabled() {
+		for t := 0; t < x.tables; t++ {
+			sig := x.signature(t, q)
+			for _, slot := range x.buckets[t][sig] {
+				if sc.visited[slot] == sc.epoch {
+					continue
+				}
+				sc.visited[slot] = sc.epoch
+				out = append(out, x.slotID[slot])
 			}
-			sc.visited[slot] = sc.epoch
-			out = append(out, x.slotID[slot])
 		}
+		return out, nil
+	}
+	sc.ensureTuned(x.bits, x.dim)
+	var qsk [2]uint64
+	words := x.sketchWords
+	if words > 0 {
+		x.sketchInto(q, qsk[:words])
+	}
+	maxHam := x.tun.MaxHamming
+	var pg probeGen
+	for t := 0; t < x.tables; t++ {
+		sig := x.signatureMargins(t, q, sc.margins)
+		pg.init(sig, x.bits, sc.margins, sc.sorted, sc.order, sc.heap)
+		for p := 0; p < x.tun.Probes; p++ {
+			psig, ok := pg.next()
+			if !ok {
+				break
+			}
+			for _, slot := range x.buckets[t][psig] {
+				if sc.visited[slot] == sc.epoch {
+					continue
+				}
+				sc.visited[slot] = sc.epoch
+				if words > 0 {
+					// Inlined popcount Hamming; words is 1 or 2.
+					off := int(slot) * words
+					d := bits.OnesCount64(qsk[0] ^ x.sketch[off])
+					if words == 2 {
+						d += bits.OnesCount64(qsk[1] ^ x.sketch[off+1])
+					}
+					if d > maxHam {
+						continue
+					}
+				}
+				out = append(out, x.slotID[slot])
+			}
+		}
+		sc.heap = pg.heap[:0] // retain heap growth across tables/queries
 	}
 	return out, nil
 }
@@ -396,6 +651,14 @@ func (x *HyperplaneIndex) NearestInto(q feature.Vector, k int, dst []Neighbor) (
 	}
 	sc := x.getScratch()
 	defer x.scratch.Put(sc)
+	if x.tun.enabled() {
+		return x.nearestTuned(q, k, dst, sc)
+	}
+	// Classic exact-bucket path. Selection runs on squared distances —
+	// the same total order — and takes the square root only on the
+	// final k survivors, which is bit-identical to sqrt-per-candidate
+	// because MustSqEuclidean accumulates the same sum MustEuclidean
+	// does.
 	var sel kSelector
 	sel.reset(k, dst[:0])
 	x.mu.RLock()
@@ -409,12 +672,108 @@ func (x *HyperplaneIndex) NearestInto(q feature.Vector, k int, dst []Neighbor) (
 			sc.visited[slot] = sc.epoch
 			sel.add(Neighbor{
 				ID:       x.slotID[slot],
-				Distance: feature.MustEuclidean(q, x.slotVec(slot)),
+				Distance: feature.MustSqEuclidean(q, x.slotVec(slot)),
 			})
 		}
 	}
 	x.mu.RUnlock()
-	return sel.finish(), nil
+	out := sel.finish()
+	for i := range out {
+		out[i].Distance = math.Sqrt(out[i].Distance)
+	}
+	return out, nil
+}
+
+// nearestTuned is the tuned candidate pipeline: per table, walk the
+// multi-probe bucket sequence; per candidate, dedup by slot epoch, then
+// (optionally) reject on packed-sketch Hamming distance before any
+// float math; score survivors either exactly (squared L2) or with the
+// int8 integer-dot kernel, in which case only the top RerankK·k
+// approximate candidates pay an exact distance. All stages run on
+// pooled scratch, so a warm lookup with caller-provided dst allocates
+// nothing.
+func (x *HyperplaneIndex) nearestTuned(q feature.Vector, k int, dst []Neighbor, sc *queryScratch) ([]Neighbor, error) {
+	var sel kSelector
+	sel.reset(k, dst[:0])
+	quantize := x.tun.Quantize
+	var rsel kSelector
+	if quantize {
+		rsel.reset(x.tun.RerankK*k, sc.approx[:0])
+	}
+	sc.ensureTuned(x.bits, x.dim)
+	x.mu.RLock()
+	sc.begin(len(x.slotID))
+	var qsk [2]uint64
+	words := x.sketchWords
+	if words > 0 {
+		x.sketchInto(q, qsk[:words])
+	}
+	var qq feature.Quant
+	if quantize {
+		qq = feature.QuantizeInto(q, sc.qcodes)
+	}
+	maxHam := x.tun.MaxHamming
+	var pg probeGen
+	for t := 0; t < x.tables; t++ {
+		sig := x.signatureMargins(t, q, sc.margins)
+		pg.init(sig, x.bits, sc.margins, sc.sorted, sc.order, sc.heap)
+		for p := 0; p < x.tun.Probes; p++ {
+			psig, ok := pg.next()
+			if !ok {
+				break
+			}
+			for _, slot := range x.buckets[t][psig] {
+				if sc.visited[slot] == sc.epoch {
+					continue
+				}
+				sc.visited[slot] = sc.epoch
+				if words > 0 {
+					// Inlined popcount Hamming; words is 1 or 2.
+					off := int(slot) * words
+					d := bits.OnesCount64(qsk[0] ^ x.sketch[off])
+					if words == 2 {
+						d += bits.OnesCount64(qsk[1] ^ x.sketch[off+1])
+					}
+					if d > maxHam {
+						continue
+					}
+				}
+				if quantize {
+					// The approximate stage selects on (approx distance,
+					// slot): slots are assigned deterministically, so the
+					// keep-set is stable across runs and reloads.
+					dot := feature.DotInt8(sc.qcodes, x.slotCodes(slot))
+					rsel.add(Neighbor{
+						ID:       ID(slot),
+						Distance: feature.ApproxSqDistance(x.dim, qq, x.quant[slot], dot),
+					})
+				} else {
+					sel.add(Neighbor{
+						ID:       x.slotID[slot],
+						Distance: feature.MustSqEuclidean(q, x.slotVec(slot)),
+					})
+				}
+			}
+		}
+		sc.heap = pg.heap[:0] // retain heap growth across tables/queries
+	}
+	if quantize {
+		kept := rsel.finish()
+		for _, n := range kept {
+			slot := int32(n.ID)
+			sel.add(Neighbor{
+				ID:       x.slotID[slot],
+				Distance: feature.MustSqEuclidean(q, x.slotVec(slot)),
+			})
+		}
+		sc.approx = kept[:0] // retain selector growth for the next query
+	}
+	x.mu.RUnlock()
+	out := sel.finish()
+	for i := range out {
+		out[i].Distance = math.Sqrt(out[i].Distance)
+	}
+	return out, nil
 }
 
 // Stats describes index occupancy, used by the LSH ablation experiment.

@@ -84,6 +84,19 @@ func TestHyperplaneConcurrentStress(t *testing.T) {
 	stressIndex(t, idx, 8)
 }
 
+func TestHyperplaneTunedConcurrentStress(t *testing.T) {
+	// The full tuned pipeline — multi-probe walks, sketch arena reads,
+	// quantized scoring — racing writers that grow and recycle the very
+	// arenas the readers walk.
+	tun := DefaultTuning()
+	tun.Probes = 4
+	idx, err := NewHyperplaneTuned(8, 6, 3, 42, tun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stressIndex(t, idx, 8)
+}
+
 func TestExactConcurrentStress(t *testing.T) {
 	idx, err := NewExact(8)
 	if err != nil {
