@@ -21,9 +21,16 @@ MIN_GOODPUT_RETENTION = 0.85
 # warm-path allocations.
 MIN_LOOKUP_SPEEDUP = 1.3
 
-.PHONY: check build test race vet fmt bench bench-hotpath bench-gate bench-throughput throughput-gate bench-overload overload-gate bench-lookup lookup-gate fault-matrix
+# The cache-quality gate (E23): under recurring injected label drift
+# the self-healing node (shadow audits + quarantine + recalibration)
+# must recover at least this fraction of the no-drift baseline's tail
+# accuracy while retaining this fraction of its latency savings.
+MIN_ACCURACY_RECOVERY = 0.95
+MIN_SAVINGS_RETENTION = 0.6
 
-check: vet fmt test race bench-gate throughput-gate overload-gate lookup-gate fault-matrix
+.PHONY: check build test race vet fmt bench bench-hotpath bench-gate bench-throughput throughput-gate bench-overload overload-gate bench-lookup lookup-gate bench-quality quality-gate fault-matrix
+
+check: vet fmt test race bench-gate throughput-gate overload-gate lookup-gate quality-gate fault-matrix
 
 build:
 	$(GO) build ./...
@@ -103,6 +110,22 @@ bench-lookup:
 lookup-gate:
 	$(GO) run ./cmd/approxbench -hitheavy -lookup-json /tmp/BENCH_lookup.gate.json
 	$(GO) run ./cmd/benchgate -lookup-json /tmp/BENCH_lookup.gate.json -min-lookup-speedup $(MIN_LOOKUP_SPEEDUP)
+
+# Cache-quality benchmark (E23): recurring label drift against a
+# no-drift baseline, an unprotected node, and the self-healing node;
+# records BENCH_quality.json and enforces the recovery + retention
+# gates.
+bench-quality:
+	$(GO) run ./cmd/approxbench -drift -quality-json BENCH_quality.json
+	$(GO) run ./cmd/benchgate -quality-json BENCH_quality.json \
+		-min-accuracy-recovery $(MIN_ACCURACY_RECOVERY) -min-savings-retention $(MIN_SAVINGS_RETENTION)
+
+# Fast quality gate for `make check`: the full drift replay is virtual-
+# clock driven and takes well under a second of wall clock.
+quality-gate:
+	$(GO) run ./cmd/approxbench -drift -quality-json /tmp/BENCH_quality.gate.json
+	$(GO) run ./cmd/benchgate -quality-json /tmp/BENCH_quality.gate.json \
+		-min-accuracy-recovery $(MIN_ACCURACY_RECOVERY) -min-savings-retention $(MIN_SAVINGS_RETENTION)
 
 # Device fault matrix (E19): every sensor fault class plus a DNN outage,
 # guards and watchdog toggled. The acceptance test asserts the shape;

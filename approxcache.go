@@ -119,6 +119,19 @@ type (
 	// AdmissionLevel is the brownout degradation level the limiter is
 	// operating at (full, no-peer, first-candidate).
 	AdmissionLevel = admission.Level
+	// QualityConfig tunes the self-healing quality layer: shadow
+	// audits, entry quarantine, and drift-adaptive gate recalibration
+	// (see Options.Quality). The zero value is disabled;
+	// DefaultQualityConfig returns sensible defaults, enabled.
+	QualityConfig = core.QualityConfig
+	// QualitySnapshot is a point-in-time view of the quality layer:
+	// live hit-accuracy estimate, sample count, gate scale, and any
+	// pending reuse-refusal frames.
+	QualitySnapshot = core.QualitySnapshot
+	// QuarantineStats summarizes the store's quarantine lifecycle:
+	// currently quarantined entries plus quarantine, reinstatement, and
+	// parole-eviction counters.
+	QuarantineStats = cachestore.QuarantineStats
 )
 
 // Typed input and availability errors surfaced by Process.
@@ -301,6 +314,24 @@ type Options struct {
 	// sustained pressure the limiter also browns out the expensive
 	// reuse machinery (peer queries first, then the kNN vote).
 	Admission AdmissionConfig
+	// Quality enables the self-healing quality layer: a sampled
+	// fraction of reuse hits is shadow-audited against the classifier,
+	// refuted entries are quarantined and repaired, and the reuse gates
+	// recalibrate to hold a live-accuracy target under drift. The zero
+	// value is disabled; start from DefaultQualityConfig.
+	Quality QualityConfig
+	// QuarantineThreshold quarantines a cache entry once its audits
+	// leave it with this many more refutes than confirms (0 keeps the
+	// store default of 2; only meaningful with Quality enabled).
+	QuarantineThreshold int
+	// ParoleFailLimit evicts a quarantined entry after this many failed
+	// parole re-verifications (0 keeps the store default of 2).
+	ParoleFailLimit int
+	// LastResultTTL bounds how stale the degradation ladder's
+	// last-result answer may be: past the TTL the rung falls through to
+	// the typed availability error instead of replaying an old label.
+	// Zero (the default) keeps the last result usable indefinitely.
+	LastResultTTL time.Duration
 }
 
 // DefaultAdmissionConfig returns the standard overload limiter
@@ -308,6 +339,13 @@ type Options struct {
 // admission control on.
 func DefaultAdmissionConfig() AdmissionConfig {
 	return admission.DefaultConfig()
+}
+
+// DefaultQualityConfig returns the standard self-healing quality layer
+// configuration, enabled. Assign it to Options.Quality to turn shadow
+// audits, quarantine, and gate recalibration on.
+func DefaultQualityConfig() QualityConfig {
+	return core.DefaultQualityConfig()
 }
 
 // Cache is the user-facing approximate recognition cache.
@@ -390,6 +428,10 @@ func engineConfig(opts Options) core.Config {
 		cfg.RequestDeadline = opts.RequestDeadline
 	}
 	cfg.Admission = opts.Admission
+	cfg.Quality = opts.Quality
+	if opts.LastResultTTL > 0 {
+		cfg.LastResultTTL = opts.LastResultTTL
+	}
 	if opts.Probes > 1 {
 		cfg.IndexTuning.Probes = opts.Probes
 	}
@@ -441,7 +483,16 @@ func newStore(cfg core.Config, opts Options, clock Clock) (cachestore.Interface,
 		}
 		return lsh.NewHyperplaneTuned(dim, bits, tables, seed, tuning)
 	}
-	scfg := cachestore.Config{Capacity: capacity, Policy: policy, TTL: opts.TTL}
+	scfg := cachestore.Config{
+		Capacity:            capacity,
+		Policy:              policy,
+		TTL:                 opts.TTL,
+		QuarantineThreshold: opts.QuarantineThreshold,
+		ParoleFailLimit:     opts.ParoleFailLimit,
+	}
+	if opts.Quality.Enabled && scfg.QuarantineThreshold == 0 {
+		scfg.QuarantineThreshold = 2
+	}
 	if opts.Shards > 1 {
 		store, err := cachestore.NewSharded(cachestore.ShardedConfig{
 			Config:     scfg,
@@ -487,6 +538,26 @@ func (c *Cache) Stats() *Stats { return c.engine.Stats() }
 func (c *Cache) AdmissionSnapshot() (AdmissionSnapshot, bool) {
 	return c.engine.AdmissionSnapshot()
 }
+
+// QualitySnapshot returns the quality layer's live state; ok is false
+// when Options.Quality is disabled.
+func (c *Cache) QualitySnapshot() (QualitySnapshot, bool) {
+	return c.engine.QualitySnapshot()
+}
+
+// QuarantineStats returns the store's quarantine lifecycle counters
+// (zero value outside ModeApprox).
+func (c *Cache) QuarantineStats() QuarantineStats {
+	if c.store == nil {
+		return QuarantineStats{}
+	}
+	return c.store.QuarantineStats()
+}
+
+// DrainAudits blocks until every in-flight shadow audit has completed.
+// Call before reading final statistics when Options.Quality runs
+// asynchronous audits.
+func (c *Cache) DrainAudits() { c.engine.DrainAudits() }
 
 // Mode returns the configured strategy.
 func (c *Cache) Mode() Mode { return c.engine.Mode() }

@@ -362,6 +362,45 @@ func BenchmarkE21OverloadResilience(b *testing.B) {
 	}
 }
 
+// BenchmarkE22LookupPipeline regenerates the lookup-bound comparison
+// and reports the tuned pipeline's speedup over exact-bucket lookup.
+func BenchmarkE22LookupPipeline(b *testing.B) {
+	report := runExperiment(b, "E22")
+	parse := func(s string) float64 {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return v
+	}
+	base := parse(report.Rows[0][4])
+	tuned := parse(report.Rows[len(report.Rows)-1][4])
+	if tuned > 0 {
+		b.ReportMetric(base/tuned, "lookup-speedup-x")
+	}
+}
+
+// BenchmarkE23DriftQuality regenerates the drift-quality run and
+// reports the protected node's tail accuracy relative to the no-drift
+// baseline (the accuracy-recovery gate metric).
+func BenchmarkE23DriftQuality(b *testing.B) {
+	report := runExperiment(b, "E23")
+	parse := func(s string) float64 {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return v
+	}
+	acc := map[string]float64{}
+	for _, row := range report.Rows {
+		acc[row[0]] = parse(row[1])
+	}
+	if acc[eval.QualityBaseline] > 0 {
+		b.ReportMetric(acc[eval.QualityProtected]/acc[eval.QualityBaseline], "accuracy-recovery")
+	}
+}
+
 // ---------------------------------------------------------------------------
 // Micro-benchmarks: the real compute cost of each pipeline stage.
 // ---------------------------------------------------------------------------

@@ -1,4 +1,4 @@
-// Command approxbench runs the evaluation suite (experiments E1–E22 from
+// Command approxbench runs the evaluation suite (experiments E1–E23 from
 // DESIGN.md) and prints the tables recorded in EXPERIMENTS.md.
 //
 // Usage:
@@ -10,6 +10,7 @@
 //	approxbench -list           # list the suite
 //	approxbench -throughput     # multi-session saturation benchmark
 //	approxbench -overload       # open-loop overload sweep
+//	approxbench -drift          # label-drift cache-quality benchmark
 //
 // Independent experiments and sweep points run concurrently under
 // -parallel; tables are printed in suite order and are identical to a
@@ -28,6 +29,13 @@
 // unprotected one, and writes goodput, latency percentiles, and shed
 // counters as JSON (default BENCH_overload.json) for cmd/benchgate's
 // goodput-retention gate.
+//
+// -drift replays one workload under recurring label drift against a
+// no-drift baseline, an unprotected node, and a node with the
+// self-healing quality layer (shadow audits, quarantine, gate
+// recalibration), and writes tail accuracy, latency savings, and
+// quality-layer activity as JSON (default BENCH_quality.json) for
+// cmd/benchgate's accuracy-recovery and savings-retention gates.
 package main
 
 import (
@@ -52,7 +60,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("approxbench", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiment id (E1..E22), name, or \"all\"")
+		exp      = fs.String("exp", "all", "experiment id (E1..E23), name, or \"all\"")
 		frames   = fs.Int("frames", eval.DefaultScale().Frames, "per-device workload length in frames")
 		seed     = fs.Int64("seed", eval.DefaultScale().Seed, "root random seed")
 		format   = fs.String("format", "table", "output format: table | csv | markdown")
@@ -67,6 +75,9 @@ func run(args []string) error {
 		overload = fs.Bool("overload", false, "run the open-loop overload sweep and exit")
 		olJSON   = fs.String("overload-json", "BENCH_overload.json", "with -overload, write the report JSON here (empty = stdout only)")
 		sessions = fs.Int("sessions", 0, "with -overload, serving pool sessions (0 = default 8)")
+		drift    = fs.Bool("drift", false, "run the label-drift cache-quality benchmark and exit")
+		qJSON    = fs.String("quality-json", "BENCH_quality.json", "with -drift, write the report JSON here (empty = stdout only)")
+		dFrames  = fs.Int("drift-frames", 0, "with -drift, workload length (0 = default 1800)")
 		hitheavy = fs.Bool("hitheavy", false, "run the lookup-bound hit-heavy benchmark and exit")
 		luJSON   = fs.String("lookup-json", "BENCH_lookup.json", "with -hitheavy, write the report JSON here (empty = stdout only)")
 		entries  = fs.Int("entries", 0, "with -hitheavy, resident cache entries (0 = default 4096)")
@@ -92,6 +103,12 @@ func run(args []string) error {
 			Sessions: *sessions,
 			Seed:     *seed,
 		}, *olJSON)
+	}
+	if *drift {
+		return runQualityBench(eval.QualityBenchConfig{
+			Frames: *dFrames,
+			Seed:   *seed,
+		}, *qJSON)
 	}
 	if *list {
 		for _, e := range eval.All() {
@@ -217,6 +234,42 @@ func runLookupBench(cfg eval.LookupConfig, jsonPath string) error {
 	}
 	fmt.Printf("speedup (tuned vs exact-bucket): %.2fx at recall %.3f vs %.3f in %v\n",
 		rep.Speedup, rep.RecallTuned, rep.RecallBase, time.Since(start).Round(time.Millisecond))
+	if jsonPath != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	return nil
+}
+
+// runQualityBench executes the label-drift benchmark, prints the three
+// node runs, and records the report for the quality regression gate.
+func runQualityBench(cfg eval.QualityBenchConfig, jsonPath string) error {
+	start := time.Now()
+	rep, err := eval.RunQuality(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("drift: %d frames, label space rotated by %d every %d frames from frame %d\n",
+		rep.Frames, rep.Shift, rep.Frames/8, rep.DriftFrame)
+	for _, r := range rep.Runs {
+		line := fmt.Sprintf("  %-12s tail-acc=%.3f full-acc=%.3f tail=%6.2fms savings=%.3f",
+			r.Name, r.TailAccuracy, r.FullAccuracy, r.TailMeanLatencyMS, r.LatencySavings)
+		if r.Audits > 0 {
+			line += fmt.Sprintf("  audits=%d refutes=%d quar=%d parole=%d/%d recal=%d/%d refusals=%d",
+				r.Audits, r.AuditRefutes, r.Quarantines, r.Paroles, r.ParoleEvictions,
+				r.RecalTightens, r.RecalLoosens, r.ReuseRefusals)
+		}
+		fmt.Println(line)
+	}
+	fmt.Printf("accuracy recovery %.3f, savings retention %.3f (unprotected tail accuracy %.3f) in %v\n",
+		rep.AccuracyRecovery, rep.SavingsRetention, rep.UnprotectedAccuracy,
+		time.Since(start).Round(time.Millisecond))
 	if jsonPath != "" {
 		blob, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {

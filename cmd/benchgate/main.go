@@ -40,6 +40,16 @@
 // exact-bucket baseline by at least -min-lookup-speedup ns/op AND
 // matched or beat its recall AND ran the warm path with zero heap
 // allocations.
+//
+// A fifth mode gates the cache-quality (label-drift) report:
+//
+//	benchgate -quality-json BENCH_quality.json \
+//	    -min-accuracy-recovery 0.95 -min-savings-retention 0.6
+//
+// It reads the JSON written by `approxbench -drift` and fails unless
+// the self-healing node recovered at least -min-accuracy-recovery of
+// the no-drift baseline's tail accuracy while retaining at least
+// -min-savings-retention of its latency savings.
 package main
 
 import (
@@ -83,6 +93,9 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		minRetain  = fs.Float64("min-retention", 0.85, "with -overload-json, minimum required goodput retention at the highest offered load")
 		luJSON     = fs.String("lookup-json", "", "gate a lookup-pipeline report file instead of reading benchmarks from stdin")
 		minLookup  = fs.Float64("min-lookup-speedup", 1.3, "with -lookup-json, minimum required tuned-pipeline speedup over exact-bucket")
+		qJSON      = fs.String("quality-json", "", "gate a cache-quality (label-drift) report file instead of reading benchmarks from stdin")
+		minRecov   = fs.Float64("min-accuracy-recovery", 0.95, "with -quality-json, minimum protected tail accuracy as a fraction of the no-drift baseline")
+		minSavings = fs.Float64("min-savings-retention", 0.6, "with -quality-json, minimum protected latency savings as a fraction of the no-drift baseline")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -95,6 +108,9 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	}
 	if *luJSON != "" {
 		return checkLookup(*luJSON, *minLookup, out)
+	}
+	if *qJSON != "" {
+		return checkQuality(*qJSON, *minRecov, *minSavings, out)
 	}
 	results, err := parseBench(in)
 	if err != nil {
@@ -337,6 +353,63 @@ func checkLookup(path string, minSpeedup float64, out io.Writer) error {
 	}
 	if rep.RecallTuned < rep.RecallBase {
 		return fmt.Errorf("tuned recall %.3f below exact-bucket recall %.3f", rep.RecallTuned, rep.RecallBase)
+	}
+	return nil
+}
+
+// qualityReport mirrors the fields of eval.QualityReport this gate
+// needs (benchgate stays stdlib-only, so it does not import eval).
+type qualityReport struct {
+	Frames     int `json:"frames"`
+	DriftFrame int `json:"drift_frame"`
+	Runs       []struct {
+		Name           string  `json:"name"`
+		TailAccuracy   float64 `json:"tail_accuracy"`
+		LatencySavings float64 `json:"latency_savings"`
+		Audits         int     `json:"audits"`
+		AuditRefutes   int     `json:"audit_refutes"`
+		Quarantines    int     `json:"quarantines"`
+	} `json:"runs"`
+	AccuracyRecovery    float64 `json:"accuracy_recovery"`
+	SavingsRetention    float64 `json:"savings_retention"`
+	UnprotectedAccuracy float64 `json:"unprotected_accuracy"`
+}
+
+// checkQuality enforces the cache-quality regression gate on a report
+// written by `approxbench -drift`: under injected label drift the
+// self-healing node must recover near-baseline accuracy without giving
+// the cache's latency advantage back.
+func checkQuality(path string, minRecovery, minRetention float64, out io.Writer) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep qualityReport
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	if len(rep.Runs) == 0 {
+		return fmt.Errorf("%s: no runs", path)
+	}
+	audited := false
+	for _, r := range rep.Runs {
+		fmt.Fprintf(out, "%-12s tail-acc=%.3f savings=%.3f audits=%d refutes=%d quar=%d\n",
+			r.Name, r.TailAccuracy, r.LatencySavings, r.Audits, r.AuditRefutes, r.Quarantines)
+		if r.Audits > 0 {
+			audited = true
+		}
+	}
+	fmt.Fprintf(out, "accuracy recovery %.3f (gate: >= %.2f), savings retention %.3f (gate: >= %.2f) over %d frames\n",
+		rep.AccuracyRecovery, minRecovery, rep.SavingsRetention, minRetention, rep.Frames)
+	if !audited {
+		return fmt.Errorf("no run performed any shadow audits — quality layer did not engage")
+	}
+	if rep.AccuracyRecovery < minRecovery {
+		return fmt.Errorf("accuracy recovery %.3f below required %.2f (unprotected contrast %.3f)",
+			rep.AccuracyRecovery, minRecovery, rep.UnprotectedAccuracy)
+	}
+	if rep.SavingsRetention < minRetention {
+		return fmt.Errorf("savings retention %.3f below required %.2f", rep.SavingsRetention, minRetention)
 	}
 	return nil
 }

@@ -38,6 +38,17 @@ type Interface interface {
 	NearestInto(q feature.Vector, k int, dst []lsh.Neighbor) ([]lsh.Neighbor, error)
 	// Remove deletes id.
 	Remove(id lsh.ID)
+	// Confirm records a shadow-audit agreement on id.
+	Confirm(id lsh.ID)
+	// Refute records a shadow-audit disagreement on id; reports
+	// whether this call quarantined the entry.
+	Refute(id lsh.ID) bool
+	// Parole records the outcome of re-verifying a quarantined entry.
+	Parole(id lsh.ID, ok bool) ParoleOutcome
+	// Quarantined reports whether id is currently quarantined.
+	Quarantined(id lsh.ID) bool
+	// QuarantineStats returns quarantine lifecycle counters.
+	QuarantineStats() QuarantineStats
 	// Len returns the live entry count.
 	Len() int
 	// Evictions and Expiries count removals by cause.

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"approxcache/internal/feature"
+	"approxcache/internal/lsh"
 )
 
 // snapshotFormatVersion guards against incompatible snapshot files.
@@ -46,6 +47,14 @@ type wireEntry struct {
 	// SavedCostMicros carries the avoided cost in microseconds
 	// (encoding/json has no native duration support).
 	SavedCostMicros int64 `json:"savedCostMicros"`
+	// Shadow-audit quality state. All fields are additive: a v2
+	// snapshot without them decodes to zeros (a fresh, unaudited
+	// entry), and older readers ignore them, so the format version
+	// stays 2.
+	Confirms    int  `json:"confirms,omitempty"`
+	Refutes     int  `json:"refutes,omitempty"`
+	ParoleFails int  `json:"paroleFails,omitempty"`
+	Quarantined bool `json:"quarantined,omitempty"`
 }
 
 // wireSnapshot is the snapshot file layout.
@@ -70,6 +79,10 @@ func writeSnapshot(w io.Writer, entries []Entry) error {
 			Confidence:      e.Confidence,
 			Source:          e.Source,
 			SavedCostMicros: e.SavedCost.Microseconds(),
+			Confirms:        e.Confirms,
+			Refutes:         e.Refutes,
+			ParoleFails:     e.ParoleFails,
+			Quarantined:     e.Quarantined,
 		})
 	}
 	payload, err := json.Marshal(out)
@@ -144,13 +157,39 @@ func (s *Store) Import(r io.Reader) (int, error) {
 	}
 	inserted := 0
 	for i, e := range in.Entries {
-		if _, err := s.Insert(feature.Vector(e.Vec), e.Label, e.Confidence, e.Source,
-			time.Duration(e.SavedCostMicros)*time.Microsecond); err != nil {
+		id, err := s.Insert(feature.Vector(e.Vec), e.Label, e.Confidence, e.Source,
+			time.Duration(e.SavedCostMicros)*time.Microsecond)
+		if err != nil {
 			return inserted, fmt.Errorf("cachestore: import entry %d: %w", i, err)
 		}
+		s.applyWireQuality(id, e)
 		inserted++
 	}
 	return inserted, nil
+}
+
+// applyWireQuality restores an imported entry's shadow-audit state,
+// re-quarantining it (pulling it back out of the candidate index) if
+// the snapshot recorded it as quarantined. A warm start must not
+// silently rehabilitate entries the previous run had condemned.
+func (s *Store) applyWireQuality(id lsh.ID, e wireEntry) {
+	if e.Confirms == 0 && e.Refutes == 0 && e.ParoleFails == 0 && !e.Quarantined {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	live, ok := s.entries[id]
+	if !ok {
+		return // evicted by a later entry of the same import
+	}
+	live.Confirms = e.Confirms
+	live.Refutes = e.Refutes
+	live.ParoleFails = e.ParoleFails
+	if e.Quarantined && !live.Quarantined {
+		live.Quarantined = true
+		s.qTotal++
+		s.index.Remove(id)
+	}
 }
 
 // decodeV2 parses a headered snapshot: the header line names the

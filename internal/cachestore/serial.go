@@ -73,6 +73,42 @@ func (s *SerializedStore) Remove(id lsh.ID) {
 	s.inner.Remove(id)
 }
 
+// Confirm records an audit agreement under the global mutex.
+func (s *SerializedStore) Confirm(id lsh.ID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inner.Confirm(id)
+}
+
+// Refute records an audit disagreement under the global mutex.
+func (s *SerializedStore) Refute(id lsh.ID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.Refute(id)
+}
+
+// Parole records a re-verification outcome under the global mutex.
+func (s *SerializedStore) Parole(id lsh.ID, ok bool) ParoleOutcome {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.Parole(id, ok)
+}
+
+// Quarantined reports quarantine state under the global mutex.
+func (s *SerializedStore) Quarantined(id lsh.ID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.Quarantined(id)
+}
+
+// QuarantineStats summarizes quarantine activity under the global
+// mutex.
+func (s *SerializedStore) QuarantineStats() QuarantineStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.QuarantineStats()
+}
+
 // Len returns the live entry count under the global mutex.
 func (s *SerializedStore) Len() int {
 	s.mu.Lock()

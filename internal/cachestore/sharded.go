@@ -181,6 +181,43 @@ func (s *ShardedStore) Remove(id lsh.ID) {
 	s.shards[shard].Remove(local)
 }
 
+// Confirm records an audit agreement on the global id.
+func (s *ShardedStore) Confirm(id lsh.ID) {
+	shard, local := s.split(id)
+	s.shards[shard].Confirm(local)
+}
+
+// Refute records an audit disagreement on the global id.
+func (s *ShardedStore) Refute(id lsh.ID) bool {
+	shard, local := s.split(id)
+	return s.shards[shard].Refute(local)
+}
+
+// Parole records a re-verification outcome for the global id.
+func (s *ShardedStore) Parole(id lsh.ID, ok bool) ParoleOutcome {
+	shard, local := s.split(id)
+	return s.shards[shard].Parole(local, ok)
+}
+
+// Quarantined reports whether the global id is quarantined.
+func (s *ShardedStore) Quarantined(id lsh.ID) bool {
+	shard, local := s.split(id)
+	return s.shards[shard].Quarantined(local)
+}
+
+// QuarantineStats aggregates quarantine activity across shards.
+func (s *ShardedStore) QuarantineStats() QuarantineStats {
+	var agg QuarantineStats
+	for _, sh := range s.shards {
+		st := sh.QuarantineStats()
+		agg.Active += st.Active
+		agg.Total += st.Total
+		agg.Paroled += st.Paroled
+		agg.Evicted += st.Evicted
+	}
+	return agg
+}
+
 // Nearest returns up to k neighbors of q across all shards.
 func (s *ShardedStore) Nearest(q feature.Vector, k int) ([]lsh.Neighbor, error) {
 	return s.NearestInto(q, k, nil)
@@ -332,10 +369,13 @@ func (s *ShardedStore) Import(r io.Reader) (int, error) {
 	}
 	inserted := 0
 	for i, e := range in.Entries {
-		if _, err := s.Insert(feature.Vector(e.Vec), e.Label, e.Confidence, e.Source,
-			time.Duration(e.SavedCostMicros)*time.Microsecond); err != nil {
+		id, err := s.Insert(feature.Vector(e.Vec), e.Label, e.Confidence, e.Source,
+			time.Duration(e.SavedCostMicros)*time.Microsecond)
+		if err != nil {
 			return inserted, fmt.Errorf("cachestore: import entry %d: %w", i, err)
 		}
+		shard, local := s.split(id)
+		s.shards[shard].applyWireQuality(local, e)
 		inserted++
 	}
 	return inserted, nil

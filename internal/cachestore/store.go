@@ -60,6 +60,19 @@ type Entry struct {
 	InsertedAt time.Time
 	LastAccess time.Time
 	Hits       int
+	// Confirms and Refutes count shadow-audit outcomes: audits whose
+	// DNN label agreed (confirm) or disagreed (refute) with this
+	// entry. A confirm forgives one outstanding refute; neither
+	// counter ever goes negative.
+	Confirms int
+	Refutes  int
+	// ParoleFails counts failed re-verifications while quarantined.
+	ParoleFails int
+	// Quarantined marks an entry pulled from the candidate index:
+	// it no longer appears in Nearest results or kNN votes, and
+	// Label refuses to resolve it, until a parole re-verification
+	// reinstates it.
+	Quarantined bool
 }
 
 // Config parameterizes a Store.
@@ -71,12 +84,27 @@ type Config struct {
 	// TTL expires entries this long after insertion. Zero disables
 	// expiry.
 	TTL time.Duration
+	// QuarantineThreshold quarantines an entry once its outstanding
+	// refute count (refutes minus forgiven ones) reaches this value.
+	// Zero disables quarantine: refutes are still counted but never
+	// act.
+	QuarantineThreshold int
+	// ParoleFailLimit evicts a quarantined entry after this many
+	// failed parole re-verifications. Zero keeps the default (2)
+	// when quarantine is enabled.
+	ParoleFailLimit int
 }
 
 // Validate reports whether the configuration is usable.
 func (c Config) Validate() error {
 	if c.Capacity <= 0 {
 		return fmt.Errorf("cachestore: capacity must be positive, got %d", c.Capacity)
+	}
+	if c.QuarantineThreshold < 0 {
+		return fmt.Errorf("cachestore: quarantine threshold must be non-negative, got %d", c.QuarantineThreshold)
+	}
+	if c.ParoleFailLimit < 0 {
+		return fmt.Errorf("cachestore: parole fail limit must be non-negative, got %d", c.ParoleFailLimit)
 	}
 	switch c.Policy {
 	case 0, LRU, LFU, CostAware:
@@ -98,6 +126,10 @@ type Store struct {
 	nextID    lsh.ID
 	evictions int
 	expiries  int
+	// Quarantine lifecycle counters (cumulative).
+	qTotal   int // entries ever quarantined
+	qParoled int // quarantined entries reinstated by parole
+	qEvicted int // quarantined entries evicted at the parole-fail limit
 }
 
 // New builds a Store over index using clock for all timing.
@@ -113,6 +145,9 @@ func New(cfg Config, index lsh.Index, clock simclock.Clock) (*Store, error) {
 	}
 	if cfg.Policy == 0 {
 		cfg.Policy = LRU
+	}
+	if cfg.QuarantineThreshold > 0 && cfg.ParoleFailLimit == 0 {
+		cfg.ParoleFailLimit = 2
 	}
 	return &Store{
 		cfg:     cfg,
@@ -218,10 +253,13 @@ func (s *Store) Touch(id lsh.ID) {
 }
 
 // Label resolves id to its label if the entry is live. It matches the
-// callback shape of lsh.Vote.
+// callback shape of lsh.Vote. Quarantined entries do not resolve:
+// they are already absent from the candidate index, but stale IDs
+// held by callers (peer answers, in-flight votes) must not revive a
+// suspect label either.
 func (s *Store) Label(id lsh.ID) (string, bool) {
 	e, ok := s.Get(id)
-	if !ok {
+	if !ok || e.Quarantined {
 		return "", false
 	}
 	return e.Label, true
@@ -274,6 +312,134 @@ func (s *Store) Remove(id lsh.ID) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.removeLocked(id)
+}
+
+// Confirm records a shadow-audit agreement on id: the DNN re-ran on a
+// frame this entry served and produced the same label. One outstanding
+// refute is forgiven; neither counter ever goes negative.
+func (s *Store) Confirm(id lsh.ID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[id]
+	if !ok {
+		return
+	}
+	e.Confirms++
+	if e.Refutes > 0 {
+		e.Refutes--
+	}
+}
+
+// Refute records a shadow-audit disagreement on id. When the
+// outstanding refute count reaches the quarantine threshold, the entry
+// is pulled from the candidate index: it stops appearing in Nearest
+// results and kNN votes until a parole re-verification reinstates it.
+// Refute reports whether this call quarantined the entry.
+func (s *Store) Refute(id lsh.ID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[id]
+	if !ok || e.Quarantined {
+		return false
+	}
+	e.Refutes++
+	if s.cfg.QuarantineThreshold <= 0 || e.Refutes < s.cfg.QuarantineThreshold {
+		return false
+	}
+	e.Quarantined = true
+	s.qTotal++
+	s.index.Remove(id)
+	return true
+}
+
+// ParoleOutcome reports what a parole re-verification did to an entry.
+type ParoleOutcome int
+
+const (
+	// ParoleMissing: the entry is gone or was never quarantined.
+	ParoleMissing ParoleOutcome = iota
+	// ParoleReinstated: the re-verification agreed; the entry is back
+	// in the candidate index with cleared audit counters.
+	ParoleReinstated
+	// ParoleHeld: the re-verification disagreed; still quarantined.
+	ParoleHeld
+	// ParoleEvicted: the re-verification disagreed once too often;
+	// the entry has been removed for good.
+	ParoleEvicted
+)
+
+// Parole records the outcome of re-verifying a quarantined entry
+// against a fresh DNN result. ok reinstates the entry into the
+// candidate index with cleared audit counters; !ok counts a parole
+// failure and evicts the entry once ParoleFailLimit failures
+// accumulate.
+func (s *Store) Parole(id lsh.ID, ok bool) ParoleOutcome {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, live := s.entries[id]
+	if !live || !e.Quarantined {
+		return ParoleMissing
+	}
+	if ok {
+		e.Quarantined = false
+		e.Refutes = 0
+		e.ParoleFails = 0
+		s.qParoled++
+		if err := s.index.Insert(id, e.Vec); err != nil {
+			// The index refused the vector it previously held (cannot
+			// happen with the in-tree indexes); drop the entry rather
+			// than keep a permanently unfindable one.
+			delete(s.entries, id)
+			s.qEvicted++
+			return ParoleEvicted
+		}
+		return ParoleReinstated
+	}
+	e.ParoleFails++
+	if s.cfg.ParoleFailLimit > 0 && e.ParoleFails >= s.cfg.ParoleFailLimit {
+		s.removeLocked(id)
+		s.qEvicted++
+		return ParoleEvicted
+	}
+	return ParoleHeld
+}
+
+// Quarantined reports whether id is currently quarantined.
+func (s *Store) Quarantined(id lsh.ID) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.entries[id]
+	return ok && e.Quarantined
+}
+
+// QuarantineStats summarizes quarantine activity.
+type QuarantineStats struct {
+	// Active is the number of currently quarantined entries.
+	Active int
+	// Total counts entries ever quarantined.
+	Total int
+	// Paroled counts quarantined entries reinstated by parole.
+	Paroled int
+	// Evicted counts quarantined entries removed at the parole-fail
+	// limit.
+	Evicted int
+}
+
+// QuarantineStats returns the store's quarantine lifecycle counters.
+func (s *Store) QuarantineStats() QuarantineStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := QuarantineStats{
+		Total:   s.qTotal,
+		Paroled: s.qParoled,
+		Evicted: s.qEvicted,
+	}
+	for _, e := range s.entries {
+		if e.Quarantined {
+			st.Active++
+		}
+	}
+	return st
 }
 
 // StoreStats summarizes the store's occupancy and churn.

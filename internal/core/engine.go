@@ -199,6 +199,17 @@ type Config struct {
 	// exact-bucket pipeline. Consumed by the store constructor; the
 	// engine itself only sees lookup results.
 	IndexTuning lsh.Tuning
+	// Quality configures the self-healing quality layer: shadow audits
+	// of cache hits, entry quarantine, and drift-adaptive gate
+	// recalibration. The zero value is disabled. Only meaningful in
+	// ModeApprox.
+	Quality QualityConfig
+	// LastResultTTL bounds how stale a last-served result the
+	// degradation ladder may repeat: past the TTL the last-result rung
+	// falls through to the next rung (a typed error) instead of
+	// parroting ancient history. Measured on the engine clock. Zero
+	// (the default) keeps the rung unbounded, matching prior behavior.
+	LastResultTTL time.Duration
 }
 
 // DefaultConfig returns the standard pipeline configuration.
@@ -235,6 +246,12 @@ func (c Config) Validate() error {
 	}
 	if c.RequestDeadline < 0 {
 		return fmt.Errorf("core: RequestDeadline must be non-negative, got %v", c.RequestDeadline)
+	}
+	if c.LastResultTTL < 0 {
+		return fmt.Errorf("core: LastResultTTL must be non-negative, got %v", c.LastResultTTL)
+	}
+	if err := c.Quality.Validate(); err != nil {
+		return err
 	}
 	if err := c.Admission.Validate(); err != nil {
 		return err
@@ -334,6 +351,9 @@ type Engine struct {
 	// ctrl is the admission/brownout controller, shared pool-wide (nil
 	// when admission control is disabled).
 	ctrl *admission.Controller
+	// quality is the self-healing quality controller, shared pool-wide
+	// like the watchdog (nil when the quality layer is disabled).
+	quality *qualityController
 	// jitterSeed seeds this session's deterministic retry-jitter
 	// schedule, derived from the pool session index so sibling sessions
 	// never retry in lockstep.
@@ -353,8 +373,15 @@ type Engine struct {
 	// serves degraded frames from this copy concurrently).
 	last    Result
 	hasLast bool
-	streak  int // consecutive frames served by reuse sources
-	exact   map[uint64]exactEntry
+	// lastAt stamps when last was set (engine clock), so the
+	// degradation ladder can age it out under LastResultTTL.
+	lastAt time.Time
+	streak int // consecutive frames served by reuse sources
+	// appliedScale is the quality controller's gate-strictness scale
+	// last pushed into the detector and keyframe library; the engine
+	// re-pushes only on change.
+	appliedScale float64
+	exact        map[uint64]exactEntry
 }
 
 // frameScratch is one frame's reusable working memory. The feature
@@ -379,17 +406,19 @@ type exactEntry struct {
 
 // New builds an engine from cfg and deps.
 func New(cfg Config, deps Deps) (*Engine, error) {
-	return newEngine(cfg, deps, nil, nil, nil, 0)
+	return newEngine(cfg, deps, nil, nil, nil, nil, 0)
 }
 
 // newEngine builds an engine, optionally sharing session stats, a
-// classifier watchdog, and an admission controller with sibling engines
-// (the multi-session pool passes all three so every stream feeds one
-// scoreboard, one breaker, and one overload limiter — they share the
-// accelerator those protect). Nil stats/wd/ctrl get fresh private
-// instances (ctrl only when cfg.Admission is enabled). session is the
-// pool session index; it seeds the per-session retry jitter.
-func newEngine(cfg Config, deps Deps, stats *metrics.SessionStats, wd *watchdog, ctrl *admission.Controller, session int) (*Engine, error) {
+// classifier watchdog, an admission controller, and a quality
+// controller with sibling engines (the multi-session pool passes all
+// four so every stream feeds one scoreboard, one breaker, one overload
+// limiter, and one quality loop — they share the accelerator and cache
+// those protect). Nil stats/wd/ctrl/qc get fresh private instances
+// (ctrl only when cfg.Admission is enabled, qc only when cfg.Quality
+// is). session is the pool session index; it seeds the per-session
+// retry jitter.
+func newEngine(cfg Config, deps Deps, stats *metrics.SessionStats, wd *watchdog, ctrl *admission.Controller, qc *qualityController, session int) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -429,7 +458,7 @@ func newEngine(cfg Config, deps Deps, stats *metrics.SessionStats, wd *watchdog,
 			deps.Store = nil
 		}
 	}
-	e := &Engine{cfg: cfg, deps: deps, stats: stats, ctrl: ctrl, jitterSeed: jitterSeedFor(session)}
+	e := &Engine{cfg: cfg, deps: deps, stats: stats, ctrl: ctrl, jitterSeed: jitterSeedFor(session), appliedScale: 1}
 	if wd == nil {
 		wd = newWatchdog(cfg.Watchdog, deps.Classifier, deps.Clock, stats)
 	}
@@ -454,6 +483,10 @@ func newEngine(cfg Config, deps Deps, stats *metrics.SessionStats, wd *watchdog,
 		}
 		e.detector = det
 		e.keyframes = lib
+		if qc == nil && cfg.Quality.Enabled {
+			qc = newQualityController(cfg.Quality, deps.Classifier, deps.Store, stats, ctrl)
+		}
+		e.quality = qc
 	}
 	return e, nil
 }
@@ -605,6 +638,12 @@ func (e *Engine) process(im *vision.Image, imuWindow []imu.Sample, truth string,
 	e.mu.Lock()
 	e.last = res
 	e.hasLast = true
+	if res.Degradation == DegradeNone {
+		// Only non-degraded serves refresh the staleness stamp: a
+		// ladder answer is a replay of history, and letting a replay
+		// renew its own age would defeat LastResultTTL.
+		e.lastAt = e.deps.Clock.Now()
+	}
 	if res.Source == metrics.SourceDNN {
 		e.streak = 0
 	} else {
@@ -727,14 +766,28 @@ func (e *Engine) processApprox(im *vision.Image, imuWindow []imu.Sample, imuOK, 
 	if e.ctrl != nil {
 		brownout = e.ctrl.Level()
 	}
+	// Quality layer: a reuse-refusal burst forces this frame to
+	// revalidate; the gate-strictness scale (1 when healthy) shrinks
+	// every reuse gate when shadow audits find accuracy drifting.
+	forcedReval := false
+	scale := 1.0
+	if e.quality != nil {
+		forcedReval = e.quality.consumeRefusal()
+		scale = e.quality.scale()
+	}
 	e.mu.Lock()
+	if e.quality != nil && scale != e.appliedScale {
+		e.detector.SetStrictness(scale)
+		e.keyframes.SetStrictness(scale)
+		e.appliedScale = scale
+	}
 	if imuOK {
 		e.detector.ObserveAll(imuWindow)
 	}
 	last, hasLast := e.last, e.hasLast
 	// Bounded staleness: once a reuse streak reaches the cap, force a
 	// fresh inference so a single wrong result cannot serve forever.
-	revalidate := e.cfg.MaxReuseStreak > 0 && e.streak >= e.cfg.MaxReuseStreak
+	revalidate := forcedReval || (e.cfg.MaxReuseStreak > 0 && e.streak >= e.cfg.MaxReuseStreak)
 	var latency time.Duration
 	var energy float64
 
@@ -752,6 +805,7 @@ func (e *Engine) processApprox(im *vision.Image, imuWindow []imu.Sample, imuOK, 
 				EnergyMJ:   energy,
 			}
 			e.mu.Unlock()
+			e.maybeAudit(im, res.Label, nil, deadline)
 			return res, nil
 		}
 	}
@@ -771,6 +825,7 @@ func (e *Engine) processApprox(im *vision.Image, imuWindow []imu.Sample, imuOK, 
 				EnergyMJ:   energy,
 			}
 			e.mu.Unlock()
+			e.maybeAudit(im, res.Label, nil, deadline)
 			return res, nil
 		}
 	}
@@ -798,7 +853,12 @@ func (e *Engine) processApprox(im *vision.Image, imuWindow []imu.Sample, imuOK, 
 	if frameOK && !revalidate {
 		latency += e.cfg.Costs.LookupLatency
 		energy += e.cfg.Costs.LookupEnergyMJ
-		k := e.cfg.Vote.K
+		// The quality controller's strictness scale shrinks the reuse
+		// radius when live accuracy drifts below target (a stack copy;
+		// the configured policy is never mutated).
+		vote := e.cfg.Vote
+		vote.MaxDistance *= scale
+		k := vote.K
 		if brownout >= admission.LevelFirstCandidate {
 			k = 1
 		}
@@ -813,12 +873,12 @@ func (e *Engine) processApprox(im *vision.Image, imuWindow []imu.Sample, imuOK, 
 			// nearest in-range candidate directly. Cheaper and less
 			// verified — acceptable exactly because the alternative
 			// under this much pressure is shedding the frame entirely.
-			if len(ns) > 0 && ns[0].Distance <= e.cfg.Vote.MaxDistance {
+			if len(ns) > 0 && ns[0].Distance <= vote.MaxDistance {
 				if entry, ok := e.deps.Store.Get(ns[0].ID); ok {
 					verdict = lsh.Verdict{Accepted: true, Label: entry.Label, Confidence: entry.Confidence}
 				}
 			}
-		} else if verdict, err = lsh.Vote(ns, e.deps.Store.Label, e.cfg.Vote); err != nil {
+		} else if verdict, err = lsh.Vote(ns, e.deps.Store.Label, vote); err != nil {
 			return Result{}, fmt.Errorf("vote: %w", err)
 		}
 		if verdict.Accepted {
@@ -833,6 +893,20 @@ func (e *Engine) processApprox(im *vision.Image, imuWindow []imu.Sample, imuOK, 
 				EnergyMJ:   energy,
 			}
 			e.refreshScene(im, res.Label, res.Confidence)
+			if e.quality != nil {
+				// The in-range neighbors backed this serve; an audit
+				// will confirm or refute them by ID.
+				var aud [maxAuditIDs]lsh.ID
+				an := 0
+				for _, n := range ns {
+					if an == len(aud) || n.Distance > vote.MaxDistance {
+						break
+					}
+					aud[an] = n.ID
+					an++
+				}
+				e.maybeAudit(im, res.Label, aud[:an], deadline)
+			}
 			return res, nil
 		}
 
@@ -876,8 +950,9 @@ func (e *Engine) processApprox(im *vision.Image, imuWindow []imu.Sample, imuOK, 
 				hit := out.Hit
 				// Adopt the peer's answer locally so the next similar
 				// frame hits gate 3.
-				if _, err := e.deps.Store.Insert(vec, hit.Label, hit.Confidence, "peer",
-					e.deps.Classifier.Profile().MeanLatency); err != nil {
+				pid, err := e.deps.Store.Insert(vec, hit.Label, hit.Confidence, "peer",
+					e.deps.Classifier.Profile().MeanLatency)
+				if err != nil {
 					return Result{}, fmt.Errorf("adopt peer hit: %w", err)
 				}
 				res := Result{
@@ -889,6 +964,12 @@ func (e *Engine) processApprox(im *vision.Image, imuWindow []imu.Sample, imuOK, 
 					PeerName:   hit.Peer,
 				}
 				e.refreshScene(im, res.Label, res.Confidence)
+				if e.quality != nil {
+					// Audit the adopted entry: a peer's bad answer must
+					// accrue refutes here, not just on the peer.
+					aud := [1]lsh.ID{pid}
+					e.maybeAudit(im, res.Label, aud[:], deadline)
+				}
 				return res, nil
 			}
 		}
@@ -998,7 +1079,7 @@ func (e *Engine) serveDegraded(vec feature.Vector, sc *frameScratch, haveVec boo
 			sc.ns = ns[:0]
 		}
 	}
-	if last, ok := e.LastResult(); ok {
+	if last, ok := e.lastResultFresh(); ok {
 		return Result{
 			Label:       last.Label,
 			Confidence:  last.Confidence * fallbackConfidence,
@@ -1009,6 +1090,33 @@ func (e *Engine) serveDegraded(vec feature.Vector, sc *frameScratch, haveVec boo
 		}, nil
 	}
 	return Result{}, fmt.Errorf("recognition unavailable: %w", cause)
+}
+
+// lastResultFresh returns the last result for degraded serving, unless
+// LastResultTTL is set and the result has outlived it — a ladder that
+// would otherwise repeat arbitrarily ancient history falls through to
+// the next rung instead.
+func (e *Engine) lastResultFresh() (Result, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if !e.hasLast {
+		return Result{}, false
+	}
+	if e.cfg.LastResultTTL > 0 && e.deps.Clock.Now().Sub(e.lastAt) > e.cfg.LastResultTTL {
+		return Result{}, false
+	}
+	return e.last, true
+}
+
+// maybeAudit forwards a reuse serve to the quality controller's shadow
+// auditor. ids are the cache entries that backed the serve; the
+// controller copies them before returning, so scratch-backed slices
+// are safe to pass.
+func (e *Engine) maybeAudit(im *vision.Image, served string, ids []lsh.ID, deadline time.Time) {
+	if e.quality == nil {
+		return
+	}
+	e.quality.maybeAudit(e, im, served, ids, deadline)
 }
 
 // serveShed answers a frame that overload protection kept off the

@@ -39,14 +39,14 @@ func NewPool(n int, cfg Config, deps Deps) (*Pool, error) {
 	// Build the first engine through the validating path; it creates
 	// the shared stats, watchdog, and admission controller the siblings
 	// attach to.
-	first, err := newEngine(cfg, deps, nil, nil, nil, 0)
+	first, err := newEngine(cfg, deps, nil, nil, nil, nil, 0)
 	if err != nil {
 		return nil, err
 	}
 	p := &Pool{engines: make([]*Engine, n), stats: first.stats}
 	p.engines[0] = first
 	for i := 1; i < n; i++ {
-		e, err := newEngine(cfg, deps, first.stats, first.wd, first.ctrl, i)
+		e, err := newEngine(cfg, deps, first.stats, first.wd, first.ctrl, first.quality, i)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,491 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"approxcache/internal/admission"
+	"approxcache/internal/cachestore"
+	"approxcache/internal/feature"
+	"approxcache/internal/lsh"
+	"approxcache/internal/metrics"
+	"approxcache/internal/vision"
+)
+
+// QualityConfig configures the self-healing cache-quality layer: a
+// shadow auditor that re-runs a sampled fraction of cache hits through
+// the DNN off the latency path, per-entry confirm/refute bookkeeping
+// feeding the store's quarantine machinery, and a drift-adaptive
+// controller that tightens or loosens every reuse gate to hold a live
+// hit-accuracy target.
+type QualityConfig struct {
+	// Enabled turns the quality layer on. The zero value is off: no
+	// audits, no recalibration, zero overhead on the serving path.
+	Enabled bool
+	// AuditSampleEvery audits every Nth reuse-served frame (default
+	// 16). Audits are skipped while the node is browning out or the
+	// frame's request deadline is nearly spent — quality sampling
+	// must never compete with overload survival.
+	AuditSampleEvery int
+	// TargetAccuracy is the live hit-accuracy SLO the recalibration
+	// controller defends (default 0.90).
+	TargetAccuracy float64
+	// Hysteresis is the dead band around the target (default 0.03):
+	// the controller only moves when the estimate leaves
+	// [target-h, target+h], so it cannot oscillate on noise.
+	Hysteresis float64
+	// EWMAAlpha weights each new audit in the live-accuracy estimate
+	// (default 0.2).
+	EWMAAlpha float64
+	// MinSamples is how many audits the controller needs before it
+	// trusts the estimate enough to act (default 8).
+	MinSamples int
+	// TightenStep and LoosenStep are the multiplicative moves applied
+	// to the gate-strictness scale (defaults 0.7 and 1.15). The scale
+	// multiplies the kNN reuse radius and the IMU/video gate
+	// thresholds, so tightening shrinks every gate at once.
+	TightenStep float64
+	LoosenStep  float64
+	// MinScale floors the strictness scale (default 0.35). A
+	// controller already at the floor that still misses the target
+	// stops trusting reuse entirely and refuses it for RefusalFrames
+	// frames (every frame revalidates through the DNN, or through the
+	// degradation ladder when the DNN is unavailable).
+	MinScale float64
+	// CooldownAudits is how many audits must pass between consecutive
+	// scale moves (default 4), giving each move time to show up in
+	// the estimate before the next.
+	CooldownAudits int
+	// RefusalFrames is the length of a reuse-refusal burst (default
+	// 12).
+	RefusalFrames int
+	// AlarmAudits is the burst length entered after a refuted audit
+	// (default 24): that many subsequent reuse serves are ALL audited
+	// instead of sampled. One refute usually means an era of entries
+	// just went stale together (model update, scene meaning changed),
+	// so the controller sweeps the neighborhood densely while
+	// suspicion is hot instead of waiting out the sampling period per
+	// poisoned scene.
+	AlarmAudits int
+	// MaxPending bounds in-flight asynchronous audits (default 4);
+	// sampling skips while the bound is reached.
+	MaxPending int
+	// Synchronous runs audits inline on the serving goroutine instead
+	// of asynchronously. Audit latency is still never charged to the
+	// frame; experiments on a virtual clock use this for determinism.
+	Synchronous bool
+}
+
+// DefaultQualityConfig returns the quality layer's standard tuning,
+// enabled. Assign it to Config.Quality to turn the layer on.
+func DefaultQualityConfig() QualityConfig {
+	return QualityConfig{Enabled: true}.withDefaults()
+}
+
+// withDefaults fills zero fields with the standard tuning.
+func (c QualityConfig) withDefaults() QualityConfig {
+	if c.AuditSampleEvery == 0 {
+		c.AuditSampleEvery = 16
+	}
+	if c.TargetAccuracy == 0 {
+		c.TargetAccuracy = 0.90
+	}
+	if c.Hysteresis == 0 {
+		c.Hysteresis = 0.03
+	}
+	if c.EWMAAlpha == 0 {
+		c.EWMAAlpha = 0.2
+	}
+	if c.MinSamples == 0 {
+		c.MinSamples = 8
+	}
+	if c.TightenStep == 0 {
+		c.TightenStep = 0.7
+	}
+	if c.LoosenStep == 0 {
+		c.LoosenStep = 1.15
+	}
+	if c.MinScale == 0 {
+		c.MinScale = 0.35
+	}
+	if c.CooldownAudits == 0 {
+		c.CooldownAudits = 4
+	}
+	if c.RefusalFrames == 0 {
+		c.RefusalFrames = 12
+	}
+	if c.AlarmAudits == 0 {
+		c.AlarmAudits = 24
+	}
+	if c.MaxPending == 0 {
+		c.MaxPending = 4
+	}
+	return c
+}
+
+// Validate reports whether the configuration is usable.
+func (c QualityConfig) Validate() error {
+	if !c.Enabled {
+		return nil
+	}
+	c = c.withDefaults()
+	if c.AuditSampleEvery < 1 {
+		return fmt.Errorf("core: AuditSampleEvery must be positive, got %d", c.AuditSampleEvery)
+	}
+	if c.TargetAccuracy <= 0 || c.TargetAccuracy > 1 {
+		return fmt.Errorf("core: TargetAccuracy must be in (0,1], got %v", c.TargetAccuracy)
+	}
+	if c.Hysteresis < 0 || c.Hysteresis >= c.TargetAccuracy {
+		return fmt.Errorf("core: Hysteresis must be in [0, target), got %v", c.Hysteresis)
+	}
+	if c.EWMAAlpha <= 0 || c.EWMAAlpha > 1 {
+		return fmt.Errorf("core: EWMAAlpha must be in (0,1], got %v", c.EWMAAlpha)
+	}
+	if c.TightenStep <= 0 || c.TightenStep >= 1 {
+		return fmt.Errorf("core: TightenStep must be in (0,1), got %v", c.TightenStep)
+	}
+	if c.LoosenStep <= 1 {
+		return fmt.Errorf("core: LoosenStep must exceed 1, got %v", c.LoosenStep)
+	}
+	if c.MinScale <= 0 || c.MinScale > 1 {
+		return fmt.Errorf("core: MinScale must be in (0,1], got %v", c.MinScale)
+	}
+	if c.RefusalFrames < 1 {
+		return fmt.Errorf("core: RefusalFrames must be positive, got %d", c.RefusalFrames)
+	}
+	if c.AlarmAudits < 0 {
+		return fmt.Errorf("core: AlarmAudits must be non-negative, got %d", c.AlarmAudits)
+	}
+	if c.MaxPending < 1 {
+		return fmt.Errorf("core: MaxPending must be positive, got %d", c.MaxPending)
+	}
+	return nil
+}
+
+// QualitySnapshot is a point-in-time view of the quality layer.
+type QualitySnapshot struct {
+	// LiveAccuracy is the EWMA hit-accuracy estimate from shadow
+	// audits (1.0 before the first audit lands).
+	LiveAccuracy float64
+	// Samples is how many audits have fed the estimate.
+	Samples int
+	// Scale is the current gate-strictness scale in (0, 1].
+	Scale float64
+	// RefusalFrames is how many upcoming frames will refuse reuse
+	// outright (0 when reuse is being served normally).
+	RefusalFrames int
+}
+
+// qualityController is the pool-shared closed loop: it samples reuse
+// serves into shadow audits, maintains the live-accuracy EWMA, drives
+// per-entry confirm/refute/quarantine/parole, and recalibrates the
+// shared gate-strictness scale. All engines of a pool share one
+// controller, for the same reason they share a watchdog: they serve
+// one cache, so its quality is one signal.
+type qualityController struct {
+	cfg   QualityConfig
+	clf   Classifier
+	store cachestore.Interface
+	stats *metrics.SessionStats
+	ctrl  *admission.Controller
+
+	// scaleBits holds the gate-strictness scale as float bits, read
+	// atomically on the hot path (every gate-3 lookup multiplies the
+	// reuse radius by it).
+	scaleBits atomic.Uint64
+
+	mu         sync.Mutex
+	sampleTick int
+	ewma       float64
+	samples    int
+	sinceMove  int
+	refusal    int
+	// alarm counts down the post-refute dense-audit burst.
+	alarm   int
+	pending int
+	wg      sync.WaitGroup
+}
+
+func newQualityController(cfg QualityConfig, clf Classifier, store cachestore.Interface, stats *metrics.SessionStats, ctrl *admission.Controller) *qualityController {
+	qc := &qualityController{
+		cfg:   cfg.withDefaults(),
+		clf:   clf,
+		store: store,
+		stats: stats,
+		ctrl:  ctrl,
+		ewma:  1, // innocent until audited
+	}
+	qc.setScale(1)
+	return qc
+}
+
+func (qc *qualityController) scale() float64 {
+	return math.Float64frombits(qc.scaleBits.Load())
+}
+
+func (qc *qualityController) setScale(s float64) {
+	qc.scaleBits.Store(math.Float64bits(s))
+}
+
+// snapshot returns the controller's current state.
+func (qc *qualityController) snapshot() QualitySnapshot {
+	qc.mu.Lock()
+	defer qc.mu.Unlock()
+	return QualitySnapshot{
+		LiveAccuracy:  qc.ewma,
+		Samples:       qc.samples,
+		Scale:         qc.scale(),
+		RefusalFrames: qc.refusal,
+	}
+}
+
+// consumeRefusal reports whether the current frame must refuse reuse
+// (forced revalidation), consuming one refusal frame.
+func (qc *qualityController) consumeRefusal() bool {
+	qc.mu.Lock()
+	defer qc.mu.Unlock()
+	if qc.refusal <= 0 {
+		return false
+	}
+	qc.refusal--
+	qc.stats.ObserveReuseRefusal()
+	return true
+}
+
+// drain blocks until all in-flight asynchronous audits complete.
+func (qc *qualityController) drain() { qc.wg.Wait() }
+
+// maybeAudit samples a reuse-served frame into a shadow audit. ids are
+// the cache entries that backed the serve (empty for IMU/video hits,
+// which have no entry to praise or blame). The audit is admission-aware
+// (skipped while the node is browning out), deadline-budgeted (skipped
+// when the frame's remaining deadline is thinner than one inference —
+// the accelerator has no slack to spend on quality sampling), and
+// bounded in flight.
+func (qc *qualityController) maybeAudit(e *Engine, im *vision.Image, served string, ids []lsh.ID, deadline time.Time) {
+	if qc.ctrl != nil && qc.ctrl.Level() > admission.LevelFull {
+		return
+	}
+	if !deadline.IsZero() && time.Until(deadline) < qc.clf.Profile().MeanLatency {
+		return
+	}
+	qc.mu.Lock()
+	qc.sampleTick++
+	// Sampled audits are the unbiased accuracy estimate; alarm audits
+	// are targeted sweeps of a suspected-stale neighborhood. Only the
+	// former may move the EWMA — alarm audits deliberately oversample
+	// bad frames, and folding that bias into the estimate would spiral
+	// the controller to the floor every time it investigates.
+	sampled := qc.sampleTick%qc.cfg.AuditSampleEvery == 0
+	due := sampled
+	if qc.alarm > 0 {
+		due = true
+		qc.alarm--
+	}
+	if due && !qc.cfg.Synchronous {
+		if qc.pending >= qc.cfg.MaxPending {
+			due = false
+		} else {
+			qc.pending++
+		}
+	}
+	qc.mu.Unlock()
+	if !due {
+		return
+	}
+	// Copy the supporting IDs: the caller's slice is backed by frame
+	// scratch that the next frame will overwrite.
+	var own [maxAuditIDs]lsh.ID
+	n := copy(own[:], ids)
+	if qc.cfg.Synchronous {
+		qc.runAudit(e, im, served, own[:n], sampled)
+		return
+	}
+	qc.wg.Add(1)
+	go func() {
+		defer qc.wg.Done()
+		qc.runAudit(e, im, served, own[:n], sampled)
+		qc.mu.Lock()
+		qc.pending--
+		qc.mu.Unlock()
+	}()
+}
+
+// maxAuditIDs bounds how many supporting entries one audit can judge —
+// the vote's k is far below this.
+const maxAuditIDs = 8
+
+// runAudit re-runs the DNN on a frame a cache hit answered and feeds
+// the comparison back into every layer: the live-accuracy estimate,
+// the supporting entries' confirm/refute counters (quarantining
+// repeat offenders), parole re-verification of quarantined neighbors,
+// and — on a refute — cache repair plus a forced revalidation so the
+// pipeline stops serving the discredited scene immediately.
+//
+// The classifier is called directly, NOT through the engine's
+// watchdog: an audit is discretionary work, and its failures must not
+// trip the breaker that guards mandatory serving.
+func (qc *qualityController) runAudit(e *Engine, im *vision.Image, served string, ids []lsh.ID, sampled bool) {
+	inf, err := qc.clf.Infer(im)
+	if err != nil {
+		return // no verdict; the estimate only moves on evidence
+	}
+	agree := inf.Label == served
+	qc.stats.ObserveAudit(!agree)
+	// Audits cost energy (the DNN really ran) but never frame latency:
+	// the frame was already answered.
+	qc.stats.ObserveEnergy(inf.EnergyMJ)
+	for _, id := range ids {
+		if agree {
+			qc.store.Confirm(id)
+		} else if qc.store.Refute(id) {
+			qc.stats.ObserveQuarantine()
+		}
+	}
+	// Fresh DNN evidence re-verifies quarantined entries caching the
+	// same scene, whichever way the audit went; a refute additionally
+	// repairs the live neighborhood and re-anchors the cheap gates.
+	needVec := !agree
+	if !needVec {
+		needVec = qc.store.QuarantineStats().Active > 0
+	}
+	if needVec {
+		if vec, verr := feature.ExtractInto(e.cfg.Extractor, im, nil); verr == nil {
+			if !agree {
+				e.healAfterRefute(im, vec, inf.Label, inf.Confidence, inf.Latency)
+			}
+			qc.paroleNear(vec, inf.Label, e.cfg.Vote.MaxDistance)
+		}
+	}
+	qc.observeVerdict(agree, sampled)
+}
+
+// paroleNear re-verifies quarantined entries within radius of vec
+// against the fresh DNN label: agreement reinstates them into the
+// candidate index, disagreement counts a parole failure (eviction at
+// the limit).
+func (qc *qualityController) paroleNear(vec feature.Vector, freshLabel string, radius float64) {
+	for _, en := range qc.store.Snapshot() {
+		if !en.Quarantined {
+			continue
+		}
+		d, err := feature.Euclidean(vec, en.Vec)
+		if err != nil || d > radius {
+			continue
+		}
+		switch qc.store.Parole(en.ID, en.Label == freshLabel) {
+		case cachestore.ParoleReinstated:
+			qc.stats.ObserveParole(true)
+		case cachestore.ParoleEvicted:
+			qc.stats.ObserveParole(false)
+		}
+	}
+}
+
+// observeVerdict reacts to one audit outcome: any refute arms the
+// alarm sweep; sampled (unbiased) outcomes additionally feed the EWMA
+// and the recalibration policy.
+func (qc *qualityController) observeVerdict(agree, sampled bool) {
+	qc.mu.Lock()
+	defer qc.mu.Unlock()
+	if !agree {
+		// A refute rarely comes alone — a whole era of entries likely
+		// went stale with it. Audit densely while suspicion is hot.
+		qc.alarm = qc.cfg.AlarmAudits
+	}
+	if !sampled {
+		return
+	}
+	v := 0.0
+	if agree {
+		v = 1
+	}
+	qc.ewma = (1-qc.cfg.EWMAAlpha)*qc.ewma + qc.cfg.EWMAAlpha*v
+	qc.samples++
+	qc.recalibrateLocked()
+}
+
+// recalibrateLocked moves the gate-strictness scale with hysteresis:
+// an estimate below the SLO dead band tightens every reuse gate
+// (multiplicatively), one above it relaxes them back toward the
+// configured thresholds. At the floor with the SLO still missed, the
+// controller refuses reuse for a burst of frames — every frame
+// revalidates through the DNN (or the degradation ladder when the DNN
+// is down) — and restarts the estimate, because the flush it just
+// ordered invalidates everything the old estimate measured.
+func (qc *qualityController) recalibrateLocked() {
+	if qc.samples < qc.cfg.MinSamples {
+		return
+	}
+	qc.sinceMove++
+	if qc.sinceMove < qc.cfg.CooldownAudits {
+		return
+	}
+	s := qc.scale()
+	switch {
+	case qc.ewma < qc.cfg.TargetAccuracy-qc.cfg.Hysteresis:
+		if s > qc.cfg.MinScale {
+			qc.setScale(math.Max(qc.cfg.MinScale, s*qc.cfg.TightenStep))
+		} else {
+			qc.refusal = qc.cfg.RefusalFrames
+			qc.samples = 0
+			qc.ewma = qc.cfg.TargetAccuracy
+		}
+		qc.stats.ObserveRecalibration(true)
+		qc.sinceMove = 0
+	case qc.ewma > qc.cfg.TargetAccuracy+qc.cfg.Hysteresis && s < 1:
+		qc.setScale(math.Min(1, s*qc.cfg.LoosenStep))
+		qc.stats.ObserveRecalibration(false)
+		qc.sinceMove = 0
+	}
+}
+
+// healAfterRefute is the engine-side half of a refuted audit: purge
+// live entries the fresh label contradicts, cache the fresh result,
+// re-anchor the cheap gates on it, and force the next frame to
+// revalidate so the discredited answer stops serving now rather than
+// at the end of its reuse streak.
+func (e *Engine) healAfterRefute(im *vision.Image, vec feature.Vector, label string, confidence float64, savedCost time.Duration) {
+	if !e.cfg.DisableRepair {
+		if ns, err := e.deps.Store.NearestInto(vec, e.cfg.Vote.K, nil); err == nil {
+			for _, n := range ns {
+				if n.Distance > e.cfg.Vote.MaxDistance {
+					break // sorted by distance
+				}
+				if got, ok := e.deps.Store.Label(n.ID); ok && got != label {
+					e.deps.Store.Remove(n.ID)
+					e.stats.ObserveRepairs(1)
+				}
+			}
+		}
+	}
+	if _, err := e.deps.Store.Insert(vec, label, confidence, "audit", savedCost); err == nil {
+		e.refreshScene(im, label, confidence)
+	}
+	e.mu.Lock()
+	if e.cfg.MaxReuseStreak > 0 && e.streak < e.cfg.MaxReuseStreak {
+		e.streak = e.cfg.MaxReuseStreak
+	}
+	e.mu.Unlock()
+}
+
+// DrainAudits blocks until all in-flight asynchronous shadow audits
+// complete. Tests and orderly shutdowns call it; pools share one
+// controller, so draining any session drains them all.
+func (e *Engine) DrainAudits() {
+	if e.quality != nil {
+		e.quality.drain()
+	}
+}
+
+// QualitySnapshot returns the quality layer's state; ok is false when
+// the layer is disabled.
+func (e *Engine) QualitySnapshot() (QualitySnapshot, bool) {
+	if e.quality == nil {
+		return QualitySnapshot{}, false
+	}
+	return e.quality.snapshot(), true
+}

@@ -39,6 +39,13 @@ const (
 	// FaultSlow lets Infer succeed but inflates the reported latency by
 	// the window's Extra duration — a thermally throttled model.
 	FaultSlow
+	// FaultDrift lets Infer succeed but rewrites the returned label
+	// through the window's Relabel function — model drift: the world
+	// (or a model update) changed what the classifier says about the
+	// same scenes, so everything cached before the window is now wrong.
+	// Unlike the transient kinds, drift is silent: no error, no
+	// latency bump, just answers that quietly contradict the cache.
+	FaultDrift
 )
 
 // String returns the fault kind name.
@@ -50,6 +57,8 @@ func (k FaultKind) String() string {
 		return "hang"
 	case FaultSlow:
 		return "slow"
+	case FaultDrift:
+		return "drift"
 	default:
 		return fmt.Sprintf("FaultKind(%d)", int(k))
 	}
@@ -63,8 +72,12 @@ type FaultWindow struct {
 	From, To int
 	Kind     FaultKind
 	// Extra is the hang duration (FaultHang) or added latency
-	// (FaultSlow). Ignored for FaultError.
+	// (FaultSlow). Ignored for FaultError and FaultDrift.
 	Extra time.Duration
+	// Relabel maps the wrapped model's label to the drifted one
+	// (FaultDrift only). It must be pure and deterministic so replays
+	// reproduce. See ShiftRelabel for the standard rotation.
+	Relabel func(string) string
 }
 
 // FaultPlan is a deterministic script of classifier faults.
@@ -77,12 +90,15 @@ func (p FaultPlan) Validate() error {
 			return fmt.Errorf("dnn: fault window %d has bad range [%d,%d)", i, w.From, w.To)
 		}
 		switch w.Kind {
-		case FaultError, FaultHang, FaultSlow:
+		case FaultError, FaultHang, FaultSlow, FaultDrift:
 		default:
 			return fmt.Errorf("dnn: fault window %d has unknown kind %d", i, int(w.Kind))
 		}
 		if w.Kind != FaultError && w.Extra < 0 {
 			return fmt.Errorf("dnn: fault window %d has negative extra %v", i, w.Extra)
+		}
+		if w.Kind == FaultDrift && w.Relabel == nil {
+			return fmt.Errorf("dnn: fault window %d is drift without a Relabel", i)
 		}
 	}
 	return nil
@@ -131,6 +147,20 @@ func (f *FaultyClassifier) SetDown(down bool) {
 	f.down = down
 }
 
+// SetFaultPlan replaces the fault plan at runtime. Call numbering is
+// NOT reset: drift harnesses install a window at [Calls(), ∞) to flip
+// the model mid-run at an exact point in its real call sequence
+// (retries and shadow audits included).
+func (f *FaultyClassifier) SetFaultPlan(plan FaultPlan) error {
+	if err := plan.Validate(); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.plan = plan
+	return nil
+}
+
 // Release unblocks any Infer call currently hung by a FaultHang window.
 func (f *FaultyClassifier) Release() {
 	f.mu.Lock()
@@ -175,6 +205,13 @@ func (f *FaultyClassifier) Infer(im *vision.Image) (Inference, error) {
 			<-release
 		}
 		return Inference{}, fmt.Errorf("%w: call %d (hang)", ErrInjectedFault, call)
+	case FaultDrift:
+		inf, err := f.inner.Infer(im)
+		if err != nil {
+			return inf, err
+		}
+		inf.Label = active.Relabel(inf.Label)
+		return inf, nil
 	default: // FaultSlow
 		inf, err := f.inner.Infer(im)
 		if err != nil {
@@ -182,5 +219,20 @@ func (f *FaultyClassifier) Infer(im *vision.Image) (Inference, error) {
 		}
 		inf.Latency += active.Extra
 		return inf, nil
+	}
+}
+
+// ShiftRelabel returns the standard drift map: a rotation of the
+// class-label space by shift positions mod numClasses. Labels outside
+// the class-N form pass through unchanged. Rotation makes EVERY
+// pre-drift cache entry wrong at once — the worst case for a system
+// whose whole business is reusing old answers.
+func ShiftRelabel(shift, numClasses int) func(string) string {
+	return func(label string) string {
+		var c int
+		if _, err := fmt.Sscanf(label, "class-%d", &c); err != nil || c < 0 || c >= numClasses {
+			return label
+		}
+		return LabelOf((c + shift) % numClasses)
 	}
 }

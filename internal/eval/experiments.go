@@ -76,6 +76,7 @@ func All() []Experiment {
 		{ID: "E20", Name: "serving-throughput", Run: E20Throughput},
 		{ID: "E21", Name: "overload-resilience", Run: E21Overload},
 		{ID: "E22", Name: "lookup-pipeline", Run: E22Lookup},
+		{ID: "E23", Name: "cache-quality", Run: E23Quality},
 	}
 }
 

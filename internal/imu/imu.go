@@ -220,7 +220,10 @@ type State struct {
 // stream. Detector is not safe for concurrent use; each device pipeline
 // owns one.
 type Detector struct {
-	cfg      DetectorConfig
+	cfg DetectorConfig
+	// base keeps the configured thresholds so SetStrictness scales from
+	// the original values, not compounding on itself.
+	base     DetectorConfig
 	window   []Sample
 	rotation float64
 	lastOff  time.Duration
@@ -232,7 +235,21 @@ func NewDetector(cfg DetectorConfig) (*Detector, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Detector{cfg: cfg}, nil
+	return &Detector{cfg: cfg, base: cfg}, nil
+}
+
+// SetStrictness scales the reuse thresholds to scale× their configured
+// values: 1 restores the configured gate, smaller values demand the
+// device be stiller (and have rotated less) before the gate may reuse.
+// Scales outside (0, 1] are ignored. Like every Detector method, the
+// caller synchronizes.
+func (d *Detector) SetStrictness(scale float64) {
+	if scale <= 0 || scale > 1 {
+		return
+	}
+	d.cfg.AccelVarThreshold = d.base.AccelVarThreshold * scale
+	d.cfg.GyroMeanThreshold = d.base.GyroMeanThreshold * scale
+	d.cfg.MaxRotation = d.base.MaxRotation * scale
 }
 
 // Observe feeds one sample. Samples must arrive in non-decreasing

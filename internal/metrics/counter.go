@@ -1,0 +1,22 @@
+package metrics
+
+import "sync/atomic"
+
+// Counter is a typed process-wide event counter for subsystems that
+// have no SessionStats handle (e.g. the peer protocol service answers
+// queries for whichever sessions share the store).
+type Counter struct {
+	n atomic.Int64
+}
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta int64) { c.n.Add(delta) }
+
+// Load returns the current count.
+func (c *Counter) Load() int64 { return c.n.Load() }
+
+// QuarantineSuppressed counts quarantined cache entries withheld from
+// peers: entries that would have been exported in a digest or answered
+// to a query but were suppressed because their labels are under
+// suspicion. A node must not launder its doubts through the swarm.
+var QuarantineSuppressed Counter

@@ -186,6 +186,14 @@ type SessionStats struct {
 	lateFrames     int
 	brownoutUp     int
 	brownoutDown   int
+	audits         int
+	auditRefutes   int
+	quarantines    int
+	paroles        int
+	paroleEvicts   int
+	recalTightens  int
+	recalLoosens   int
+	reuseRefusals  int
 	latencies      *LatencyRecorder
 }
 
@@ -209,6 +217,15 @@ func (s *SessionStats) ObserveFrame(src Source, latency time.Duration, energyMJ 
 	if correct {
 		s.correct++
 	}
+	s.energyMJ += energyMJ
+}
+
+// ObserveEnergy charges energy spent off the frame path — e.g. a
+// shadow audit's DNN re-run, which costs real energy but no frame
+// latency (the frame was already answered).
+func (s *SessionStats) ObserveEnergy(energyMJ float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.energyMJ += energyMJ
 }
 
@@ -457,6 +474,89 @@ func (s *SessionStats) BrownoutTransitions() (raised, lowered int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.brownoutUp, s.brownoutDown
+}
+
+// ObserveAudit records one completed shadow audit: a cache hit re-run
+// through the DNN off the latency path. refuted is true when the DNN
+// disagreed with the served label.
+func (s *SessionStats) ObserveAudit(refuted bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.audits++
+	if refuted {
+		s.auditRefutes++
+	}
+}
+
+// Audits returns (total, refuted) shadow-audit counts.
+func (s *SessionStats) Audits() (total, refuted int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.audits, s.auditRefutes
+}
+
+// ObserveQuarantine records one cache entry crossing the refute
+// threshold and being pulled from the candidate index.
+func (s *SessionStats) ObserveQuarantine() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.quarantines++
+}
+
+// ObserveParole records one re-verification of a quarantined entry:
+// reinstated back into the index, or evicted at the parole-fail limit.
+func (s *SessionStats) ObserveParole(reinstated bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if reinstated {
+		s.paroles++
+	} else {
+		s.paroleEvicts++
+	}
+}
+
+// QuarantineEvents returns (quarantines, paroles, evictions) of the
+// entry-quarantine state machine.
+func (s *SessionStats) QuarantineEvents() (quarantines, paroles, evictions int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.quarantines, s.paroles, s.paroleEvicts
+}
+
+// ObserveRecalibration records one gate-threshold move by the drift
+// controller; tightened is true when reuse got stricter.
+func (s *SessionStats) ObserveRecalibration(tightened bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if tightened {
+		s.recalTightens++
+	} else {
+		s.recalLoosens++
+	}
+}
+
+// RecalibrationEvents returns (tightens, loosens) counts of gate
+// threshold moves.
+func (s *SessionStats) RecalibrationEvents() (tightens, loosens int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recalTightens, s.recalLoosens
+}
+
+// ObserveReuseRefusal records one frame forced to revalidate because
+// the drift controller was refusing reuse at its strictest setting.
+func (s *SessionStats) ObserveReuseRefusal() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reuseRefusals++
+}
+
+// ReuseRefusals returns how many frames the drift controller refused
+// to serve from reuse.
+func (s *SessionStats) ReuseRefusals() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reuseRefusals
 }
 
 // ObserveRepairs records n cache entries purged because a revalidation

@@ -6,6 +6,7 @@ import (
 	"approxcache/internal/cachestore"
 	"approxcache/internal/feature"
 	"approxcache/internal/lsh"
+	"approxcache/internal/metrics"
 )
 
 // ServiceConfig parameterizes a peer's serving side.
@@ -83,6 +84,9 @@ func (s *Service) HandleQuery(q Query) (QueryResp, error) {
 	if err != nil {
 		return QueryResp{}, fmt.Errorf("nearest: %w", err)
 	}
+	// Quarantined entries are withheld from the index, so ns cannot
+	// contain them, and the Label callback refuses them besides: a
+	// suspect answer must not escape to the swarm through either path.
 	verdict, err := lsh.Vote(ns, s.store.Label, s.cfg.Vote)
 	if err != nil {
 		return QueryResp{}, fmt.Errorf("vote: %w", err)
@@ -137,12 +141,22 @@ func (s *Service) HandlePing(Ping) Pong {
 
 // HandleDigestReq summarizes the store's coverage for a requester. The
 // clustering radius is the vote's reuse radius: any query a centroid
-// covers at that scale could plausibly be answered.
+// covers at that scale could plausibly be answered. Quarantined
+// entries are withheld — advertising coverage this node itself refuses
+// to serve would send peers here for answers they cannot get.
 func (s *Service) HandleDigestReq(DigestReq) (DigestResp, error) {
 	entries := s.store.Snapshot()
 	vecs := make([]feature.Vector, 0, len(entries))
+	var suppressed int64
 	for _, e := range entries {
+		if e.Quarantined {
+			suppressed++
+			continue
+		}
 		vecs = append(vecs, e.Vec)
+	}
+	if suppressed > 0 {
+		metrics.QuarantineSuppressed.Add(suppressed)
 	}
 	d, err := BuildDigest(vecs, s.cfg.Vote.MaxDistance, MaxDigestCentroids)
 	if err != nil {

@@ -1,0 +1,34 @@
+// Package testutil holds small helpers shared by test files across
+// packages. Production code must not import it.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// LeakGuard snapshots the current goroutine count and returns a check
+// to run after the code under test has shut down. The check polls —
+// exiting goroutines need a moment to unwind — and fails the test if,
+// after two seconds, more than slack goroutines remain above the
+// snapshot. Take the snapshot BEFORE constructing the system under
+// test so its background goroutines are counted:
+//
+//	check := testutil.LeakGuard(t, 2)
+//	... build, exercise, and Close the system ...
+//	check()
+func LeakGuard(t testing.TB, slack int) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(2 * time.Second)
+		for runtime.NumGoroutine() > before+slack && time.Now().Before(deadline) {
+			time.Sleep(5 * time.Millisecond)
+		}
+		if g := runtime.NumGoroutine(); g > before+slack {
+			t.Fatalf("goroutine leak: %d before, %d after shutdown (slack %d)", before, g, slack)
+		}
+	}
+}

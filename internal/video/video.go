@@ -320,7 +320,10 @@ type Keyframe struct {
 // KeyframeLibrary is not safe for concurrent use; each pipeline owns
 // one.
 type KeyframeLibrary struct {
-	cfg    DiffGateConfig
+	cfg DiffGateConfig
+	// base keeps the configured threshold so SetStrictness scales from
+	// the original value, not compounding on itself.
+	base   DiffGateConfig
 	cap    int
 	frames []Keyframe // newest last
 }
@@ -334,7 +337,19 @@ func NewKeyframeLibrary(cfg DiffGateConfig, capacity int) (*KeyframeLibrary, err
 	if capacity <= 0 {
 		return nil, fmt.Errorf("video: keyframe capacity must be positive, got %d", capacity)
 	}
-	return &KeyframeLibrary{cfg: cfg, cap: capacity}, nil
+	return &KeyframeLibrary{cfg: cfg, base: cfg, cap: capacity}, nil
+}
+
+// SetStrictness scales the match threshold to scale× its configured
+// value: 1 restores the configured gate, smaller values demand frames
+// be more alike before a keyframe's result may be reused. Scales
+// outside (0, 1] are ignored. Like every library method, the caller
+// synchronizes.
+func (l *KeyframeLibrary) SetStrictness(scale float64) {
+	if scale <= 0 || scale > 1 {
+		return
+	}
+	l.cfg.Threshold = l.base.Threshold * scale
 }
 
 // Len returns the number of stored keyframes.

@@ -4,12 +4,12 @@ import (
 	"bytes"
 	"errors"
 	"io"
-	"runtime"
 	"sync"
 	"testing"
 	"time"
 
 	"approxcache"
+	"approxcache/internal/testutil"
 )
 
 // stubClassifier implements Classifier but not BatchClassifier, to
@@ -136,7 +136,7 @@ func TestPoolUnshardedUnbatched(t *testing.T) {
 func TestPoolShutdownRace(t *testing.T) {
 	const sessions = 4
 	w := testWorkload(t, 30)
-	before := runtime.NumGoroutine()
+	checkLeak := testutil.LeakGuard(t, 2)
 	clf, err := approxcache.NewSimulatedClassifier(approxcache.MobileNetV2, w, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -183,13 +183,7 @@ func TestPoolShutdownRace(t *testing.T) {
 	wg.Wait()
 	p.Close() // second Close is a no-op
 	// The micro-batcher's flush goroutine must have exited.
-	deadline := time.Now().Add(2 * time.Second)
-	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
-		time.Sleep(5 * time.Millisecond)
-	}
-	if g := runtime.NumGoroutine(); g > before+2 {
-		t.Fatalf("goroutine leak: %d before pool, %d after close", before, g)
-	}
+	checkLeak()
 }
 
 // TestShardedSnapshotFacade: a sharded cache's snapshot warm-starts an
