@@ -1,4 +1,4 @@
-// Command approxbench runs the evaluation suite (experiments E1–E23 from
+// Command approxbench runs the evaluation suite (experiments E1–E24 from
 // DESIGN.md) and prints the tables recorded in EXPERIMENTS.md.
 //
 // Usage:
@@ -11,11 +11,14 @@
 //	approxbench -throughput     # multi-session saturation benchmark
 //	approxbench -overload       # open-loop overload sweep
 //	approxbench -drift          # label-drift cache-quality benchmark
+//	approxbench -readscale      # concurrent-reader scaling benchmark
 //
 // Independent experiments and sweep points run concurrently under
 // -parallel; tables are printed in suite order and are identical to a
 // serial run. -cpuprofile/-memprofile write pprof profiles so hot-path
-// work can be driven by data.
+// work can be driven by data, and -mutexprofile/-blockprofile write
+// contention profiles so a scaling regression caught by the readscale
+// gate can be diagnosed from the same harness that measured it.
 //
 // -throughput drives concurrent synthetic client streams through the
 // architecture ladder (single-mutex store → session pool → sharded
@@ -36,6 +39,12 @@
 // recalibration), and writes tail accuracy, latency savings, and
 // quality-layer activity as JSON (default BENCH_quality.json) for
 // cmd/benchgate's accuracy-recovery and savings-retention gates.
+//
+// -readscale sweeps 1..32 concurrent readers over a warmed hit-heavy
+// cache through the lock-free epoch-published index and through the
+// same index behind a single RWMutex, and writes lookups/sec, p99
+// latency, and the speedup curve as JSON (default BENCH_readscale.json)
+// for cmd/benchgate's parallelism-aware scaling gate.
 package main
 
 import (
@@ -81,9 +90,35 @@ func run(args []string) error {
 		hitheavy = fs.Bool("hitheavy", false, "run the lookup-bound hit-heavy benchmark and exit")
 		luJSON   = fs.String("lookup-json", "BENCH_lookup.json", "with -hitheavy, write the report JSON here (empty = stdout only)")
 		entries  = fs.Int("entries", 0, "with -hitheavy, resident cache entries (0 = default 4096)")
+		rscale   = fs.Bool("readscale", false, "run the concurrent-reader scaling benchmark and exit")
+		rsJSON   = fs.String("readscale-json", "BENCH_readscale.json", "with -readscale, write the report JSON here (empty = stdout only)")
+		mutexpr  = fs.String("mutexprofile", "", "write a mutex-contention profile to this file on exit")
+		blockpr  = fs.String("blockprofile", "", "write a blocking profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *mutexpr != "" {
+		runtime.SetMutexProfileFraction(1)
+		defer func() {
+			if err := writeProfile("mutex", *mutexpr); err != nil {
+				fmt.Fprintln(os.Stderr, "approxbench:", err)
+			}
+		}()
+	}
+	if *blockpr != "" {
+		runtime.SetBlockProfileRate(1)
+		defer func() {
+			if err := writeProfile("block", *blockpr); err != nil {
+				fmt.Fprintln(os.Stderr, "approxbench:", err)
+			}
+		}()
+	}
+	if *rscale {
+		return runReadScaleBench(eval.ReadScaleConfig{
+			Entries: *entries,
+			Seed:    *seed,
+		}, *rsJSON)
 	}
 	if *hitheavy {
 		return runLookupBench(eval.LookupConfig{
@@ -169,6 +204,54 @@ func run(args []string) error {
 		if err := pprof.WriteHeapProfile(f); err != nil {
 			return fmt.Errorf("memprofile: %w", err)
 		}
+	}
+	return nil
+}
+
+// writeProfile dumps a named runtime profile (mutex, block) to path.
+func writeProfile(name, path string) error {
+	p := pprof.Lookup(name)
+	if p == nil {
+		return fmt.Errorf("%sprofile: profile not found", name)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("%sprofile: %w", name, err)
+	}
+	defer f.Close()
+	if err := p.WriteTo(f, 0); err != nil {
+		return fmt.Errorf("%sprofile: %w", name, err)
+	}
+	return nil
+}
+
+// runReadScaleBench executes the concurrent-reader scaling sweep,
+// prints the speedup curve, and records the report for the readscale
+// gate.
+func runReadScaleBench(cfg eval.ReadScaleConfig, jsonPath string) error {
+	start := time.Now()
+	rep, err := eval.RunReadScale(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("readscale: %d entries, %d hit-heavy queries, dim %d, k=%d, GOMAXPROCS=%d\n",
+		rep.Entries, rep.Queries, rep.Dim, rep.K, rep.MaxProcs)
+	for _, pt := range rep.Points {
+		fmt.Printf("  %2d readers  lock-free %10.0f ops/s (p99 %6.1fµs)  locked %10.0f ops/s (p99 %6.1fµs)  speedup %.2fx\n",
+			pt.Readers, pt.LockFreeOps, pt.LockFreeP99Micros,
+			pt.LockedOps, pt.LockedP99Micros, pt.Speedup)
+	}
+	fmt.Printf("speedup at 16 readers: %.2fx, warm allocs/op %.0f, in %v\n",
+		rep.SpeedupAt16, rep.AllocsPerOp, time.Since(start).Round(time.Millisecond))
+	if jsonPath != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
 	}
 	return nil
 }

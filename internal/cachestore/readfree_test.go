@@ -1,0 +1,318 @@
+package cachestore
+
+import (
+	"bytes"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"approxcache/internal/feature"
+	"approxcache/internal/lsh"
+	"approxcache/internal/simclock"
+)
+
+func randVec4(rng *rand.Rand) feature.Vector {
+	v := make(feature.Vector, 4)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+// TestLockFreeStoreDifferential replays one interleaved workload —
+// inserts, removes, lookups, touches, TTL expiry, quarantine and
+// parole — against a store over the lock-free index and against the
+// same store wrapped in SerializedStore (the fully serialized
+// correctness oracle), and requires element-identical observable state
+// at every step. The lock-free read path must be bit-identical to the
+// locked one.
+func TestLockFreeStoreDifferential(t *testing.T) {
+	const dim = 4
+	cfg := Config{
+		Capacity:            48,
+		Policy:              LRU,
+		TTL:                 90 * time.Second,
+		QuarantineThreshold: 2,
+	}
+	mkStore := func() *Store {
+		idx, err := lsh.NewHyperplane(dim, 6, 3, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := New(cfg, idx, simclock.NewVirtual(time.Unix(0, 0)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	freeInner := mkStore()
+	free := Interface(freeInner)
+	oracle := Interface(NewSerialized(mkStore()))
+
+	// Both stores share one virtual clock by construction: the two
+	// inner stores were created at the same instant and we advance
+	// both in lockstep below.
+	freeClk := freeInner.clock.(*simclock.Virtual)
+	oracleClk := oracle.(*SerializedStore).inner.clock.(*simclock.Virtual)
+
+	rng := rand.New(rand.NewSource(17))
+	ids := make([]lsh.ID, 0, 512)
+	var dstA, dstB []lsh.Neighbor
+	for op := 0; op < 2000; op++ {
+		switch r := rng.Float64(); {
+		case r < 0.35:
+			v := randVec4(rng)
+			label := string(rune('a' + rng.Intn(8)))
+			idA, errA := free.Insert(v, label, 0.9, "dnn", time.Millisecond)
+			idB, errB := oracle.Insert(v, label, 0.9, "dnn", time.Millisecond)
+			if (errA == nil) != (errB == nil) || idA != idB {
+				t.Fatalf("op %d: insert diverged: (%v,%v) vs (%v,%v)", op, idA, errA, idB, errB)
+			}
+			ids = append(ids, idA)
+		case r < 0.45 && len(ids) > 0:
+			id := ids[rng.Intn(len(ids))]
+			free.Remove(id)
+			oracle.Remove(id)
+		case r < 0.75:
+			q := randVec4(rng)
+			k := 1 + rng.Intn(4)
+			nsA, errA := free.NearestInto(q, k, dstA)
+			nsB, errB := oracle.NearestInto(q, k, dstB)
+			if (errA == nil) != (errB == nil) || len(nsA) != len(nsB) {
+				t.Fatalf("op %d: nearest diverged: (%d,%v) vs (%d,%v)",
+					op, len(nsA), errA, len(nsB), errB)
+			}
+			for i := range nsA {
+				if nsA[i] != nsB[i] {
+					t.Fatalf("op %d: neighbor %d: %+v vs %+v", op, i, nsA[i], nsB[i])
+				}
+			}
+			for _, n := range nsA {
+				free.Touch(n.ID)
+				oracle.Touch(n.ID)
+			}
+			dstA, dstB = nsA[:0], nsB[:0]
+		case r < 0.85 && len(ids) > 0:
+			id := ids[rng.Intn(len(ids))]
+			qA := free.Refute(id)
+			qB := oracle.Refute(id)
+			if qA != qB {
+				t.Fatalf("op %d: refute(%d) diverged: %v vs %v", op, id, qA, qB)
+			}
+			if qA && rng.Float64() < 0.5 {
+				verdict := rng.Float64() < 0.5
+				pA := free.Parole(id, verdict)
+				pB := oracle.Parole(id, verdict)
+				if pA != pB {
+					t.Fatalf("op %d: parole(%d) diverged: %v vs %v", op, id, pA, pB)
+				}
+			}
+		case r < 0.95 && len(ids) > 0:
+			id := ids[rng.Intn(len(ids))]
+			lA, okA := free.Label(id)
+			lB, okB := oracle.Label(id)
+			if lA != lB || okA != okB {
+				t.Fatalf("op %d: label(%d) diverged: (%q,%v) vs (%q,%v)",
+					op, id, lA, okA, lB, okB)
+			}
+		default:
+			step := time.Duration(rng.Intn(40)) * time.Second
+			freeClk.Advance(step)
+			oracleClk.Advance(step)
+		}
+		if free.Len() != oracle.Len() {
+			t.Fatalf("op %d: len %d vs %d", op, free.Len(), oracle.Len())
+		}
+	}
+	if free.Evictions() != oracle.Evictions() {
+		t.Fatalf("evictions %d vs %d", free.Evictions(), oracle.Evictions())
+	}
+	if free.Expiries() != oracle.Expiries() {
+		t.Fatalf("expiries %d vs %d", free.Expiries(), oracle.Expiries())
+	}
+	sA, sB := free.Stats(), oracle.Stats()
+	if sA.Entries != sB.Entries || sA.Evictions != sB.Evictions ||
+		sA.Expiries != sB.Expiries || sA.TotalHits != sB.TotalHits {
+		t.Fatalf("final stats diverged: %+v vs %+v", sA, sB)
+	}
+}
+
+// TestReadersDuringImportRace floods a warm lock-free store with
+// readers while Import bulk-inserts a snapshot on top of it. Run under
+// -race this checks the reader pipeline against the heaviest write
+// burst the store supports.
+func TestReadersDuringImportRace(t *testing.T) {
+	const dim = 4
+	mk := func(seed int64, capacity int) *Store {
+		idx, err := lsh.NewHyperplane(dim, 6, 3, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := New(Config{Capacity: capacity}, idx, simclock.NewVirtual(time.Unix(0, 0)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < capacity/2; i++ {
+			if _, err := s.Insert(randVec4(rng), "x", 0.9, "dnn", time.Millisecond); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s
+	}
+	donor := mk(5, 64)
+	var buf bytes.Buffer
+	if err := donor.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	target := mk(6, 256)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + r)))
+			dst := make([]lsh.Neighbor, 0, 8)
+			for !stop.Load() {
+				ns, err := target.NearestInto(randVec4(rng), 3, dst)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for _, n := range ns {
+					target.Label(n.ID)
+				}
+				dst = ns[:0]
+				target.Len()
+				runtime.Gosched()
+			}
+		}(r)
+	}
+	if _, err := target.Import(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Error(err)
+	}
+	stop.Store(true)
+	wg.Wait()
+}
+
+// TestReadersDuringQuarantineRace drives lookups concurrent with
+// refute/quarantine/parole churn — the write path that removes slots
+// from the candidate index while readers are mid-pipeline. Under -race
+// this exercises grace-period reclamation through the store.
+func TestReadersDuringQuarantineRace(t *testing.T) {
+	const dim = 4
+	idx, err := lsh.NewHyperplane(dim, 6, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Capacity: 128, QuarantineThreshold: 1}, idx,
+		simclock.NewVirtual(time.Unix(0, 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	ids := make([]lsh.ID, 0, 64)
+	for i := 0; i < 64; i++ {
+		id, err := s.Insert(randVec4(rng), "x", 0.9, "dnn", time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rrng := rand.New(rand.NewSource(int64(200 + r)))
+			dst := make([]lsh.Neighbor, 0, 8)
+			for !stop.Load() {
+				ns, err := s.NearestInto(randVec4(rrng), 3, dst)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				dst = ns[:0]
+				runtime.Gosched()
+			}
+		}(r)
+	}
+	wrng := rand.New(rand.NewSource(300))
+	for i := 0; i < 200; i++ {
+		id := ids[wrng.Intn(len(ids))]
+		if s.Refute(id) {
+			s.Parole(id, wrng.Float64() < 0.7)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+}
+
+// TestReadersDuringAdaptiveRebuildRace points readers at a store whose
+// index is an AdaptiveIndex and forces rebuilds under them: skewed
+// all-positive data piles into few buckets, so inserts keep triggering
+// re-centering rebuilds that swap the whole index out from under the
+// read path.
+func TestReadersDuringAdaptiveRebuildRace(t *testing.T) {
+	const dim = 4
+	adaptive, err := lsh.NewAdaptive(lsh.AdaptiveConfig{
+		Dim: dim, Bits: 6, Tables: 2, Seed: 42,
+		CheckEvery: 16, SkewThreshold: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Capacity: 512}, adaptive, simclock.NewVirtual(time.Unix(0, 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	skewed := func(rng *rand.Rand) feature.Vector {
+		v := make(feature.Vector, dim)
+		for i := range v {
+			v[i] = 50 + rng.Float64() // off-origin: correlated signs
+		}
+		return v
+	}
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 64; i++ {
+		if _, err := s.Insert(skewed(rng), "x", 0.9, "dnn", time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rrng := rand.New(rand.NewSource(int64(400 + r)))
+			dst := make([]lsh.Neighbor, 0, 8)
+			for !stop.Load() {
+				ns, err := s.NearestInto(skewed(rrng), 3, dst)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				dst = ns[:0]
+				runtime.Gosched()
+			}
+		}(r)
+	}
+	for i := 0; i < 256; i++ {
+		if _, err := s.Insert(skewed(rng), "x", 0.9, "dnn", time.Millisecond); err != nil {
+			t.Error(err)
+			break
+		}
+	}
+	if adaptive.Rebuilds() == 0 {
+		t.Log("no rebuild triggered; race coverage reduced this run")
+	}
+	stop.Store(true)
+	wg.Wait()
+}

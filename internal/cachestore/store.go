@@ -8,6 +8,7 @@ package cachestore
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"approxcache/internal/feature"
@@ -121,11 +122,22 @@ type Store struct {
 	clock simclock.Clock
 	index lsh.Index
 
-	mu        sync.RWMutex
-	entries   map[lsh.ID]*Entry
-	nextID    lsh.ID
-	evictions int
-	expiries  int
+	mu      sync.RWMutex
+	entries map[lsh.ID]*Entry
+	nextID  lsh.ID
+	// nlive/evictions/expiries are atomics so the observability reads
+	// (Len, Evictions, Expiries — polled by metrics scrapes and node
+	// printouts) never take the store lock. Only lock holders write
+	// them.
+	nlive     atomic.Int64
+	evictions atomic.Int64
+	expiries  atomic.Int64
+	// minExpiry is the earliest InsertedAt+TTL over live entries as
+	// unix nanos (0 = none). Lookups consult it lock-free: until the
+	// clock passes it, nothing can be expired and the TTL purge scan
+	// is skipped entirely. It may run stale-low after a removal, which
+	// costs at most one wasted scan that then recomputes it.
+	minExpiry atomic.Int64
 	// Quarantine lifecycle counters (cumulative).
 	qTotal   int // entries ever quarantined
 	qParoled int // quarantined entries reinstated by parole
@@ -158,25 +170,20 @@ func New(cfg Config, index lsh.Index, clock simclock.Clock) (*Store, error) {
 	}, nil
 }
 
-// Len returns the number of live entries.
+// Len returns the number of live entries. Lock-free.
 func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.entries)
+	return int(s.nlive.Load())
 }
 
 // Evictions returns how many entries capacity pressure has evicted.
+// Lock-free.
 func (s *Store) Evictions() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.evictions
+	return int(s.evictions.Load())
 }
 
-// Expiries returns how many entries TTL expiry has removed.
+// Expiries returns how many entries TTL expiry has removed. Lock-free.
 func (s *Store) Expiries() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.expiries
+	return int(s.expiries.Load())
 }
 
 // Insert stores a new recognition result and returns its ID, evicting
@@ -199,7 +206,7 @@ func (s *Store) Insert(vec feature.Vector, label string, confidence float64, sou
 			break
 		}
 		s.removeLocked(victim)
-		s.evictions++
+		s.evictions.Add(1)
 	}
 	id := s.nextID
 	s.nextID++
@@ -217,6 +224,16 @@ func (s *Store) Insert(vec feature.Vector, label string, confidence float64, sou
 		return 0, fmt.Errorf("index insert: %w", err)
 	}
 	s.entries[id] = e
+	s.nlive.Add(1)
+	if s.cfg.TTL > 0 {
+		exp := now.Add(s.cfg.TTL).UnixNano()
+		if exp == 0 {
+			exp = 1 // 0 means "no deadline"; off by 1ns conservative
+		}
+		if m := s.minExpiry.Load(); m == 0 || exp < m {
+			s.minExpiry.Store(exp)
+		}
+	}
 	return id, nil
 }
 
@@ -283,23 +300,16 @@ func (s *Store) NearestInto(q feature.Vector, k int, dst []lsh.Neighbor) ([]lsh.
 	return s.index.Nearest(q, k)
 }
 
-// purgeExpired removes expired entries, taking the write lock only when
-// a read-locked scan actually finds one, so TTL-enabled stores still
-// serve concurrent lookups without serializing on expiry checks.
+// purgeExpired removes expired entries. The fast path is one atomic
+// load: until the clock passes the tracked earliest expiry deadline,
+// nothing can be expired and no lock is taken at all, so TTL-enabled
+// stores keep a fully lock-free lookup path between expiry events.
 func (s *Store) purgeExpired(now time.Time) {
 	if s.cfg.TTL <= 0 {
 		return
 	}
-	s.mu.RLock()
-	stale := false
-	for _, e := range s.entries {
-		if s.expiredLocked(e, now) {
-			stale = true
-			break
-		}
-	}
-	s.mu.RUnlock()
-	if !stale {
+	m := s.minExpiry.Load()
+	if m == 0 || now.UnixNano() <= m {
 		return
 	}
 	s.mu.Lock()
@@ -390,6 +400,7 @@ func (s *Store) Parole(id lsh.ID, ok bool) ParoleOutcome {
 			// happen with the in-tree indexes); drop the entry rather
 			// than keep a permanently unfindable one.
 			delete(s.entries, id)
+			s.nlive.Add(-1)
 			s.qEvicted++
 			return ParoleEvicted
 		}
@@ -467,8 +478,8 @@ func (s *Store) Stats() StoreStats {
 	defer s.mu.RUnlock()
 	st := StoreStats{
 		Entries:   len(s.entries),
-		Evictions: s.evictions,
-		Expiries:  s.expiries,
+		Evictions: int(s.evictions.Load()),
+		Expiries:  int(s.expiries.Load()),
 		BySource:  make(map[string]int),
 	}
 	for _, e := range s.entries {
@@ -497,6 +508,7 @@ func (s *Store) removeLocked(id lsh.ID) {
 		return
 	}
 	delete(s.entries, id)
+	s.nlive.Add(-1)
 	s.index.Remove(id)
 }
 
@@ -508,12 +520,22 @@ func (s *Store) expireLocked(now time.Time) {
 	if s.cfg.TTL <= 0 {
 		return
 	}
+	var next int64 // earliest surviving deadline, unix nanos (0 = none)
 	for id, e := range s.entries {
 		if s.expiredLocked(e, now) {
 			s.removeLocked(id)
-			s.expiries++
+			s.expiries.Add(1)
+			continue
+		}
+		exp := e.InsertedAt.Add(s.cfg.TTL).UnixNano()
+		if exp == 0 {
+			exp = 1
+		}
+		if next == 0 || exp < next {
+			next = exp
 		}
 	}
+	s.minExpiry.Store(next)
 }
 
 // victimLocked picks the entry to evict under the configured policy.

@@ -1,0 +1,70 @@
+package eval
+
+import (
+	"testing"
+	"time"
+)
+
+// TestReadScaleSmoke runs a miniature E24 sweep end to end: both
+// configurations must produce throughput at every point, the headline
+// speedup must be computed, and the warm lock-free path must not
+// allocate.
+func TestReadScaleSmoke(t *testing.T) {
+	rep, err := RunReadScale(ReadScaleConfig{
+		Entries:       512,
+		Queries:       64,
+		Readers:       []int{1, 2},
+		PointDuration: 15 * time.Millisecond,
+		Seed:          42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 2 {
+		t.Fatalf("got %d points, want 2", len(rep.Points))
+	}
+	for _, pt := range rep.Points {
+		if pt.LockFreeOps <= 0 || pt.LockedOps <= 0 {
+			t.Errorf("readers=%d: non-positive throughput: %+v", pt.Readers, pt)
+		}
+		if pt.Speedup <= 0 {
+			t.Errorf("readers=%d: speedup not computed: %+v", pt.Readers, pt)
+		}
+		if pt.LockFreeP99Micros <= 0 || pt.LockedP99Micros <= 0 {
+			t.Errorf("readers=%d: p99 not sampled: %+v", pt.Readers, pt)
+		}
+	}
+	if rep.SpeedupAt16 <= 0 {
+		t.Errorf("headline speedup not computed: %v", rep.SpeedupAt16)
+	}
+	if rep.MaxProcs < 1 {
+		t.Errorf("MaxProcs not recorded: %d", rep.MaxProcs)
+	}
+	if rep.AllocsPerOp != 0 {
+		t.Errorf("warm lock-free lookup allocates: %v allocs/op", rep.AllocsPerOp)
+	}
+}
+
+// TestE24Report asserts the experiment renders a complete table at
+// small scale.
+func TestE24Report(t *testing.T) {
+	scale := SmallScale()
+	rep, err := E24ReadScale(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ID != "E24" {
+		t.Fatalf("ID = %q", rep.ID)
+	}
+	if len(rep.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3 (readers 1,4,16)", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		if len(row) != len(rep.Headers) {
+			t.Fatalf("row width %d != header width %d", len(row), len(rep.Headers))
+		}
+	}
+	if len(rep.Notes) == 0 {
+		t.Fatal("no notes")
+	}
+}

@@ -3,6 +3,7 @@ package lsh
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"approxcache/internal/feature"
 )
@@ -82,13 +83,23 @@ func DefaultAdaptiveConfig(dim int) AdaptiveConfig {
 // whenever bucket occupancy skews past the configured threshold. This
 // is the FoggyCache-style adaptive LSH: the index tracks the data
 // distribution instead of assuming a centered one.
+//
+// The read path is lock-free end to end: readers load the current
+// inner index through an atomic pointer and run the inner index's own
+// lock-free lookup; a rebuild constructs the replacement off to the
+// side and publishes it with one pointer store. Only writers take the
+// mutex, and a rebuild completes entirely under it, so no insert can
+// slip between the item snapshot and the swap.
 type AdaptiveIndex struct {
 	cfg AdaptiveConfig
 
-	mu       sync.Mutex
-	inner    *HyperplaneIndex
-	inserts  int
-	rebuilds int
+	// mu serializes writers (Insert/Remove) and rebuilds. Readers
+	// never touch it.
+	mu      sync.Mutex
+	inner   atomic.Pointer[HyperplaneIndex]
+	inserts int
+	// rebuilds is read by the stats path without the writer mutex.
+	rebuilds atomic.Int64
 }
 
 var _ Index = (*AdaptiveIndex)(nil)
@@ -102,44 +113,40 @@ func NewAdaptive(cfg AdaptiveConfig) (*AdaptiveIndex, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &AdaptiveIndex{cfg: cfg, inner: inner}, nil
+	a := &AdaptiveIndex{cfg: cfg}
+	a.inner.Store(inner)
+	return a, nil
 }
 
 // Rebuilds returns how many times the index has re-tuned itself.
+// Lock-free: stats polling can never stall a rebuild or a lookup.
 func (a *AdaptiveIndex) Rebuilds() int {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.rebuilds
+	return int(a.rebuilds.Load())
 }
 
-// Len returns the number of indexed vectors.
+// Len returns the number of indexed vectors. Lock-free.
 func (a *AdaptiveIndex) Len() int {
-	a.mu.Lock()
-	inner := a.inner
-	a.mu.Unlock()
-	return inner.Len()
+	return a.inner.Load().Len()
 }
 
 // Stats returns the current underlying occupancy statistics.
+// Lock-free: it pins the inner index's published snapshot.
 func (a *AdaptiveIndex) Stats() Stats {
-	a.mu.Lock()
-	inner := a.inner
-	a.mu.Unlock()
-	return inner.Stats()
+	return a.inner.Load().Stats()
 }
 
-// Insert adds (id, v), possibly triggering a rebuild.
+// Insert adds (id, v), possibly triggering a rebuild. The whole
+// operation — insert, skew check, rebuild — runs under the writer
+// mutex, so a rebuild can never lose a concurrent insert.
 func (a *AdaptiveIndex) Insert(id ID, v feature.Vector) error {
 	a.mu.Lock()
-	inner := a.inner
-	a.inserts++
-	check := a.inserts%a.cfg.CheckEvery == 0
-	a.mu.Unlock()
-	if err := inner.Insert(id, v); err != nil {
+	defer a.mu.Unlock()
+	if err := a.inner.Load().Insert(id, v); err != nil {
 		return err
 	}
-	if check {
-		a.maybeRebuild()
+	a.inserts++
+	if a.inserts%a.cfg.CheckEvery == 0 {
+		a.maybeRebuildLocked()
 	}
 	return nil
 }
@@ -147,49 +154,37 @@ func (a *AdaptiveIndex) Insert(id ID, v feature.Vector) error {
 // Remove deletes id.
 func (a *AdaptiveIndex) Remove(id ID) {
 	a.mu.Lock()
-	inner := a.inner
-	a.mu.Unlock()
-	inner.Remove(id)
+	defer a.mu.Unlock()
+	a.inner.Load().Remove(id)
 }
 
 // Nearest returns up to k approximate nearest neighbors of q.
+// Lock-free.
 func (a *AdaptiveIndex) Nearest(q feature.Vector, k int) ([]Neighbor, error) {
-	a.mu.Lock()
-	inner := a.inner
-	a.mu.Unlock()
-	return inner.Nearest(q, k)
+	return a.inner.Load().Nearest(q, k)
 }
 
-// NearestInto is Nearest writing into dst's backing array.
+// NearestInto is Nearest writing into dst's backing array. Lock-free.
 func (a *AdaptiveIndex) NearestInto(q feature.Vector, k int, dst []Neighbor) ([]Neighbor, error) {
-	a.mu.Lock()
-	inner := a.inner
-	a.mu.Unlock()
-	return inner.NearestInto(q, k, dst)
+	return a.inner.Load().NearestInto(q, k, dst)
 }
 
-// Candidates returns q's LSH candidate set.
+// Candidates returns q's LSH candidate set. Lock-free.
 func (a *AdaptiveIndex) Candidates(q feature.Vector) ([]ID, error) {
-	a.mu.Lock()
-	inner := a.inner
-	a.mu.Unlock()
-	return inner.Candidates(q)
+	return a.inner.Load().Candidates(q)
 }
 
 // CandidatesInto is Candidates appending into dst's backing array.
+// Lock-free.
 func (a *AdaptiveIndex) CandidatesInto(q feature.Vector, dst []ID) ([]ID, error) {
-	a.mu.Lock()
-	inner := a.inner
-	a.mu.Unlock()
-	return inner.CandidatesInto(q, dst)
+	return a.inner.Load().CandidatesInto(q, dst)
 }
 
-// maybeRebuild checks occupancy skew and rebuilds if needed.
-func (a *AdaptiveIndex) maybeRebuild() {
-	a.mu.Lock()
-	inner := a.inner
-	a.mu.Unlock()
-
+// maybeRebuildLocked checks occupancy skew and rebuilds if needed.
+// Caller holds mu; readers keep running against the old inner index
+// until the single pointer store below publishes the replacement.
+func (a *AdaptiveIndex) maybeRebuildLocked() {
+	inner := a.inner.Load()
 	st := inner.Stats()
 	if st.Items < a.cfg.CheckEvery {
 		return
@@ -213,12 +208,7 @@ func (a *AdaptiveIndex) maybeRebuild() {
 		center[d] /= float64(len(items))
 	}
 
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if a.inner != inner {
-		return // lost a race with another rebuild
-	}
-	seed := a.cfg.Seed + int64(a.rebuilds+1)*7919
+	seed := a.cfg.Seed + (a.rebuilds.Load()+1)*7919
 	fresh, err := NewHyperplaneCenteredTuned(a.cfg.Dim, a.cfg.Bits, a.cfg.Tables, seed, center, a.cfg.Tuning)
 	if err != nil {
 		return // static config was validated; unreachable in practice
@@ -228,8 +218,8 @@ func (a *AdaptiveIndex) maybeRebuild() {
 			return
 		}
 	}
-	a.inner = fresh
-	a.rebuilds++
+	a.inner.Store(fresh)
+	a.rebuilds.Add(1)
 }
 
 // Item is one indexed (id, vector) pair.
@@ -238,10 +228,12 @@ type Item struct {
 	Vec feature.Vector
 }
 
-// Items returns copies of all indexed vectors.
+// Items returns copies of all indexed vectors. It takes the writer
+// mutex: idSlot is writer-owned state, and Items is only called from
+// write-side paths (rebuild, snapshot export).
 func (x *HyperplaneIndex) Items() []Item {
-	x.mu.RLock()
-	defer x.mu.RUnlock()
+	x.wmu.Lock()
+	defer x.wmu.Unlock()
 	out := make([]Item, 0, len(x.idSlot))
 	for id, slot := range x.idSlot {
 		out = append(out, Item{ID: id, Vec: x.slotVec(slot).Clone()})

@@ -1,0 +1,139 @@
+package lsh
+
+import (
+	"math"
+	"runtime"
+	"sync/atomic"
+)
+
+// This file implements the read-side synchronization the lock-free
+// lookup path is built on: epoch-published snapshots with a
+// grace-period reclaimer, in the left-right shape (Correia &
+// Ramalhete). The index keeps TWO instances of its mutable bucket
+// state. Readers never lock: they stamp a striped read indicator,
+// load the currently published snapshot through an atomic pointer,
+// and run the whole signature → probe → prefilter → score pipeline
+// against that frozen view. A writer applies its mutation to the
+// inactive instance, publishes it (one atomic pointer store, which
+// also advances the global epoch), waits for every reader that could
+// still be inside the previous snapshot to depart — the grace
+// period — and only then applies the same mutation to the retired
+// instance and recycles any arena slots the mutation freed.
+//
+// The invariants that make this safe, in the order the race detector
+// sees them:
+//
+//  1. A reader's indicator arrival is sequenced before its snapshot
+//     load. So any reader that loaded the OLD snapshot arrived before
+//     the writer's publish, and its arrival is visible to the
+//     writer's grace scan; conversely, any arrival the scan misses
+//     necessarily loads the NEW snapshot and can never touch retired
+//     state.
+//  2. The writer waits on BOTH indicators after publishing (draining
+//     the stale one before flipping the arrival index, then the
+//     other), so every pre-publish reader has departed before the
+//     retired instance is touched.
+//  3. A freed arena slot is pushed to the free list only after that
+//     double wait, so by the time a later insert overwrites the
+//     slot's vector/sketch/code memory, every reader that could have
+//     held a bucket referencing it has departed — the departure
+//     (atomic add) → grace scan (atomic load) → overwrite chain is a
+//     happens-before edge the race detector verifies.
+//
+// Readers are wait-free (two atomic adds and two atomic loads per
+// lookup, on stripes chosen per pooled scratch so concurrent readers
+// do not bounce one cache line); writers pay the double application
+// plus a grace wait bounded by the longest in-flight lookup
+// (microseconds).
+
+// readStripes is the number of indicator stripes. Pooled query
+// scratches are assigned stripes round-robin, and sync.Pool is
+// per-P, so concurrent readers land on distinct stripes with high
+// probability; collisions only share a counter, they never block.
+const readStripes = 32
+
+// readStripe is one stripe of arrival/departure counters, padded to
+// a cache line so neighboring stripes never false-share.
+type readStripe struct {
+	ingress atomic.Uint64
+	egress  atomic.Uint64
+	_       [6]uint64
+}
+
+// readIndicator counts in-flight readers across stripes. Two exist
+// per index; readers arrive at the one selected by the current
+// arrival index, so each can be drained while the other absorbs new
+// arrivals.
+type readIndicator struct {
+	stripes [readStripes]readStripe
+}
+
+func (ri *readIndicator) arrive(stripe uint32) {
+	ri.stripes[stripe%readStripes].ingress.Add(1)
+}
+
+func (ri *readIndicator) depart(stripe uint32) {
+	ri.stripes[stripe%readStripes].egress.Add(1)
+}
+
+// empty reports whether every observed arrival has departed. Egress
+// is summed FIRST: a departure counted there implies its arrival
+// already happened, so the later ingress sum includes it, ingress >=
+// egress always holds, and equality means no observed reader is
+// still inside.
+func (ri *readIndicator) empty() bool {
+	var out uint64
+	for i := range ri.stripes {
+		out += ri.stripes[i].egress.Load()
+	}
+	var in uint64
+	for i := range ri.stripes {
+		in += ri.stripes[i].ingress.Load()
+	}
+	return in == out
+}
+
+// wait spins until the indicator drains. Readers never block inside
+// a pinned section, so this terminates in at most one lookup's
+// duration; Gosched keeps single-P schedules live.
+func (ri *readIndicator) wait() {
+	for !ri.empty() {
+		runtime.Gosched()
+	}
+}
+
+// poisonRetired, when enabled, overwrites a retired slot's arena
+// vector with NaN (and scrambles its sketch and codes) the moment
+// the grace period ends. Production leaves it off; the reclamation
+// property tests turn it on so a reader that ever observed a retired
+// slot would surface as a NaN distance or an impossible popcount
+// instead of a silently stale answer.
+var poisonRetired atomic.Bool
+
+// SetRetirePoisoning toggles retired-slot poisoning. Test
+// instrumentation only: it makes use-after-retire bugs loud. Safe to
+// flip at any time; applies to slots retired after the call.
+func SetRetirePoisoning(on bool) { poisonRetired.Store(on) }
+
+// poisonSlot scribbles over every per-slot buffer of a retired slot.
+// Called only after the grace period, so no reader can legally see
+// the poison; any NaN that escapes into a result is a reclamation
+// bug.
+func (x *HyperplaneIndex) poisonSlot(slot int32) {
+	vec := x.arena[int(slot)*x.dim : (int(slot)+1)*x.dim]
+	for i := range vec {
+		vec[i] = math.NaN()
+	}
+	if x.sketchWords > 0 {
+		sk := x.sketch[int(slot)*x.sketchWords : (int(slot)+1)*x.sketchWords]
+		for i := range sk {
+			sk[i] = ^sk[i]
+		}
+	}
+	if x.tun.Quantize {
+		codes := x.codes[int(slot)*x.dim : (int(slot)+1)*x.dim]
+		for i := range codes {
+			codes[i] = -128
+		}
+	}
+}

@@ -1,0 +1,264 @@
+package lsh
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestEpochAdvancesPerWrite pins the publication contract: every write
+// round (insert, remove, replace) publishes at least one new snapshot.
+func TestEpochAdvancesPerWrite(t *testing.T) {
+	idx, err := NewHyperplane(4, 6, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := idx.Epoch(); got != 0 {
+		t.Fatalf("fresh index epoch = %d, want 0", got)
+	}
+	rng := rand.New(rand.NewSource(1))
+	before := idx.Epoch()
+	if err := idx.Insert(1, randVec(rng, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if idx.Epoch() <= before {
+		t.Fatalf("insert did not advance epoch: %d -> %d", before, idx.Epoch())
+	}
+	before = idx.Epoch()
+	// Replacing an existing id runs a remove round plus an insert round.
+	if err := idx.Insert(1, randVec(rng, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if idx.Epoch() < before+2 {
+		t.Fatalf("replace advanced epoch %d -> %d, want >= +2", before, idx.Epoch())
+	}
+	before = idx.Epoch()
+	idx.Remove(1)
+	if idx.Epoch() <= before {
+		t.Fatalf("remove did not advance epoch: %d -> %d", before, idx.Epoch())
+	}
+	before = idx.Epoch()
+	idx.Remove(99) // absent: no write round, no publication
+	if idx.Epoch() != before {
+		t.Fatalf("no-op remove advanced epoch: %d -> %d", before, idx.Epoch())
+	}
+}
+
+// TestLenStatsLockFreeDuringWriterStall proves the satellite claim that
+// Len and Stats never touch the writer mutex: both must return while a
+// writer holds wmu.
+func TestLenStatsLockFreeDuringWriterStall(t *testing.T) {
+	idx, err := NewHyperplane(4, 6, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 32; i++ {
+		if err := idx.Insert(ID(i), randVec(rng, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	idx.wmu.Lock()
+	defer idx.wmu.Unlock()
+	if got := idx.Len(); got != 32 {
+		t.Errorf("Len under held writer lock = %d, want 32", got)
+	}
+	if st := idx.Stats(); st.Items != 32 {
+		t.Errorf("Stats.Items under held writer lock = %d, want 32", st.Items)
+	}
+}
+
+// retiredProbeWorkload churns an index hard enough that arena slots are
+// constantly retired and recycled while readers are mid-lookup, with
+// retired-slot poisoning on: any reader that observes a retired slot's
+// memory surfaces as a NaN distance (classic path) or a poisoned-code
+// distance wildly off scale (quantized path). This is the reclamation
+// property test from the issue: no reader ever observes a retired
+// epoch's arena block.
+func retiredProbeWorkload(t *testing.T, idx *HyperplaneIndex, dim int) {
+	t.Helper()
+	SetRetirePoisoning(true)
+	defer SetRetirePoisoning(false)
+
+	const (
+		liveIDs = 64
+		readers = 4
+		ops     = 200
+	)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < liveIDs; i++ {
+		if err := idx.Insert(ID(i), randVec(rng, dim)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // writer: replace + remove/reinsert, recycling slots
+		defer wg.Done()
+		wrng := rand.New(rand.NewSource(13))
+		for i := 0; i < ops; i++ {
+			id := ID(wrng.Intn(liveIDs))
+			if wrng.Float64() < 0.5 {
+				idx.Remove(id)
+			}
+			if err := idx.Insert(id, randVec(wrng, dim)); err != nil {
+				t.Error(err)
+				break
+			}
+		}
+		stop.Store(true)
+	}()
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rrng := rand.New(rand.NewSource(int64(100 + r)))
+			dst := make([]Neighbor, 0, 8)
+			for !stop.Load() {
+				q := randVec(rrng, dim)
+				ns, err := idx.NearestInto(q, 4, dst)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for _, n := range ns {
+					if math.IsNaN(n.Distance) || math.IsInf(n.Distance, 0) {
+						t.Errorf("reader observed retired slot: distance %v for id %d",
+							n.Distance, n.ID)
+						return
+					}
+				}
+				dst = ns[:0]
+				// Yield between lookups, as production readers do
+				// between frames; a never-yielding reader on a
+				// single-P schedule turns every writer grace wait
+				// into a full scheduler quantum.
+				runtime.Gosched()
+			}
+		}(r)
+	}
+	wg.Wait()
+}
+
+func TestNoReaderObservesRetiredSlotClassic(t *testing.T) {
+	idx, err := NewHyperplane(8, 6, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	retiredProbeWorkload(t, idx, 8)
+}
+
+func TestNoReaderObservesRetiredSlotTuned(t *testing.T) {
+	tun := DefaultTuning()
+	tun.Probes = 4
+	idx, err := NewHyperplaneTuned(8, 6, 3, 42, tun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	retiredProbeWorkload(t, idx, 8)
+}
+
+// TestLockFreeDifferentialWithLocked replays one interleaved
+// insert/remove/lookup sequence against the lock-free index and the
+// RWMutex-wrapped baseline and requires bit-identical results at every
+// step: same neighbor IDs, same distances, same candidate sets, same
+// lengths. The Locked wrapper serializes the same underlying
+// implementation, so any divergence is a publication bug.
+func TestLockFreeDifferentialWithLocked(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		tun  Tuning
+	}{
+		{"classic", Tuning{}},
+		{"tuned", DefaultTuning()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			const dim = 8
+			free, err := NewHyperplaneTuned(dim, 6, 3, 42, tc.tun)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base, err := NewHyperplaneTuned(dim, 6, 3, 42, tc.tun)
+			if err != nil {
+				t.Fatal(err)
+			}
+			locked := NewLocked(base)
+
+			rng := rand.New(rand.NewSource(3))
+			var dstA, dstB []Neighbor
+			var idsA, idsB []ID
+			for op := 0; op < 1500; op++ {
+				switch r := rng.Float64(); {
+				case r < 0.45:
+					id := ID(rng.Intn(200))
+					v := randVec(rng, dim)
+					errA := free.Insert(id, v)
+					errB := locked.Insert(id, v)
+					if (errA == nil) != (errB == nil) {
+						t.Fatalf("op %d: insert err mismatch: %v vs %v", op, errA, errB)
+					}
+				case r < 0.6:
+					id := ID(rng.Intn(200))
+					free.Remove(id)
+					locked.Remove(id)
+				case r < 0.85:
+					q := randVec(rng, dim)
+					k := 1 + rng.Intn(5)
+					nsA, errA := free.NearestInto(q, k, dstA)
+					nsB, errB := locked.NearestInto(q, k, dstB)
+					if (errA == nil) != (errB == nil) {
+						t.Fatalf("op %d: nearest err mismatch: %v vs %v", op, errA, errB)
+					}
+					if len(nsA) != len(nsB) {
+						t.Fatalf("op %d: nearest len %d vs %d", op, len(nsA), len(nsB))
+					}
+					for i := range nsA {
+						if nsA[i] != nsB[i] {
+							t.Fatalf("op %d: neighbor %d differs: %+v vs %+v",
+								op, i, nsA[i], nsB[i])
+						}
+					}
+					dstA, dstB = nsA[:0], nsB[:0]
+				default:
+					q := randVec(rng, dim)
+					var errA, errB error
+					idsA, errA = free.CandidatesInto(q, idsA[:0])
+					idsB, errB = locked.CandidatesInto(q, idsB[:0])
+					if (errA == nil) != (errB == nil) {
+						t.Fatalf("op %d: candidates err mismatch: %v vs %v", op, errA, errB)
+					}
+					if len(idsA) != len(idsB) {
+						t.Fatalf("op %d: candidate count %d vs %d", op, len(idsA), len(idsB))
+					}
+					for i := range idsA {
+						if idsA[i] != idsB[i] {
+							t.Fatalf("op %d: candidate %d differs: %d vs %d",
+								op, i, idsA[i], idsB[i])
+						}
+					}
+				}
+				if free.Len() != locked.Len() {
+					t.Fatalf("op %d: len %d vs %d", op, free.Len(), locked.Len())
+				}
+			}
+			sA, sB := free.Stats(), locked.Stats()
+			if sA != sB {
+				t.Fatalf("final stats differ: %+v vs %+v", sA, sB)
+			}
+		})
+	}
+}
+
+// TestLockedConcurrentStress runs the shared stress harness against the
+// baseline wrapper so the E24 comparison object is itself race-clean.
+func TestLockedConcurrentStress(t *testing.T) {
+	inner, err := NewHyperplane(8, 6, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stressIndex(t, NewLocked(inner), 8)
+}

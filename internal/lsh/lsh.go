@@ -11,6 +11,12 @@
 // swept by a strided dot product, per-query candidate dedup is an
 // epoch-stamped visited array drawn from a pool, and ranking is bounded
 // top-k selection instead of a full sort.
+//
+// Reads are also lock-free: writers publish immutable snapshots of the
+// bucket state through an atomic pointer and reclaim recycled arena
+// memory only after a grace period (see epoch.go), so a lookup never
+// takes a mutex and concurrent readers never serialize on a shared
+// lock word.
 package lsh
 
 import (
@@ -19,6 +25,7 @@ import (
 	"math/bits"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"approxcache/internal/feature"
 )
@@ -87,15 +94,26 @@ type HyperplaneIndex struct {
 	sketchPlanes []float64
 	sketchWords  int
 
-	mu sync.RWMutex
-	// buckets[t] maps a table-t signature to the arena slots holding
+	// wmu serializes writers (insert/remove/import). Readers never
+	// touch it: they pin the published view below.
+	wmu sync.Mutex
+	// sides are the TWO bucket instances of the left-right scheme.
+	// sides[i][t] maps a table-t signature to the arena slots holding
 	// colliding vectors. Buckets hold slots, not IDs, so the distance
-	// loop reads the arena directly.
-	buckets []map[uint64][]int32
+	// loop reads the arena directly. Exactly one side is referenced by
+	// the published view at any time; the other is writer-private and
+	// receives each mutation first. The two sides never share bucket
+	// backing arrays (each grows its slices independently), so
+	// in-place swap-deletes on the writer-private side cannot be
+	// observed through the published one.
+	sides [2][]map[uint64][]int32
+	// active is the side the current view publishes (writer-owned).
+	active int
 	// arena holds slot s's vector at arena[s*dim:(s+1)*dim]. Freed
-	// slots are recycled through free; slotID/slotSig are parallel
-	// per-slot metadata (slotSig[s*tables+t] is slot s's signature in
-	// table t).
+	// slots are recycled through free — but only after the grace
+	// period proves no reader still holds a view referencing them;
+	// slotID/slotSig are parallel per-slot metadata (slotSig[s*tables+t]
+	// is slot s's signature in table t).
 	arena   []float64
 	slotID  []ID
 	slotSig []uint64
@@ -111,11 +129,96 @@ type HyperplaneIndex struct {
 	// query path never chases it.
 	idSlot map[ID]int32
 
+	// view is the published snapshot every reader runs against; epoch
+	// counts publications (diagnostics and tests); arriveAt selects
+	// which read indicator new readers stamp (see epoch.go).
+	view     atomic.Pointer[indexView]
+	epoch    atomic.Uint64
+	arriveAt atomic.Uint32
+	readers  [2]readIndicator
+	// stripeSeq hands each new query scratch its indicator stripe.
+	stripeSeq atomic.Uint32
+
 	scratch sync.Pool // *queryScratch
 	idBuf   sync.Pool // *[]ID, gather buffer for Candidates
 }
 
 var _ IntoIndex = (*HyperplaneIndex)(nil)
+
+// indexView is one published snapshot of the index: the active bucket
+// side plus the slice headers of every per-slot arena as of
+// publication. All fields are immutable for the lifetime of the view
+// from a reader's perspective — the buckets maps are only mutated
+// again after the grace period drains every reader pinned to this
+// view, arena slots referenced by these buckets are only overwritten
+// after the same grace period, and growth reallocations leave the
+// captured backing arrays untouched.
+type indexView struct {
+	buckets []map[uint64][]int32
+	arena   []float64
+	slotID  []ID
+	sketch  []uint64
+	codes   []int8
+	quant   []feature.Quant
+	live    int
+}
+
+// slotVec returns slot s's vector as a view into the snapshot arena.
+func (v *indexView) slotVec(dim int, s int32) feature.Vector {
+	off := int(s) * dim
+	return feature.Vector(v.arena[off : off+dim : off+dim])
+}
+
+// slotCodes returns slot s's int8 code vector within the snapshot.
+func (v *indexView) slotCodes(dim int, s int32) []int8 {
+	off := int(s) * dim
+	return v.codes[off : off+dim : off+dim]
+}
+
+// pin stamps the read indicator and loads the current snapshot. The
+// arrival MUST precede the view load (see epoch.go invariant 1);
+// callers pass the same stripe to unpin.
+func (x *HyperplaneIndex) pin(stripe uint32) (*indexView, uint32) {
+	vi := x.arriveAt.Load()
+	x.readers[vi&1].arrive(stripe)
+	return x.view.Load(), vi
+}
+
+// unpin departs the indicator pinned by pin.
+func (x *HyperplaneIndex) unpin(vi, stripe uint32) {
+	x.readers[vi&1].depart(stripe)
+}
+
+// publishLocked runs one write round: apply mutate to the inactive
+// side, publish it as the new snapshot, advance the epoch, wait the
+// grace period for every reader of the old snapshot to depart, then
+// apply the same mutation to the retired side so both instances
+// converge. On return no reader holds the previous snapshot, so the
+// caller may recycle any slots the mutation retired. Caller holds wmu.
+func (x *HyperplaneIndex) publishLocked(mutate func(side []map[uint64][]int32)) {
+	next := 1 - x.active
+	mutate(x.sides[next])
+	x.view.Store(&indexView{
+		buckets: x.sides[next],
+		arena:   x.arena,
+		slotID:  x.slotID,
+		sketch:  x.sketch,
+		codes:   x.codes,
+		quant:   x.quant,
+		live:    len(x.idSlot),
+	})
+	x.epoch.Add(1)
+	x.active = next
+	// Grace period: drain the indicator new readers are no longer
+	// arriving at, flip arrivals, then drain the other. Every reader
+	// that could have loaded the previous snapshot arrived before the
+	// publish above and is therefore covered by one of the two waits.
+	vi := x.arriveAt.Load()
+	x.readers[1-vi&1].wait()
+	x.arriveAt.Store(1 - vi&1)
+	x.readers[vi&1].wait()
+	mutate(x.sides[1-next])
+}
 
 // queryScratch is the reusable per-query state: an epoch-stamped
 // visited array replacing the old per-query map[ID]struct{} dedup.
@@ -123,6 +226,10 @@ var _ IntoIndex = (*HyperplaneIndex)(nil)
 type queryScratch struct {
 	visited []uint32
 	epoch   uint32
+	// stripe is this scratch's read-indicator stripe (epoch.go).
+	// sync.Pool is per-P, so concurrent readers hold distinct
+	// scratches and therefore stamp distinct stripes.
+	stripe uint32
 
 	// Tuned-pipeline scratch, sized lazily on first tuned lookup:
 	// margins holds per-bit |projection| for the probed table, sorted
@@ -206,15 +313,20 @@ func NewHyperplaneTuned(dim, bits, tables int, seed int64, tun Tuning) (*Hyperpl
 		bits:        bits,
 		tables:      tables,
 		planes:      make([]float64, tables*bits*dim),
-		buckets:     make([]map[uint64][]int32, tables),
 		idSlot:      make(map[ID]int32),
 		tun:         tun,
 		sketchWords: tun.SketchBits / 64,
 	}
+	for side := range x.sides {
+		x.sides[side] = make([]map[uint64][]int32, tables)
+		for t := 0; t < tables; t++ {
+			x.sides[side][t] = make(map[uint64][]int32)
+		}
+	}
+	x.view.Store(&indexView{buckets: x.sides[0]})
 	// Draw order (table, bit, dim) is part of the index's identity:
 	// the same seed must yield the same hyperplanes across versions.
 	for t := 0; t < tables; t++ {
-		x.buckets[t] = make(map[uint64][]int32)
 		for b := 0; b < bits; b++ {
 			row := x.planeRow(t, b)
 			for d := range row {
@@ -270,12 +382,15 @@ func (x *HyperplaneIndex) Bits() int { return x.bits }
 // Tables returns the hash-table count.
 func (x *HyperplaneIndex) Tables() int { return x.tables }
 
-// Len returns the number of indexed vectors.
+// Len returns the number of indexed vectors. Lock-free: the count is
+// an immutable field of the published snapshot.
 func (x *HyperplaneIndex) Len() int {
-	x.mu.RLock()
-	defer x.mu.RUnlock()
-	return len(x.idSlot)
+	return x.view.Load().live
 }
+
+// Epoch returns the number of snapshots published so far (one per
+// completed write round). Diagnostics and tests only.
+func (x *HyperplaneIndex) Epoch() uint64 { return x.epoch.Load() }
 
 // signature hashes v in table t. Caller must have validated dimensions.
 //
@@ -460,19 +575,21 @@ func (x *HyperplaneIndex) Insert(id ID, v feature.Vector) error {
 		return fmt.Errorf("lsh: insert dim %d, index dim %d: %w",
 			len(v), x.dim, feature.ErrDimensionMismatch)
 	}
-	x.mu.Lock()
-	defer x.mu.Unlock()
+	x.wmu.Lock()
+	defer x.wmu.Unlock()
 	if slot, exists := x.idSlot[id]; exists {
 		x.removeLocked(id, slot)
 	}
 	slot := x.allocSlotLocked()
+	// The slot is either brand-new (no published bucket can reference
+	// it yet) or recycled after a grace period (every reader that could
+	// have seen it has departed), so these writes race with nothing;
+	// the publish below is the release that makes them visible.
 	copy(x.arena[int(slot)*x.dim:], v)
 	x.slotID[slot] = id
 	vc := x.slotVec(slot)
 	for t := 0; t < x.tables; t++ {
-		sig := x.signature(t, vc)
-		x.slotSig[int(slot)*x.tables+t] = sig
-		x.buckets[t][sig] = append(x.buckets[t][sig], slot)
+		x.slotSig[int(slot)*x.tables+t] = x.signature(t, vc)
 	}
 	// Derived per-slot representations are recomputed, never stored:
 	// snapshot import re-inserts through this same path, so sketches and
@@ -484,13 +601,19 @@ func (x *HyperplaneIndex) Insert(id ID, v feature.Vector) error {
 		x.quant[slot] = feature.QuantizeInto(vc, x.slotCodes(slot))
 	}
 	x.idSlot[id] = slot
+	x.publishLocked(func(side []map[uint64][]int32) {
+		for t := 0; t < x.tables; t++ {
+			sig := x.slotSig[int(slot)*x.tables+t]
+			side[t][sig] = append(side[t][sig], slot)
+		}
+	})
 	return nil
 }
 
 // Remove deletes id from all tables.
 func (x *HyperplaneIndex) Remove(id ID) {
-	x.mu.Lock()
-	defer x.mu.Unlock()
+	x.wmu.Lock()
+	defer x.wmu.Unlock()
 	if slot, ok := x.idSlot[id]; ok {
 		x.removeLocked(id, slot)
 	}
@@ -500,42 +623,54 @@ func (x *HyperplaneIndex) Remove(id ID) {
 // bothers reallocating; below it the retained memory is trivial.
 const bucketShrinkMin = 16
 
+// removeLocked unlinks slot from both bucket sides (via one publish
+// round) and recycles it. The slot joins the free list only AFTER the
+// grace period inside publishLocked, so no reader can still hold a
+// view whose buckets reference it by the time a later insert
+// overwrites its arena memory. Caller holds wmu.
 func (x *HyperplaneIndex) removeLocked(id ID, slot int32) {
-	for t := 0; t < x.tables; t++ {
-		sig := x.slotSig[int(slot)*x.tables+t]
-		bucket := x.buckets[t][sig]
-		for i, s := range bucket {
-			if s == slot {
-				last := len(bucket) - 1
-				bucket[i] = bucket[last]
-				bucket[last] = 0 // clear the swapped-from tail slot
-				bucket = bucket[:last]
-				break
+	delete(x.idSlot, id)
+	x.publishLocked(func(side []map[uint64][]int32) {
+		for t := 0; t < x.tables; t++ {
+			sig := x.slotSig[int(slot)*x.tables+t]
+			bucket := side[t][sig]
+			for i, s := range bucket {
+				if s == slot {
+					last := len(bucket) - 1
+					bucket[i] = bucket[last]
+					bucket[last] = 0 // clear the swapped-from tail slot
+					bucket = bucket[:last]
+					break
+				}
+			}
+			switch {
+			case len(bucket) == 0:
+				delete(side[t], sig)
+			case cap(bucket) >= bucketShrinkMin && cap(bucket) >= 4*len(bucket):
+				// Long churny runs otherwise retain grossly over-capacity
+				// backing arrays for hot signatures.
+				shrunk := make([]int32, len(bucket))
+				copy(shrunk, bucket)
+				side[t][sig] = shrunk
+			default:
+				side[t][sig] = bucket
 			}
 		}
-		switch {
-		case len(bucket) == 0:
-			delete(x.buckets[t], sig)
-		case cap(bucket) >= bucketShrinkMin && cap(bucket) >= 4*len(bucket):
-			// Long churny runs otherwise retain grossly over-capacity
-			// backing arrays for hot signatures.
-			shrunk := make([]int32, len(bucket))
-			copy(shrunk, bucket)
-			x.buckets[t][sig] = shrunk
-		default:
-			x.buckets[t][sig] = bucket
-		}
+	})
+	if poisonRetired.Load() {
+		x.poisonSlot(slot)
 	}
-	delete(x.idSlot, id)
 	x.free = append(x.free, slot)
 }
 
-// getScratch checks out per-query scratch state.
+// getScratch checks out per-query scratch state. A fresh scratch is
+// assigned the next read-indicator stripe round-robin; the pool is
+// per-P, so concurrent readers end up stamping distinct stripes.
 func (x *HyperplaneIndex) getScratch() *queryScratch {
 	if sc, ok := x.scratch.Get().(*queryScratch); ok {
 		return sc
 	}
-	return &queryScratch{}
+	return &queryScratch{stripe: x.stripeSeq.Add(1)}
 }
 
 // Candidates returns the deduplicated union of bucket contents that q
@@ -574,19 +709,19 @@ func (x *HyperplaneIndex) CandidatesInto(q feature.Vector, dst []ID) ([]ID, erro
 	}
 	sc := x.getScratch()
 	defer x.scratch.Put(sc)
-	x.mu.RLock()
-	defer x.mu.RUnlock()
-	sc.begin(len(x.slotID))
+	v, vi := x.pin(sc.stripe)
+	defer x.unpin(vi, sc.stripe)
+	sc.begin(len(v.slotID))
 	out := dst[:0]
 	if !x.tun.enabled() {
 		for t := 0; t < x.tables; t++ {
 			sig := x.signature(t, q)
-			for _, slot := range x.buckets[t][sig] {
+			for _, slot := range v.buckets[t][sig] {
 				if sc.visited[slot] == sc.epoch {
 					continue
 				}
 				sc.visited[slot] = sc.epoch
-				out = append(out, x.slotID[slot])
+				out = append(out, v.slotID[slot])
 			}
 		}
 		return out, nil
@@ -607,7 +742,7 @@ func (x *HyperplaneIndex) CandidatesInto(q feature.Vector, dst []ID) ([]ID, erro
 			if !ok {
 				break
 			}
-			for _, slot := range x.buckets[t][psig] {
+			for _, slot := range v.buckets[t][psig] {
 				if sc.visited[slot] == sc.epoch {
 					continue
 				}
@@ -615,15 +750,15 @@ func (x *HyperplaneIndex) CandidatesInto(q feature.Vector, dst []ID) ([]ID, erro
 				if words > 0 {
 					// Inlined popcount Hamming; words is 1 or 2.
 					off := int(slot) * words
-					d := bits.OnesCount64(qsk[0] ^ x.sketch[off])
+					d := bits.OnesCount64(qsk[0] ^ v.sketch[off])
 					if words == 2 {
-						d += bits.OnesCount64(qsk[1] ^ x.sketch[off+1])
+						d += bits.OnesCount64(qsk[1] ^ v.sketch[off+1])
 					}
 					if d > maxHam {
 						continue
 					}
 				}
-				out = append(out, x.slotID[slot])
+				out = append(out, v.slotID[slot])
 			}
 		}
 		sc.heap = pg.heap[:0] // retain heap growth across tables/queries
@@ -661,22 +796,22 @@ func (x *HyperplaneIndex) NearestInto(q feature.Vector, k int, dst []Neighbor) (
 	// does.
 	var sel kSelector
 	sel.reset(k, dst[:0])
-	x.mu.RLock()
-	sc.begin(len(x.slotID))
+	v, vi := x.pin(sc.stripe)
+	sc.begin(len(v.slotID))
 	for t := 0; t < x.tables; t++ {
 		sig := x.signature(t, q)
-		for _, slot := range x.buckets[t][sig] {
+		for _, slot := range v.buckets[t][sig] {
 			if sc.visited[slot] == sc.epoch {
 				continue
 			}
 			sc.visited[slot] = sc.epoch
 			sel.add(Neighbor{
-				ID:       x.slotID[slot],
-				Distance: feature.MustSqEuclidean(q, x.slotVec(slot)),
+				ID:       v.slotID[slot],
+				Distance: feature.MustSqEuclidean(q, v.slotVec(x.dim, slot)),
 			})
 		}
 	}
-	x.mu.RUnlock()
+	x.unpin(vi, sc.stripe)
 	out := sel.finish()
 	for i := range out {
 		out[i].Distance = math.Sqrt(out[i].Distance)
@@ -701,8 +836,8 @@ func (x *HyperplaneIndex) nearestTuned(q feature.Vector, k int, dst []Neighbor, 
 		rsel.reset(x.tun.RerankK*k, sc.approx[:0])
 	}
 	sc.ensureTuned(x.bits, x.dim)
-	x.mu.RLock()
-	sc.begin(len(x.slotID))
+	v, vi := x.pin(sc.stripe)
+	sc.begin(len(v.slotID))
 	var qsk [2]uint64
 	words := x.sketchWords
 	if words > 0 {
@@ -722,7 +857,7 @@ func (x *HyperplaneIndex) nearestTuned(q feature.Vector, k int, dst []Neighbor, 
 			if !ok {
 				break
 			}
-			for _, slot := range x.buckets[t][psig] {
+			for _, slot := range v.buckets[t][psig] {
 				if sc.visited[slot] == sc.epoch {
 					continue
 				}
@@ -730,9 +865,9 @@ func (x *HyperplaneIndex) nearestTuned(q feature.Vector, k int, dst []Neighbor, 
 				if words > 0 {
 					// Inlined popcount Hamming; words is 1 or 2.
 					off := int(slot) * words
-					d := bits.OnesCount64(qsk[0] ^ x.sketch[off])
+					d := bits.OnesCount64(qsk[0] ^ v.sketch[off])
 					if words == 2 {
-						d += bits.OnesCount64(qsk[1] ^ x.sketch[off+1])
+						d += bits.OnesCount64(qsk[1] ^ v.sketch[off+1])
 					}
 					if d > maxHam {
 						continue
@@ -742,15 +877,15 @@ func (x *HyperplaneIndex) nearestTuned(q feature.Vector, k int, dst []Neighbor, 
 					// The approximate stage selects on (approx distance,
 					// slot): slots are assigned deterministically, so the
 					// keep-set is stable across runs and reloads.
-					dot := feature.DotInt8(sc.qcodes, x.slotCodes(slot))
+					dot := feature.DotInt8(sc.qcodes, v.slotCodes(x.dim, slot))
 					rsel.add(Neighbor{
 						ID:       ID(slot),
-						Distance: feature.ApproxSqDistance(x.dim, qq, x.quant[slot], dot),
+						Distance: feature.ApproxSqDistance(x.dim, qq, v.quant[slot], dot),
 					})
 				} else {
 					sel.add(Neighbor{
-						ID:       x.slotID[slot],
-						Distance: feature.MustSqEuclidean(q, x.slotVec(slot)),
+						ID:       v.slotID[slot],
+						Distance: feature.MustSqEuclidean(q, v.slotVec(x.dim, slot)),
 					})
 				}
 			}
@@ -762,13 +897,13 @@ func (x *HyperplaneIndex) nearestTuned(q feature.Vector, k int, dst []Neighbor, 
 		for _, n := range kept {
 			slot := int32(n.ID)
 			sel.add(Neighbor{
-				ID:       x.slotID[slot],
-				Distance: feature.MustSqEuclidean(q, x.slotVec(slot)),
+				ID:       v.slotID[slot],
+				Distance: feature.MustSqEuclidean(q, v.slotVec(x.dim, slot)),
 			})
 		}
 		sc.approx = kept[:0] // retain selector growth for the next query
 	}
-	x.mu.RUnlock()
+	x.unpin(vi, sc.stripe)
 	out := sel.finish()
 	for i := range out {
 		out[i].Distance = math.Sqrt(out[i].Distance)
@@ -787,14 +922,17 @@ type Stats struct {
 	MeanCandidateSet float64 // expected candidate-set size for an indexed item
 }
 
-// Stats returns occupancy statistics.
+// Stats returns occupancy statistics. Lock-free: it walks the
+// published snapshot under a pin, so stats polling never stalls
+// writers or other readers.
 func (x *HyperplaneIndex) Stats() Stats {
-	x.mu.RLock()
-	defer x.mu.RUnlock()
-	s := Stats{Items: len(x.idSlot), Tables: x.tables, Bits: x.bits}
+	stripe := x.stripeSeq.Add(1)
+	v, vi := x.pin(stripe)
+	defer x.unpin(vi, stripe)
+	s := Stats{Items: v.live, Tables: x.tables, Bits: x.bits}
 	var total int
 	for t := 0; t < x.tables; t++ {
-		for _, b := range x.buckets[t] {
+		for _, b := range v.buckets[t] {
 			s.Buckets++
 			total += len(b)
 			if len(b) > s.MaxBucket {
@@ -805,7 +943,7 @@ func (x *HyperplaneIndex) Stats() Stats {
 	if s.Buckets > 0 {
 		s.MeanBucket = float64(total) / float64(s.Buckets)
 	}
-	if len(x.idSlot) > 0 {
+	if v.live > 0 {
 		// For each item, its candidate set is at least the sizes of
 		// its own buckets; use the mean bucket size per table as an
 		// estimate of per-query work.
