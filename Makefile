@@ -36,9 +36,16 @@ MIN_SAVINGS_RETENTION = 0.6
 # nothing running in parallel there is no bouncing to remove.
 MIN_READSCALE_SPEEDUP = 2.0
 
-.PHONY: check build test race vet fmt bench bench-hotpath bench-gate bench-throughput throughput-gate bench-overload overload-gate bench-lookup lookup-gate bench-quality quality-gate bench-readscale readscale-gate fault-matrix
+# The P2P wire-protocol gate (E25): the compact comms stack (quantized
+# codec v2 + delta digests + query coalescing + gossip batching) must
+# cut client wire bytes per session-frame by at least this factor at
+# the most constrained link bandwidth, at equal-or-better peer hit
+# rate versus the legacy float64 protocol.
+MIN_P2P_REDUCTION = 4.0
 
-check: vet fmt test race bench-gate throughput-gate overload-gate lookup-gate quality-gate readscale-gate fault-matrix
+.PHONY: check build test race vet fmt bench bench-hotpath bench-gate bench-throughput throughput-gate bench-overload overload-gate bench-lookup lookup-gate bench-quality quality-gate bench-readscale readscale-gate bench-p2p p2p-gate fault-matrix
+
+check: vet fmt test race bench-gate throughput-gate overload-gate lookup-gate quality-gate readscale-gate p2p-gate fault-matrix
 
 build:
 	$(GO) build ./...
@@ -149,6 +156,19 @@ bench-readscale:
 readscale-gate:
 	$(GO) run ./cmd/approxbench -readscale -readscale-json /tmp/BENCH_readscale.gate.json
 	$(GO) run ./cmd/benchgate -readscale-json /tmp/BENCH_readscale.gate.json -min-readscale-speedup $(MIN_READSCALE_SPEEDUP)
+
+# P2P wire benchmark (E25): legacy v1 float64 protocol vs the compact
+# v2 stack on bandwidth-constrained links; records BENCH_p2p.json and
+# enforces the bytes/frame reduction gate at no peer-hit-rate loss.
+bench-p2p:
+	$(GO) run ./cmd/approxbench -p2p -p2p-json BENCH_p2p.json
+	$(GO) run ./cmd/benchgate -p2p-json BENCH_p2p.json -min-bytes-reduction $(MIN_P2P_REDUCTION)
+
+# Fast p2p gate for `make check`: the sweep is virtual-clock driven and
+# replays in well under a second of wall clock.
+p2p-gate:
+	$(GO) run ./cmd/approxbench -p2p -p2p-json /tmp/BENCH_p2p.gate.json
+	$(GO) run ./cmd/benchgate -p2p-json /tmp/BENCH_p2p.gate.json -min-bytes-reduction $(MIN_P2P_REDUCTION)
 
 # Device fault matrix (E19): every sensor fault class plus a DNN outage,
 # guards and watchdog toggled. The acceptance test asserts the shape;

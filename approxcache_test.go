@@ -176,6 +176,67 @@ func TestSimNetworkPeering(t *testing.T) {
 	}
 }
 
+func TestLateJoinerBecomesReachable(t *testing.T) {
+	w := testWorkload(t, 30)
+	net, err := approxcache.NewSimNetwork(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := approxcache.NewVirtualClock()
+	opts := approxcache.Options{Clock: clock, DisableGossip: true}
+	a := newCache(t, w, opts)
+	b := newCache(t, w, opts)
+	ca, err := a.JoinSimNetwork(net, "dev-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := b.JoinSimNetwork(net, "dev-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clients := map[string]*approxcache.PeerClient{"dev-a": ca, "dev-b": cb}
+	if err := approxcache.ConnectAll(clients); err != nil {
+		t.Fatal(err)
+	}
+	epoch := net.Epoch()
+
+	// A third device joins after the mesh formed. Membership must be
+	// observable via the epoch so callers know to re-wire.
+	c := newCache(t, w, opts)
+	cc, err := c.JoinSimNetwork(net, "dev-c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Epoch() == epoch {
+		t.Fatal("late join did not bump the mesh epoch")
+	}
+	for name, cl := range clients {
+		for _, p := range cl.Peers() {
+			if p == "dev-c" {
+				t.Fatalf("%s saw dev-c before ConnectAll re-ran", name)
+			}
+		}
+	}
+	// Re-running ConnectAll is idempotent and wires the late joiner in.
+	clients["dev-c"] = cc
+	if err := approxcache.ConnectAll(clients); err != nil {
+		t.Fatal(err)
+	}
+	for name, cl := range clients {
+		if got := len(cl.Peers()); got != 2 {
+			t.Fatalf("%s has %d peers after re-wire", name, got)
+		}
+	}
+	// The late joiner is actually reachable, not just listed.
+	pong, _, err := ca.Ping("dev-a", "dev-c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pong.From != "dev-c" {
+		t.Fatalf("pong from %q", pong.From)
+	}
+}
+
 func TestJoinSimNetworkRequiresApprox(t *testing.T) {
 	w := testWorkload(t, 10)
 	c := newCache(t, w, approxcache.Options{Mode: approxcache.ModeNoCache})

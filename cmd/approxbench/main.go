@@ -92,6 +92,9 @@ func run(args []string) error {
 		entries  = fs.Int("entries", 0, "with -hitheavy, resident cache entries (0 = default 4096)")
 		rscale   = fs.Bool("readscale", false, "run the concurrent-reader scaling benchmark and exit")
 		rsJSON   = fs.String("readscale-json", "BENCH_readscale.json", "with -readscale, write the report JSON here (empty = stdout only)")
+		p2pBench = fs.Bool("p2p", false, "run the bandwidth-constrained peer wire benchmark and exit")
+		p2pJSON  = fs.String("p2p-json", "BENCH_p2p.json", "with -p2p, write the report JSON here (empty = stdout only)")
+		p2pFr    = fs.Int("p2p-frames", 0, "with -p2p, scene frames per mode (0 = default 400)")
 		mutexpr  = fs.String("mutexprofile", "", "write a mutex-contention profile to this file on exit")
 		blockpr  = fs.String("blockprofile", "", "write a blocking profile to this file on exit")
 	)
@@ -113,6 +116,12 @@ func run(args []string) error {
 				fmt.Fprintln(os.Stderr, "approxbench:", err)
 			}
 		}()
+	}
+	if *p2pBench {
+		return runP2PBench(eval.P2PConfig{
+			Frames: *p2pFr,
+			Seed:   *seed,
+		}, *p2pJSON)
 	}
 	if *rscale {
 		return runReadScaleBench(eval.ReadScaleConfig{
@@ -317,6 +326,43 @@ func runLookupBench(cfg eval.LookupConfig, jsonPath string) error {
 	}
 	fmt.Printf("speedup (tuned vs exact-bucket): %.2fx at recall %.3f vs %.3f in %v\n",
 		rep.Speedup, rep.RecallTuned, rep.RecallBase, time.Since(start).Round(time.Millisecond))
+	if jsonPath != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	return nil
+}
+
+// runP2PBench executes the bandwidth-constrained peer wire benchmark,
+// prints the legacy-vs-compact comparison per link speed, and records
+// the report for the p2p regression gate.
+func runP2PBench(cfg eval.P2PConfig, jsonPath string) error {
+	start := time.Now()
+	rep, err := eval.RunP2P(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("p2p: %d peers, %d sessions, %d frames, dim %d\n",
+		rep.Nodes, rep.Sessions, rep.Frames, rep.Dim)
+	for _, pt := range rep.Points {
+		for _, m := range []eval.P2PModeResult{pt.Legacy, pt.Compact} {
+			fmt.Printf("  %5.2f MB/s %-11s %8.1f B/frame  hit=%.3f  mean=%6.2fms p95=%6.2fms  coalesced=%d+%d  batches=%d (avg %.1f)\n",
+				pt.BandwidthMBps, m.Mode, m.BytesPerFrame, m.PeerHitRate,
+				m.MeanLatencyMS, m.P95LatencyMS,
+				m.CoalescedInFlight, m.CoalescedCached, m.Batches, m.AvgBatchItems)
+		}
+		fmt.Printf("  %5.2f MB/s reduction %.1fx, latency speedup %.2fx\n",
+			pt.BandwidthMBps, pt.BytesReduction, pt.LatencySpeedup)
+	}
+	fmt.Printf("at %.2f MB/s: %.1fx bytes/frame reduction, hit rate %.3f -> %.3f in %v\n",
+		rep.ConstrainedMBps, rep.BytesReduction, rep.HitLegacy, rep.HitCompact,
+		time.Since(start).Round(time.Millisecond))
 	if jsonPath != "" {
 		blob, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {

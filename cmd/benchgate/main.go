@@ -65,6 +65,16 @@
 // only requires no regression (0.9x). The report records the
 // GOMAXPROCS it measured under, so the gate always matches the
 // hardware the numbers came from.
+//
+// A seventh mode gates the P2P wire-protocol report:
+//
+//	benchgate -p2p-json BENCH_p2p.json -min-bytes-reduction 4.0
+//
+// It reads the JSON written by `approxbench -p2p` and fails unless the
+// compact protocol (quantized codec v2 + delta digests + coalescing +
+// gossip batching) cut wire bytes per frame by at least
+// -min-bytes-reduction at the most constrained bandwidth, without
+// losing any peer hit rate versus the legacy float64 protocol.
 package main
 
 import (
@@ -113,9 +123,14 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		minSavings = fs.Float64("min-savings-retention", 0.6, "with -quality-json, minimum protected latency savings as a fraction of the no-drift baseline")
 		rsJSON     = fs.String("readscale-json", "", "gate a read-scalability report file instead of reading benchmarks from stdin")
 		minRS      = fs.Float64("min-readscale-speedup", 2.0, "with -readscale-json, required lock-free speedup at 16 readers on >= 8 procs (scaled down automatically on smaller machines)")
+		p2pJSON    = fs.String("p2p-json", "", "gate a P2P wire-protocol report file instead of reading benchmarks from stdin")
+		minBytes   = fs.Float64("min-bytes-reduction", 4.0, "with -p2p-json, minimum required bytes/frame reduction of the compact protocol at the most constrained bandwidth")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *p2pJSON != "" {
+		return checkP2P(*p2pJSON, *minBytes, out)
 	}
 	if *rsJSON != "" {
 		return checkReadScale(*rsJSON, *minRS, out)
@@ -442,6 +457,69 @@ func checkReadScale(path string, minSpeedup float64, out io.Writer) error {
 	if rep.SpeedupAt16 < floor {
 		return fmt.Errorf("read-scale speedup %.2fx below required %.2fx at GOMAXPROCS=%d",
 			rep.SpeedupAt16, floor, rep.MaxProcs)
+	}
+	return nil
+}
+
+// p2pReport mirrors the fields of eval.P2PReport this gate needs
+// (benchgate stays stdlib-only, so it does not import eval).
+type p2pReport struct {
+	Nodes    int `json:"nodes"`
+	Sessions int `json:"sessions"`
+	Frames   int `json:"frames"`
+	Points   []struct {
+		BandwidthMBps float64 `json:"bandwidth_mbps"`
+		Legacy        p2pMode `json:"legacy"`
+		Compact       p2pMode `json:"compact"`
+		Reduction     float64 `json:"bytes_reduction"`
+	} `json:"points"`
+	ConstrainedMBps float64 `json:"constrained_mbps"`
+	BytesReduction  float64 `json:"bytes_reduction"`
+	HitLegacy       float64 `json:"hit_legacy"`
+	HitCompact      float64 `json:"hit_compact"`
+}
+
+type p2pMode struct {
+	Mode          string  `json:"mode"`
+	BytesPerFrame float64 `json:"bytes_per_frame"`
+	PeerHitRate   float64 `json:"peer_hit_rate"`
+	MeanLatencyMS float64 `json:"mean_latency_ms"`
+}
+
+// checkP2P enforces the wire-protocol regression gate on a report
+// written by `approxbench -p2p`: the compact protocol must cut
+// bytes/frame by at least minReduction at the most constrained link,
+// at equal-or-better peer hit rate.
+func checkP2P(path string, minReduction float64, out io.Writer) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep p2pReport
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	if len(rep.Points) == 0 {
+		return fmt.Errorf("%s: no points", path)
+	}
+	for _, p := range rep.Points {
+		for _, m := range []p2pMode{p.Legacy, p.Compact} {
+			fmt.Fprintf(out, "%6.2f MB/s %-11s %10.1f B/frame  hit=%.3f  mean=%.2f ms\n",
+				p.BandwidthMBps, m.Mode, m.BytesPerFrame, m.PeerHitRate, m.MeanLatencyMS)
+		}
+		if m := p.Compact; m.BytesPerFrame <= 0 {
+			return fmt.Errorf("%.2f MB/s: non-positive compact bytes/frame %.1f",
+				p.BandwidthMBps, m.BytesPerFrame)
+		}
+	}
+	fmt.Fprintf(out, "bytes/frame reduction %.1fx at %.2f MB/s (gate: >= %.1fx), hit rate %.3f -> %.3f\n",
+		rep.BytesReduction, rep.ConstrainedMBps, minReduction, rep.HitLegacy, rep.HitCompact)
+	if rep.BytesReduction < minReduction {
+		return fmt.Errorf("bytes/frame reduction %.1fx below required %.1fx", rep.BytesReduction, minReduction)
+	}
+	if rep.HitCompact < rep.HitLegacy {
+		return fmt.Errorf("compact peer hit rate %.3f below legacy %.3f — compression must not cost hits",
+			rep.HitCompact, rep.HitLegacy)
 	}
 	return nil
 }

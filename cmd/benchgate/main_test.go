@@ -303,3 +303,71 @@ func TestReadScaleGateBadFile(t *testing.T) {
 		t.Fatal("missing report accepted")
 	}
 }
+
+const p2pSample = `{
+  "nodes": 4,
+  "sessions": 3,
+  "frames": 400,
+  "points": [
+    {
+      "bandwidth_mbps": 0.5,
+      "legacy": {"mode": "legacy-v1", "bytes_per_frame": 1160.0, "peer_hit_rate": 0.98, "mean_latency_ms": 12.5},
+      "compact": {"mode": "compact-v2", "bytes_per_frame": 111.0, "peer_hit_rate": 0.98, "mean_latency_ms": 4.0},
+      "bytes_reduction": 10.4
+    }
+  ],
+  "constrained_mbps": 0.5,
+  "bytes_reduction": 10.4,
+  "hit_legacy": 0.98,
+  "hit_compact": 0.98
+}`
+
+func TestP2PGatePass(t *testing.T) {
+	var out strings.Builder
+	// Stdin carries no benchmarks: the p2p mode must not read it.
+	err := run([]string{"-p2p-json", writeThroughput(t, p2pSample), "-min-bytes-reduction", "4.0"},
+		strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"legacy-v1", "compact-v2", "10.4x"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("summary missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestP2PGateFailReduction(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-p2p-json", writeThroughput(t, p2pSample), "-min-bytes-reduction", "20"},
+		strings.NewReader(""), &out)
+	if err == nil || !strings.Contains(err.Error(), "below required") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestP2PGateFailHitRate(t *testing.T) {
+	lossy := strings.Replace(p2pSample, `"hit_compact": 0.98`, `"hit_compact": 0.90`, 1)
+	var out strings.Builder
+	err := run([]string{"-p2p-json", writeThroughput(t, lossy)},
+		strings.NewReader(""), &out)
+	if err == nil || !strings.Contains(err.Error(), "must not cost hits") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestP2PGateBadFile(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-p2p-json", writeThroughput(t, "not json")},
+		strings.NewReader(""), &out); err == nil {
+		t.Fatal("corrupt report accepted")
+	}
+	if err := run([]string{"-p2p-json", writeThroughput(t, `{"bytes_reduction": 9}`)},
+		strings.NewReader(""), &out); err == nil {
+		t.Fatal("empty points accepted")
+	}
+	if err := run([]string{"-p2p-json", filepath.Join(t.TempDir(), "missing.json")},
+		strings.NewReader(""), &out); err == nil {
+		t.Fatal("missing report accepted")
+	}
+}

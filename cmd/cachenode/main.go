@@ -397,6 +397,14 @@ func printStats(cache *approxcache.Cache, client *approxcache.PeerClient) {
 			fmt.Printf("  peer %s: %s, %d ok / %d failed, rtt ewma %v\n",
 				p.Peer, p.State, p.Successes, p.Failures, p.LatencyEWMA.Round(10*time.Microsecond))
 		}
+		if ws := client.WireStats(); ws.SentMsgs > 0 || ws.RecvMsgs > 0 {
+			fmt.Printf("wire: sent %d msgs / %d B, recv %d msgs / %d B\n",
+				ws.SentMsgs, ws.SentBytes, ws.RecvMsgs, ws.RecvBytes)
+			if ws.CoalescedInFlight+ws.CoalescedCached > 0 || ws.Batches > 0 {
+				fmt.Printf("wire: coalesced %d in-flight + %d cached, %d gossip batches (avg %.1f items)\n",
+					ws.CoalescedInFlight, ws.CoalescedCached, ws.Batches, ws.AvgBatch())
+			}
+		}
 	}
 	ss := cache.StoreStats()
 	fmt.Printf("store: %d entries (dnn=%d peer=%d), %d evictions, feature-cache reuse saved %v of inference\n",

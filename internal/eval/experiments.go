@@ -78,6 +78,7 @@ func All() []Experiment {
 		{ID: "E22", Name: "lookup-pipeline", Run: E22Lookup},
 		{ID: "E23", Name: "cache-quality", Run: E23Quality},
 		{ID: "E24", Name: "read-scalability", Run: E24ReadScale},
+		{ID: "E25", Name: "p2p-wire", Run: E25P2PWire},
 	}
 }
 

@@ -1,0 +1,73 @@
+package eval
+
+import "testing"
+
+func TestRunP2P(t *testing.T) {
+	cfg := P2PConfig{Frames: 120, BandwidthsMBps: []float64{0.5, 3}, Seed: 7}
+	rep, err := RunP2P(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 2 {
+		t.Fatalf("points = %d", len(rep.Points))
+	}
+	if rep.ConstrainedMBps != 0.5 {
+		t.Fatalf("constrained bandwidth = %v", rep.ConstrainedMBps)
+	}
+	if rep.BytesReduction < 4 {
+		t.Fatalf("bytes reduction = %.2fx, want >= 4x", rep.BytesReduction)
+	}
+	if rep.HitCompact < rep.HitLegacy {
+		t.Fatalf("compact hit rate %.3f dropped below legacy %.3f", rep.HitCompact, rep.HitLegacy)
+	}
+	if rep.HitLegacy == 0 {
+		t.Fatal("legacy peer hit rate is zero; workload is broken")
+	}
+	pt := rep.Points[0]
+	if pt.Compact.CoalescedCached == 0 && pt.Compact.CoalescedInFlight == 0 {
+		t.Fatal("compact mode never coalesced despite duplicate sessions")
+	}
+	if pt.Compact.Batches == 0 {
+		t.Fatal("compact mode never batched gossip")
+	}
+	if pt.Legacy.CoalescedCached != 0 || pt.Legacy.CoalescedInFlight != 0 || pt.Legacy.Batches != 0 {
+		t.Fatal("legacy mode must not coalesce or batch")
+	}
+	// A constrained link must not change what bytes are sent — only how
+	// long they take.
+	if rep.Points[0].Legacy.SentBytes != rep.Points[1].Legacy.SentBytes {
+		t.Fatalf("legacy bytes vary with bandwidth: %d vs %d",
+			rep.Points[0].Legacy.SentBytes, rep.Points[1].Legacy.SentBytes)
+	}
+}
+
+func TestRunP2PValidate(t *testing.T) {
+	bad := []P2PConfig{
+		{Nodes: 1, Sessions: 1, Frames: 1, Dim: 1, PerNode: 1, GossipEvery: 1, DigestEvery: 1, BandwidthsMBps: []float64{1}},
+		{Nodes: 2, Sessions: 1, Frames: 1, Dim: 1, PerNode: 1, GossipEvery: 1, DigestEvery: 1, BandwidthsMBps: []float64{-1}},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("config %d validated", i)
+		}
+	}
+}
+
+func TestE25P2PWireShape(t *testing.T) {
+	r, err := E25P2PWire(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != "E25" {
+		t.Fatalf("id = %q", r.ID)
+	}
+	// Two rows (legacy + compact) per bandwidth point.
+	if len(r.Rows) == 0 || len(r.Rows)%2 != 0 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if len(row) != len(r.Headers) {
+			t.Fatalf("row width %d != headers %d", len(row), len(r.Headers))
+		}
+	}
+}

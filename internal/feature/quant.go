@@ -77,6 +77,18 @@ func QuantizeInto(v Vector, dst []int8) Quant {
 	return q
 }
 
+// DequantizeInto reconstructs dst[i] = offset + scale·int8(codes[i])
+// from raw two's-complement code bytes, the inverse of QuantizeInto's
+// affine map (up to the quantization step). codes must have at least
+// len(dst) bytes; taking the wire representation directly avoids an
+// []int8 conversion copy on the receive path.
+func DequantizeInto(dst Vector, codes []byte, scale, offset float64) {
+	codes = codes[:len(dst)]
+	for i := range dst {
+		dst[i] = offset + scale*float64(int8(codes[i]))
+	}
+}
+
 // DotInt8 returns the integer inner product Σ a[i]·b[i] of two code
 // vectors. Callers guarantee equal lengths (hot path).
 func DotInt8(a, b []int8) int32 {

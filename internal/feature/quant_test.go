@@ -1,0 +1,54 @@
+package feature
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDequantizeIntoReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, dim := range []int{1, 2, 17, 128} {
+		v := make(Vector, dim)
+		for i := range v {
+			v[i] = rng.NormFloat64() * 3
+		}
+		codes := make([]int8, dim)
+		q := QuantizeInto(v, codes)
+		// DequantizeInto takes the raw wire bytes, not []int8.
+		raw := make([]byte, dim)
+		for i, c := range codes {
+			raw[i] = byte(c)
+		}
+		got := make(Vector, dim)
+		DequantizeInto(got, raw, q.Scale, q.Offset)
+		tol := q.Scale/2 + 1e-12
+		for i := range v {
+			if math.Abs(got[i]-v[i]) > tol {
+				t.Fatalf("dim %d elem %d: got %v want %v (tol %v)", dim, i, got[i], v[i], tol)
+			}
+		}
+	}
+}
+
+func TestDequantizeIntoConstantVector(t *testing.T) {
+	v := Vector{2.5, 2.5, 2.5}
+	codes := make([]int8, len(v))
+	q := QuantizeInto(v, codes)
+	got := make(Vector, len(v))
+	DequantizeInto(got, []byte{byte(codes[0]), byte(codes[1]), byte(codes[2])}, q.Scale, q.Offset)
+	for i := range v {
+		if got[i] != v[i] {
+			t.Fatalf("constant vector not exact: %v", got)
+		}
+	}
+}
+
+func TestDequantizeIntoIgnoresExtraCodes(t *testing.T) {
+	// dst length governs; trailing wire bytes must be ignored.
+	dst := make(Vector, 2)
+	DequantizeInto(dst, []byte{0, 127, 99}, 0.5, 1)
+	if dst[0] != 1 || dst[1] != 1+0.5*127 {
+		t.Fatalf("dst = %v", dst)
+	}
+}

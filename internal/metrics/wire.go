@@ -1,0 +1,124 @@
+package metrics
+
+import "sync"
+
+// WireKindStats aggregates traffic for one message kind.
+type WireKindStats struct {
+	// SentMsgs/SentBytes count encoded payloads handed to the
+	// transport; RecvMsgs/RecvBytes count payloads received and
+	// decoded (by the decoded kind).
+	SentMsgs, SentBytes int64
+	RecvMsgs, RecvBytes int64
+}
+
+// WireStats is a point-in-time snapshot of a WireTally.
+type WireStats struct {
+	// Kinds breaks traffic down per message kind (by Kind.String()).
+	Kinds map[string]WireKindStats
+	// Totals across all kinds.
+	SentMsgs, SentBytes int64
+	RecvMsgs, RecvBytes int64
+	// CoalescedInFlight counts queries answered by joining an
+	// identical in-flight exchange; CoalescedCached counts queries
+	// answered from the TTL'd peer-answer cache. Either way no bytes
+	// hit the wire.
+	CoalescedInFlight, CoalescedCached int64
+	// Batches counts gossip flushes that went out as a batch message;
+	// BatchedItems is the total gossip items they carried.
+	Batches, BatchedItems int64
+}
+
+// AvgBatch returns the mean items per gossip batch (0 when none).
+func (s WireStats) AvgBatch() float64 {
+	if s.Batches == 0 {
+		return 0
+	}
+	return float64(s.BatchedItems) / float64(s.Batches)
+}
+
+// WireTally accumulates per-kind wire traffic and comms-optimization
+// counters for one protocol endpoint. Unlike the package-level Counter
+// vars, a tally is per-client/per-service state: multi-node experiments
+// run many endpoints in one process and must not mix their byte counts.
+// The zero value is ready to use; all methods are safe for concurrent
+// use.
+type WireTally struct {
+	mu    sync.Mutex
+	kinds map[string]*WireKindStats
+
+	coalFlight, coalCached int64
+	batches, batchedItems  int64
+}
+
+func (t *WireTally) kind(name string) *WireKindStats {
+	if t.kinds == nil {
+		t.kinds = make(map[string]*WireKindStats)
+	}
+	k := t.kinds[name]
+	if k == nil {
+		k = &WireKindStats{}
+		t.kinds[name] = k
+	}
+	return k
+}
+
+// Sent books one encoded payload of n bytes handed to the transport.
+func (t *WireTally) Sent(kind string, n int) {
+	t.mu.Lock()
+	k := t.kind(kind)
+	k.SentMsgs++
+	k.SentBytes += int64(n)
+	t.mu.Unlock()
+}
+
+// Recv books one received payload of n bytes.
+func (t *WireTally) Recv(kind string, n int) {
+	t.mu.Lock()
+	k := t.kind(kind)
+	k.RecvMsgs++
+	k.RecvBytes += int64(n)
+	t.mu.Unlock()
+}
+
+// CoalesceInFlight books a query answered by an in-flight duplicate.
+func (t *WireTally) CoalesceInFlight() {
+	t.mu.Lock()
+	t.coalFlight++
+	t.mu.Unlock()
+}
+
+// CoalesceCached books a query answered from the TTL answer cache.
+func (t *WireTally) CoalesceCached() {
+	t.mu.Lock()
+	t.coalCached++
+	t.mu.Unlock()
+}
+
+// ObserveBatch books one gossip batch flush of items entries.
+func (t *WireTally) ObserveBatch(items int) {
+	t.mu.Lock()
+	t.batches++
+	t.batchedItems += int64(items)
+	t.mu.Unlock()
+}
+
+// Snapshot returns a copy of the current totals.
+func (t *WireTally) Snapshot() WireStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := WireStats{
+		Kinds:             make(map[string]WireKindStats, len(t.kinds)),
+		CoalescedInFlight: t.coalFlight,
+		CoalescedCached:   t.coalCached,
+		Batches:           t.batches,
+		BatchedItems:      t.batchedItems,
+	}
+	for name, k := range t.kinds {
+		s.Kinds[name] = *k
+		s.SentMsgs += k.SentMsgs
+		s.SentBytes += k.SentBytes
+		s.RecvMsgs += k.RecvMsgs
+		s.RecvBytes += k.RecvBytes
+	}
+	return s
+}

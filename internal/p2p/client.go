@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"approxcache/internal/feature"
+	"approxcache/internal/metrics"
 	"approxcache/internal/simclock"
 	"approxcache/internal/simnet"
 )
@@ -74,10 +75,31 @@ type ClientConfig struct {
 	// Breaker tunes the per-peer circuit breaker (zero value =
 	// defaults). Set Breaker.Disabled to bypass it entirely.
 	Breaker BreakerConfig
-	// Clock drives breaker backoff timing. Nil selects the wall
-	// clock; experiments inject their virtual clock so circuits heal
-	// in simulated time.
+	// Clock drives breaker backoff, coalesce-cache expiry, and gossip
+	// flush timing. Nil selects the wall clock; experiments inject
+	// their virtual clock so these heal/expire in simulated time.
 	Clock simclock.Clock
+	// WireV1Only pins the client to the v1 float64 codec and disables
+	// version negotiation, emulating a legacy node for interop tests
+	// and the bandwidth baseline.
+	WireV1Only bool
+	// CoalesceTTL enables the peer-answer cache: a completed query
+	// outcome — positive or negative — is replayed at zero wire cost
+	// for identical vectors (same quantized code) arriving within the
+	// TTL, so pool sessions observing the same scene share one RTT.
+	// Zero disables the cache. In-flight coalescing (concurrent
+	// identical queries joining one exchange) is always on.
+	CoalesceTTL time.Duration
+	// GossipBatch coalesces outgoing gossip into batches of up to
+	// this many items per flush; <=1 sends each gossip immediately.
+	// Batches reach v2 peers as one message; v1 peers still receive
+	// the items individually, just deferred to the flush.
+	GossipBatch int
+	// GossipFlush bounds how long a queued gossip item waits for its
+	// batch to fill (default 100ms when batching is enabled). Flushes
+	// are lazy — checked on enqueue and on each QueryFrame — plus
+	// explicit via FlushGossip, which the maintainer loop calls.
+	GossipFlush time.Duration
 }
 
 // Validate reports whether the configuration is usable.
@@ -96,6 +118,15 @@ func (c ClientConfig) Validate() error {
 	}
 	if c.QueryBudget < 0 {
 		return fmt.Errorf("p2p: QueryBudget must be non-negative, got %v", c.QueryBudget)
+	}
+	if c.CoalesceTTL < 0 {
+		return fmt.Errorf("p2p: CoalesceTTL must be non-negative, got %v", c.CoalesceTTL)
+	}
+	if c.GossipBatch < 0 || c.GossipBatch > MaxGossipBatch {
+		return fmt.Errorf("p2p: GossipBatch must be in [0,%d], got %d", MaxGossipBatch, c.GossipBatch)
+	}
+	if c.GossipFlush < 0 {
+		return fmt.Errorf("p2p: GossipFlush must be non-negative, got %v", c.GossipFlush)
 	}
 	if err := c.Health.Validate(); err != nil {
 		return err
@@ -121,14 +152,41 @@ type Client struct {
 	transport Transport
 	health    *HealthTracker
 	breaker   *Breaker
+	clock     simclock.Clock
+	wire      metrics.WireTally
 
 	mu       sync.Mutex
 	peers    []string
 	digests  map[string]Digest
+	versions map[string]int
+	deltas   map[string]*peerDigestState
+	flights  map[string]*flight
+	answers  map[string]answerEntry
+	answerQ  []string
+	pending  []Gossip
+	due      time.Time
 	skipped  int
 	degraded int
 	observer Observer
 }
+
+// flight is one in-progress peer-set query that concurrent identical
+// queries join instead of duplicating. out/err are written before done
+// is closed, so followers read them race-free.
+type flight struct {
+	done chan struct{}
+	out  QueryOutcome
+	err  error
+}
+
+// answerEntry is one TTL'd cached peer answer.
+type answerEntry struct {
+	out QueryOutcome
+	exp time.Time
+}
+
+// maxAnswerCache bounds the TTL answer cache.
+const maxAnswerCache = 512
 
 // NewClient builds a client over transport.
 func NewClient(cfg ClientConfig, transport Transport) (*Client, error) {
@@ -149,13 +207,63 @@ func NewClient(cfg ClientConfig, transport Transport) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = simclock.Real{}
+	}
 	return &Client{
 		cfg:       cfg,
 		transport: transport,
 		health:    health,
 		breaker:   breaker,
+		clock:     clock,
 		digests:   make(map[string]Digest),
+		versions:  make(map[string]int),
+		deltas:    make(map[string]*peerDigestState),
+		flights:   make(map[string]*flight),
+		answers:   make(map[string]answerEntry),
 	}, nil
+}
+
+// WireStats returns this client's per-kind wire traffic and
+// coalescing/batching counters.
+func (c *Client) WireStats() metrics.WireStats { return c.wire.Snapshot() }
+
+// peerVersion returns the negotiated wire version for peer (0 when not
+// yet negotiated).
+func (c *Client) peerVersion(peer string) int {
+	if c.cfg.WireV1Only {
+		return WireV1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.versions[peer]
+}
+
+func (c *Client) setPeerVersion(peer string, ver int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.versions[peer] = ver
+}
+
+// useV2 reports whether peer has negotiated the compact v2 codec.
+// Unknown peers get v1 — the codec every node speaks — so the hot path
+// never gambles a query on an unprobed peer; negotiation rides the
+// liveness pings (roster refresh, maintainer, ProbeOpen).
+func (c *Client) useV2(peer string) bool {
+	return c.peerVersion(peer) == WireV2
+}
+
+// encBufPool recycles encode buffers for the peer hot path.
+var encBufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 1024); return &b },
+}
+
+func getEncBuf() *[]byte { return encBufPool.Get().(*[]byte) }
+
+func putEncBuf(p *[]byte) {
+	*p = (*p)[:0]
+	encBufPool.Put(p)
 }
 
 // SetObserver installs (or, with nil, removes) the resilience-event
@@ -199,11 +307,18 @@ func (c *Client) Breaker() *Breaker { return c.breaker }
 // subsequent Queries can skip the peer when it cannot possibly help.
 // Call it periodically (the digest staleness trade-off is the usual
 // one: a stale digest only costs missed hits or wasted queries).
+// Peers that negotiated wire v2 are asked for an epoch delta — only
+// the centroids added or removed since the last fetch cross the link —
+// while v1 peers ship the full digest every time.
 func (c *Client) FetchDigest(peer string) (Digest, time.Duration, error) {
+	if c.useV2(peer) {
+		return c.fetchDigestDelta(peer)
+	}
 	req, err := Encode(DigestReq{})
 	if err != nil {
 		return Digest{}, 0, fmt.Errorf("encode digest req: %w", err)
 	}
+	c.wire.Sent(KindDigestReq.String(), len(req))
 	respB, rtt, err := c.transport.Call(peer, req)
 	if err != nil {
 		c.record(peer, rtt, err)
@@ -214,6 +329,7 @@ func (c *Client) FetchDigest(peer string) (Digest, time.Duration, error) {
 		c.record(peer, rtt, err)
 		return Digest{}, rtt, err
 	}
+	c.wire.Recv(msg.MsgKind().String(), len(respB))
 	resp, ok := msg.(DigestResp)
 	if !ok {
 		err := fmt.Errorf("%w: %v reply to digest req", ErrUnknownKind, msg.MsgKind())
@@ -227,11 +343,64 @@ func (c *Client) FetchDigest(peer string) (Digest, time.Duration, error) {
 	return resp.Digest, rtt, nil
 }
 
-// DropDigest forgets a cached digest (e.g. after the peer churns).
+// fetchDigestDelta refreshes peer's digest via the epoch-delta
+// protocol, applying added/removed centroids to the local mirror.
+func (c *Client) fetchDigestDelta(peer string) (Digest, time.Duration, error) {
+	c.mu.Lock()
+	st := c.deltas[peer]
+	if st == nil {
+		st = &peerDigestState{}
+		c.deltas[peer] = st
+	}
+	since := st.epoch
+	c.mu.Unlock()
+	bufp := getEncBuf()
+	req, err := AppendEncodeV2(*bufp, DigestDeltaReq{Since: since})
+	if err != nil {
+		putEncBuf(bufp)
+		return Digest{}, 0, fmt.Errorf("encode digest delta req: %w", err)
+	}
+	c.wire.Sent(KindDigestDeltaReq.String(), len(req))
+	respB, rtt, err := c.transport.Call(peer, req)
+	*bufp = req[:0]
+	putEncBuf(bufp)
+	if err != nil {
+		c.record(peer, rtt, err)
+		return Digest{}, rtt, err
+	}
+	msg, err := Decode(respB)
+	if err != nil {
+		c.record(peer, rtt, err)
+		return Digest{}, rtt, err
+	}
+	c.wire.Recv(msg.MsgKind().String(), len(respB))
+	resp, ok := msg.(DigestDeltaResp)
+	if !ok {
+		err := fmt.Errorf("%w: %v reply to digest delta req", ErrUnknownKind, msg.MsgKind())
+		c.record(peer, rtt, err)
+		return Digest{}, rtt, err
+	}
+	c.record(peer, rtt, nil)
+	c.mu.Lock()
+	d, applyErr := st.apply(resp)
+	if applyErr == nil {
+		c.digests[peer] = d
+	}
+	c.mu.Unlock()
+	if applyErr != nil {
+		return Digest{}, rtt, applyErr
+	}
+	return d, rtt, nil
+}
+
+// DropDigest forgets a cached digest and its delta-sync state (e.g.
+// after the peer churns; a reincarnated peer starts from a full
+// snapshot).
 func (c *Client) DropDigest(peer string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	delete(c.digests, peer)
+	delete(c.deltas, peer)
 }
 
 // SkippedQueries returns how many per-peer queries digests avoided.
@@ -310,7 +479,14 @@ func (c *Client) Query(vec feature.Vector) (hit RemoteHit, cost time.Duration, f
 // timeout — the caller keeps the best answer that arrived in time
 // (fail partial, not fail total). When every peer is excluded the
 // query returns immediately with Degraded set.
+//
+// Identical queries coalesce: concurrent callers with the same
+// quantized vector code join one in-flight exchange, and (with
+// CoalesceTTL set) a completed outcome is replayed at zero cost for
+// the TTL — replays report Cost 0 and Queried 0, since nothing hit
+// the wire.
 func (c *Client) QueryFrame(vec feature.Vector, budget time.Duration) (QueryOutcome, error) {
+	c.flushDueGossip()
 	peers := c.Peers()
 	if len(peers) == 0 {
 		return QueryOutcome{}, nil
@@ -327,9 +503,133 @@ func (c *Client) QueryFrame(vec feature.Vector, budget time.Duration) (QueryOutc
 		c.mu.Unlock()
 		return QueryOutcome{Degraded: true}, nil
 	}
-	req, err := Encode(Query{Vec: vec, K: uint8(c.cfg.K)})
+	key, err := queryKey(vec)
 	if err != nil {
 		return QueryOutcome{}, fmt.Errorf("encode query: %w", err)
+	}
+	if c.cfg.CoalesceTTL > 0 {
+		if out, ok := c.cachedAnswer(key); ok {
+			c.wire.CoalesceCached()
+			return out, nil
+		}
+	}
+	fl, leader := c.joinFlight(key)
+	if !leader {
+		<-fl.done
+		c.wire.CoalesceInFlight()
+		return fl.out, fl.err
+	}
+	out, err := c.queryAdmitted(vec, budget, admitted)
+	fl.out, fl.err = out, err
+	c.finishFlight(key, fl)
+	if err == nil && !out.Degraded && c.cfg.CoalesceTTL > 0 {
+		c.storeAnswer(key, out)
+	}
+	return out, err
+}
+
+// queryKey is the coalescing identity of a query: the quantized v2
+// vector encoding, so two vectors share a key exactly when they are
+// indistinguishable on the wire.
+func queryKey(vec feature.Vector) (string, error) {
+	bufp := getEncBuf()
+	b, err := appendQuantVec(*bufp, vec)
+	if err != nil {
+		putEncBuf(bufp)
+		return "", err
+	}
+	key := string(b)
+	*bufp = b[:0]
+	putEncBuf(bufp)
+	return key, nil
+}
+
+func (c *Client) joinFlight(key string) (*flight, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if fl, ok := c.flights[key]; ok {
+		return fl, false
+	}
+	fl := &flight{done: make(chan struct{})}
+	c.flights[key] = fl
+	return fl, true
+}
+
+func (c *Client) finishFlight(key string, fl *flight) {
+	c.mu.Lock()
+	delete(c.flights, key)
+	c.mu.Unlock()
+	close(fl.done)
+}
+
+func (c *Client) cachedAnswer(key string) (QueryOutcome, bool) {
+	now := c.clock.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.answers[key]
+	if !ok {
+		return QueryOutcome{}, false
+	}
+	if now.After(e.exp) {
+		delete(c.answers, key)
+		return QueryOutcome{}, false
+	}
+	return e.out, true
+}
+
+func (c *Client) storeAnswer(key string, out QueryOutcome) {
+	// Replays are free: nothing hits the wire, so the cached outcome
+	// carries no cost and counts no queried peers.
+	out.Cost = 0
+	out.Queried = 0
+	exp := c.clock.Now().Add(c.cfg.CoalesceTTL)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.answers[key]; !exists {
+		if len(c.answerQ) >= maxAnswerCache {
+			oldest := c.answerQ[0]
+			c.answerQ = c.answerQ[1:]
+			delete(c.answers, oldest)
+		}
+		c.answerQ = append(c.answerQ, key)
+	}
+	c.answers[key] = answerEntry{out: out, exp: exp}
+}
+
+// queryAdmitted runs the actual peer fan-out for one query, encoding
+// the request once per wire dialect from pooled buffers.
+func (c *Client) queryAdmitted(vec feature.Vector, budget time.Duration, admitted []string) (QueryOutcome, error) {
+	q := Query{Vec: vec, K: uint8(c.cfg.K)}
+	var v1p, v2p *[]byte
+	defer func() {
+		if v1p != nil {
+			putEncBuf(v1p)
+		}
+		if v2p != nil {
+			putEncBuf(v2p)
+		}
+	}()
+	reqFor := func(peer string) ([]byte, error) {
+		if c.useV2(peer) {
+			if v2p == nil {
+				v2p = getEncBuf()
+				b, err := AppendEncodeV2(*v2p, q)
+				if err != nil {
+					return nil, err
+				}
+				*v2p = b
+			}
+			return *v2p, nil
+		}
+		if v1p == nil {
+			v1p = getEncBuf()
+			b, err := AppendEncode(*v1p, q)
+			if err != nil {
+				return nil, err
+			}
+			*v1p = b
+		}
+		return *v1p, nil
 	}
 	var out QueryOutcome
 	var maxRTT time.Duration
@@ -340,6 +640,11 @@ func (c *Client) QueryFrame(vec feature.Vector, budget time.Duration) (QueryOutc
 			c.breaker.OnSuccess(peer)
 			continue
 		}
+		req, err := reqFor(peer)
+		if err != nil {
+			return QueryOutcome{}, fmt.Errorf("encode query: %w", err)
+		}
+		c.wire.Sent(KindQuery.String(), len(req))
 		respB, rtt, callErr := c.transport.Call(peer, req)
 		if rtt > maxRTT {
 			maxRTT = rtt
@@ -356,6 +661,8 @@ func (c *Client) QueryFrame(vec feature.Vector, budget time.Duration) (QueryOutc
 			msg, decErr = Decode(respB)
 			if decErr != nil {
 				callErr = decErr
+			} else {
+				c.wire.Recv(msg.MsgKind().String(), len(respB))
 			}
 		}
 		if c.record(peer, rtt, callErr); callErr != nil {
@@ -393,7 +700,84 @@ func (c *Client) QueryFrame(vec feature.Vector, budget time.Duration) (QueryOutc
 // slowest successful delivery (sends proceed concurrently on a real
 // radio). Retry pacing happens off the recognition hot path, so no
 // backoff is charged to the returned cost.
+//
+// With GossipBatch > 1 the item is queued instead of sent: the queue
+// flushes when it reaches GossipBatch items or the oldest item has
+// waited GossipFlush (checked lazily on enqueue and on QueryFrame, or
+// explicitly via FlushGossip). v2 peers receive the whole batch as one
+// message; v1 peers receive the items individually at the flush.
 func (c *Client) Gossip(vec feature.Vector, label string, confidence float64, savedCost time.Duration) (time.Duration, error) {
+	item := Gossip{Vec: vec, Label: label, Confidence: confidence, SavedCost: savedCost}
+	if c.cfg.GossipBatch <= 1 {
+		return c.deliverGossip([]Gossip{item})
+	}
+	// Queued items outlive the caller's frame, whose vector buffer may
+	// be reused; take a private copy.
+	item.Vec = vec.Clone()
+	now := c.clock.Now()
+	c.mu.Lock()
+	c.pending = append(c.pending, item)
+	if len(c.pending) == 1 {
+		c.due = now.Add(c.gossipFlushInterval())
+	}
+	flush := len(c.pending) >= c.cfg.GossipBatch || !now.Before(c.due)
+	var items []Gossip
+	if flush {
+		items = c.pending
+		c.pending = nil
+	}
+	c.mu.Unlock()
+	if !flush {
+		return 0, nil
+	}
+	return c.deliverGossip(items)
+}
+
+// FlushGossip delivers any queued gossip immediately. The maintainer
+// loop calls it so queued items never outlive a maintenance interval.
+func (c *Client) FlushGossip() (time.Duration, error) {
+	c.mu.Lock()
+	items := c.pending
+	c.pending = nil
+	c.mu.Unlock()
+	if len(items) == 0 {
+		return 0, nil
+	}
+	return c.deliverGossip(items)
+}
+
+// flushDueGossip flushes the queue if its deadline has passed; called
+// from QueryFrame so batching never needs a background timer.
+func (c *Client) flushDueGossip() {
+	c.mu.Lock()
+	if len(c.pending) == 0 {
+		c.mu.Unlock()
+		return
+	}
+	due := !c.clock.Now().Before(c.due)
+	var items []Gossip
+	if due {
+		items = c.pending
+		c.pending = nil
+	}
+	c.mu.Unlock()
+	if due {
+		c.deliverGossip(items) //nolint:errcheck // fire-and-forget
+	}
+}
+
+func (c *Client) gossipFlushInterval() time.Duration {
+	if c.cfg.GossipFlush > 0 {
+		return c.cfg.GossipFlush
+	}
+	return 100 * time.Millisecond
+}
+
+// deliverGossip fans the items out to admitted peers. A v2 peer gets
+// one frame (a GossipBatch when len(items) > 1); a v1 peer gets one
+// frame per item, sent back-to-back — its cost is the sum, which is
+// exactly the per-message overhead batching exists to avoid.
+func (c *Client) deliverGossip(items []Gossip) (time.Duration, error) {
 	peers := c.Peers()
 	if len(peers) == 0 {
 		return 0, nil
@@ -410,54 +794,178 @@ func (c *Client) Gossip(vec feature.Vector, label string, confidence float64, sa
 	if len(admitted) == 0 {
 		return 0, nil
 	}
-	payload, err := Encode(Gossip{
-		Vec:        vec,
-		Label:      label,
-		Confidence: confidence,
-		SavedCost:  savedCost,
-	})
-	if err != nil {
-		return 0, fmt.Errorf("encode gossip: %w", err)
-	}
+	var v1p, v2p *[]byte
+	var v1msgs [][]byte
+	defer func() {
+		if v1p != nil {
+			putEncBuf(v1p)
+		}
+		if v2p != nil {
+			putEncBuf(v2p)
+		}
+	}()
 	var maxCost time.Duration
 	for _, peer := range admitted {
-		for attempt := 0; attempt < c.cfg.GossipAttempts; attempt++ {
-			cost, sendErr := c.transport.Send(peer, payload)
-			c.record(peer, cost, sendErr)
-			if sendErr == nil {
+		if c.useV2(peer) {
+			if v2p == nil {
+				v2p = getEncBuf()
+				var m Message
+				if len(items) == 1 {
+					m = items[0]
+				} else {
+					m = GossipBatch{Items: items}
+				}
+				b, err := AppendEncodeV2(*v2p, m)
+				if err != nil {
+					return maxCost, fmt.Errorf("encode gossip: %w", err)
+				}
+				*v2p = b
+			}
+			kind := KindGossip
+			if len(items) > 1 {
+				kind = KindGossipBatch
+			}
+			cost, ok := c.sendGossipPayload(peer, *v2p, kind)
+			if ok {
+				if len(items) > 1 {
+					c.wire.ObserveBatch(len(items))
+				}
 				if cost > maxCost {
 					maxCost = cost
 				}
-				break
 			}
-			// Only transient loss is worth a retry; a crashed or
-			// partitioned peer fails the same way immediately.
-			if !errors.Is(sendErr, simnet.ErrLost) {
-				break
+			continue
+		}
+		if v1msgs == nil {
+			v1p = getEncBuf()
+			buf := *v1p
+			offsets := make([]int, 0, len(items)+1)
+			offsets = append(offsets, 0)
+			for _, g := range items {
+				var err error
+				buf, err = AppendEncode(buf, g)
+				if err != nil {
+					return maxCost, fmt.Errorf("encode gossip: %w", err)
+				}
+				offsets = append(offsets, len(buf))
 			}
+			*v1p = buf
+			v1msgs = make([][]byte, len(items))
+			for i := range items {
+				v1msgs[i] = buf[offsets[i]:offsets[i+1]]
+			}
+		}
+		var peerCost time.Duration
+		for _, payload := range v1msgs {
+			cost, ok := c.sendGossipPayload(peer, payload, KindGossip)
+			if ok {
+				peerCost += cost
+			}
+		}
+		if peerCost > maxCost {
+			maxCost = peerCost
 		}
 	}
 	return maxCost, nil
 }
 
+// sendGossipPayload delivers one gossip frame with the bounded retry
+// policy, booking health and wire stats. ok reports delivery.
+func (c *Client) sendGossipPayload(peer string, payload []byte, kind Kind) (time.Duration, bool) {
+	for attempt := 0; attempt < c.cfg.GossipAttempts; attempt++ {
+		c.wire.Sent(kind.String(), len(payload))
+		cost, sendErr := c.transport.Send(peer, payload)
+		c.record(peer, cost, sendErr)
+		if sendErr == nil {
+			return cost, true
+		}
+		// Only transient loss is worth a retry; a crashed or
+		// partitioned peer fails the same way immediately.
+		if !errors.Is(sendErr, simnet.ErrLost) {
+			break
+		}
+	}
+	return 0, false
+}
+
 // Ping probes peer and returns its advertised identity and cache size.
 // The outcome feeds the health tracker and breaker, so background
 // roster refreshes double as recovery probes for open circuits.
+//
+// Pings also carry the wire-version negotiation: an unprobed peer is
+// pinged in v2 first; success pins it to the compact codec, while a
+// version rejection (the typed decode error a legacy node answers
+// with) silently retries in v1 and pins v1. Transient failures (loss,
+// crash, partition) leave the version undecided, so a later ping can
+// still upgrade. The hot path (QueryFrame, Gossip) never probes — it
+// speaks v1 to undecided peers — which keeps negotiation entirely on
+// the background liveness traffic.
 func (c *Client) Ping(self, peer string) (Pong, time.Duration, error) {
-	req, err := Encode(Ping{From: self})
+	ver := c.peerVersion(peer)
+	if ver == WireV1 {
+		return c.pingVersion(self, peer, WireV1, false)
+	}
+	pong, rtt, err := c.pingVersion(self, peer, WireV2, ver == 0)
+	if err == nil {
+		c.setPeerVersion(peer, WireV2)
+		return pong, rtt, nil
+	}
+	if ver == 0 && versionRejection(err) {
+		pong, rtt, err := c.pingVersion(self, peer, WireV1, false)
+		if err == nil {
+			c.setPeerVersion(peer, WireV1)
+		}
+		return pong, rtt, err
+	}
+	return pong, rtt, err
+}
+
+// versionRejection reports whether a probe failure looks like a peer
+// that cannot speak v2 (a typed bad-response error in-process, or a
+// dropped connection from a real TCP node) rather than a transient
+// outage that says nothing about its dialect.
+func versionRejection(err error) bool {
+	switch Classify(err) {
+	case ErrClassBadResponse, ErrClassOther:
+		return true
+	}
+	return false
+}
+
+// pingVersion sends one ping in the given wire version. When probe is
+// set, a version rejection is not booked against the peer's health —
+// the fallback ping that follows will book the real outcome — so
+// negotiation never trips a healthy legacy peer's breaker.
+func (c *Client) pingVersion(self, peer string, ver int, probe bool) (Pong, time.Duration, error) {
+	bufp := getEncBuf()
+	defer putEncBuf(bufp)
+	var req []byte
+	var err error
+	if ver == WireV2 {
+		req, err = AppendEncodeV2(*bufp, Ping{From: self})
+	} else {
+		req, err = AppendEncode(*bufp, Ping{From: self})
+	}
 	if err != nil {
 		return Pong{}, 0, fmt.Errorf("encode ping: %w", err)
 	}
+	*bufp = req[:0]
+	c.wire.Sent(KindPing.String(), len(req))
 	respB, rtt, err := c.transport.Call(peer, req)
 	if err != nil {
-		c.record(peer, rtt, err)
+		if !(probe && versionRejection(err)) {
+			c.record(peer, rtt, err)
+		}
 		return Pong{}, rtt, err
 	}
 	msg, err := Decode(respB)
 	if err != nil {
-		c.record(peer, rtt, err)
+		if !(probe && versionRejection(err)) {
+			c.record(peer, rtt, err)
+		}
 		return Pong{}, rtt, err
 	}
+	c.wire.Recv(msg.MsgKind().String(), len(respB))
 	pong, ok := msg.(Pong)
 	if !ok {
 		err := fmt.Errorf("%w: %v reply to ping", ErrUnknownKind, msg.MsgKind())
@@ -530,13 +1038,49 @@ func (c *Client) Health() HealthSnapshot {
 	return snap
 }
 
-// QueryWireSize returns the encoded size of a query for dim-dimensional
-// vectors, for energy accounting.
+// QueryWireSize returns the v1-encoded size of a query for
+// dim-dimensional vectors, for energy accounting.
 func QueryWireSize(dim int) int { return 2 + 2 + 8*dim }
 
-// GossipWireSize returns the encoded size of a gossip message carrying
-// a dim-dimensional vector and a label of labelLen bytes.
+// GossipWireSize returns the v1-encoded size of a gossip message
+// carrying a dim-dimensional vector and a label of labelLen bytes.
 func GossipWireSize(dim, labelLen int) int { return 1 + 2 + 8*dim + 2 + labelLen + 8 + 8 }
+
+// allPeersV2 reports whether every configured peer has negotiated v2
+// (false with no peers or any undecided peer).
+func (c *Client) allPeersV2() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cfg.WireV1Only || len(c.peers) == 0 {
+		return false
+	}
+	for _, p := range c.peers {
+		if c.versions[p] != WireV2 {
+			return false
+		}
+	}
+	return true
+}
+
+// QueryWireSize returns the request size this client currently pays
+// for a dim-dimensional query: the compact v2 size once the whole peer
+// set speaks v2, the conservative v1 size otherwise. Energy accounting
+// uses it so the radio model tracks the negotiated codec.
+func (c *Client) QueryWireSize(dim int) int {
+	if c.allPeersV2() {
+		return QueryWireSizeV2(dim)
+	}
+	return QueryWireSize(dim)
+}
+
+// GossipWireSize is the per-peer gossip size counterpart of the
+// QueryWireSize method.
+func (c *Client) GossipWireSize(dim, labelLen int) int {
+	if c.allPeersV2() {
+		return GossipWireSizeV2(dim, labelLen)
+	}
+	return GossipWireSize(dim, labelLen)
+}
 
 // SimnetTransport adapts a simnet.Network as a Transport for node self.
 type SimnetTransport struct {

@@ -1,0 +1,261 @@
+package p2p
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"approxcache/internal/feature"
+)
+
+// quantTol is the worst-case per-element reconstruction error for a
+// vector spanning [lo, hi]: half a quantization step plus float32
+// header rounding slack.
+func quantTol(lo, hi float64) float64 {
+	return (hi-lo)/(2*feature.QuantRange)/2 + 1e-4
+}
+
+func vecsClose(t *testing.T, got, want feature.Vector, tol float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("dim %d != %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > tol {
+			t.Fatalf("elem %d: got %v want %v (tol %v)", i, got[i], want[i], tol)
+		}
+	}
+}
+
+// allKindsV2 is one specimen of every message kind, v2-only kinds
+// included.
+func allKindsV2() []Message {
+	return []Message{
+		Query{Vec: feature.Vector{0.1, -0.4, 2.5}, K: 4},
+		QueryResp{Found: true, Label: "class-1", Confidence: 0.875, Distance: 0.125},
+		QueryResp{},
+		Gossip{Vec: feature.Vector{-1, 1}, Label: "g", Confidence: 1, SavedCost: 33 * time.Millisecond},
+		Ack{},
+		Ping{From: "node-a"},
+		Pong{From: "node-b", Entries: 12345},
+		DigestReq{},
+		DigestResp{Digest: Digest{Centroids: []feature.Vector{{1, 0}, {0, 1}}}},
+		DigestDeltaReq{Since: 1<<40 | 7},
+		DigestDeltaResp{
+			Epoch:   1<<40 | 9,
+			Removed: []uint64{3, 17},
+			Added:   []DigestCentroid{{ID: 21, Vec: feature.Vector{0.5, -0.5}}},
+		},
+		DigestDeltaResp{Epoch: 2 << 32, Full: true,
+			Added: []DigestCentroid{{ID: 1, Vec: feature.Vector{2, 2}}}},
+		GossipBatch{Items: []Gossip{
+			{Vec: feature.Vector{1, 2}, Label: "a", Confidence: 0.5, SavedCost: time.Second},
+			{Vec: feature.Vector{3, 4}, Label: "b", Confidence: 0.75},
+		}},
+	}
+}
+
+func TestV2RoundTripAllKinds(t *testing.T) {
+	for _, m := range allKindsV2() {
+		b, err := AppendEncodeV2(nil, m)
+		if err != nil {
+			t.Fatalf("%v: %v", m.MsgKind(), err)
+		}
+		got, ver, err := DecodeWire(b)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", m.MsgKind(), err)
+		}
+		if ver != WireV2 {
+			t.Fatalf("%v: version %d", m.MsgKind(), ver)
+		}
+		if got.MsgKind() != m.MsgKind() {
+			t.Fatalf("kind %v became %v", m.MsgKind(), got.MsgKind())
+		}
+		switch want := m.(type) {
+		case Query:
+			g := got.(Query)
+			if g.K != want.K {
+				t.Fatalf("K %d != %d", g.K, want.K)
+			}
+			vecsClose(t, g.Vec, want.Vec, quantTol(-0.4, 2.5))
+		case QueryResp:
+			// Non-vector fields must round-trip exactly.
+			if got.(QueryResp) != want {
+				t.Fatalf("QueryResp %+v != %+v", got, want)
+			}
+		case Gossip:
+			g := got.(Gossip)
+			if g.Label != want.Label || g.Confidence != want.Confidence || g.SavedCost != want.SavedCost {
+				t.Fatalf("Gossip %+v != %+v", g, want)
+			}
+			vecsClose(t, g.Vec, want.Vec, quantTol(-1, 1))
+		case Ping:
+			if got.(Ping) != want {
+				t.Fatalf("Ping %+v != %+v", got, want)
+			}
+		case Pong:
+			if got.(Pong) != want {
+				t.Fatalf("Pong %+v != %+v", got, want)
+			}
+		case DigestDeltaReq:
+			if got.(DigestDeltaReq) != want {
+				t.Fatalf("DigestDeltaReq %+v != %+v", got, want)
+			}
+		case DigestDeltaResp:
+			g := got.(DigestDeltaResp)
+			if g.Epoch != want.Epoch || g.Full != want.Full ||
+				len(g.Removed) != len(want.Removed) || len(g.Added) != len(want.Added) {
+				t.Fatalf("DigestDeltaResp %+v != %+v", g, want)
+			}
+			for i := range want.Removed {
+				if g.Removed[i] != want.Removed[i] {
+					t.Fatalf("Removed[%d] = %d", i, g.Removed[i])
+				}
+			}
+			for i := range want.Added {
+				if g.Added[i].ID != want.Added[i].ID {
+					t.Fatalf("Added[%d].ID = %d", i, g.Added[i].ID)
+				}
+				vecsClose(t, g.Added[i].Vec, want.Added[i].Vec, quantTol(-2, 2))
+			}
+		case GossipBatch:
+			g := got.(GossipBatch)
+			if len(g.Items) != len(want.Items) {
+				t.Fatalf("batch %d items", len(g.Items))
+			}
+			for i := range want.Items {
+				if g.Items[i].Label != want.Items[i].Label {
+					t.Fatalf("item %d label %q", i, g.Items[i].Label)
+				}
+			}
+		}
+	}
+}
+
+func TestV2NegativeSavedCostRoundTrips(t *testing.T) {
+	m := Gossip{Vec: feature.Vector{1}, Label: "x", Confidence: 1, SavedCost: -5 * time.Millisecond}
+	b, err := AppendEncodeV2(nil, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := DecodeWire(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc := got.(Gossip).SavedCost; sc != m.SavedCost {
+		t.Fatalf("SavedCost %v != %v", sc, m.SavedCost)
+	}
+}
+
+func TestV2TruncatedFrames(t *testing.T) {
+	for _, m := range allKindsV2() {
+		full, err := AppendEncodeV2(nil, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cut := 0; cut < len(full); cut++ {
+			if _, _, err := DecodeWire(full[:cut]); err == nil {
+				// A strict prefix must never decode cleanly... except a
+				// zero-length cut of nothing, which still errors.
+				t.Fatalf("%v truncated to %d/%d bytes decoded", m.MsgKind(), cut, len(full))
+			}
+		}
+	}
+}
+
+func TestV2CorruptFrames(t *testing.T) {
+	if _, _, err := DecodeWire([]byte{wireV2Marker}); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("bare marker: %v", err)
+	}
+	if _, _, err := DecodeWire([]byte{wireV2Marker, 0xEE, 0x01}); !errors.Is(err, ErrUnknownKind) {
+		t.Fatalf("unknown v2 kind: %v", err)
+	}
+	// Oversized vector dim must be rejected, not allocated.
+	b := []byte{wireV2Marker, byte(KindQuery), 4, 0xFF, 0xFF, 0xFF, 0x7F}
+	if _, _, err := DecodeWire(b); err == nil {
+		t.Fatal("oversized dim accepted")
+	}
+	// Trailing garbage after a valid body must be rejected.
+	full, err := AppendEncodeV2(nil, Ack{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecodeWire(append(full, 0x00)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+func TestV2DeltaEntriesBounded(t *testing.T) {
+	// A delta response claiming an absurd entry count must fail fast.
+	b := []byte{wireV2Marker, byte(KindDigestDeltaResp)}
+	b = append(b, 1)                                  // epoch
+	b = append(b, 0)                                  // full=false
+	b = append(b, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F) // removed count
+	if _, _, err := DecodeWire(b); err == nil {
+		t.Fatal("unbounded delta accepted")
+	}
+}
+
+func TestAppendEncodeMatchesEncode(t *testing.T) {
+	prefix := []byte("prefix")
+	for _, m := range allKindsV2() {
+		enc, err := Encode(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		app, err := AppendEncode(append([]byte(nil), prefix...), m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.HasPrefix(app, prefix) {
+			t.Fatalf("%v: prefix clobbered", m.MsgKind())
+		}
+		if !bytes.Equal(app[len(prefix):], enc) {
+			t.Fatalf("%v: AppendEncode differs from Encode", m.MsgKind())
+		}
+	}
+}
+
+func TestV2WireSizeEstimators(t *testing.T) {
+	for _, dim := range []int{0, 1, 16, 80, 300} {
+		vec := make(feature.Vector, dim)
+		for i := range vec {
+			vec[i] = float64(i) * 0.01
+		}
+		q, err := AppendEncodeV2(nil, Query{Vec: vec, K: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := QueryWireSizeV2(dim); got != len(q) {
+			t.Fatalf("QueryWireSizeV2(%d) = %d, actual %d", dim, got, len(q))
+		}
+		label := "some-label"
+		g, err := AppendEncodeV2(nil, Gossip{Vec: vec, Label: label, Confidence: 0.5, SavedCost: time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := GossipWireSizeV2(dim, len(label)); got < len(g) {
+			t.Fatalf("GossipWireSizeV2(%d) = %d underestimates actual %d", dim, got, len(g))
+		}
+	}
+}
+
+func TestV2QuerySmallerThanV1(t *testing.T) {
+	vec := make(feature.Vector, 80)
+	for i := range vec {
+		vec[i] = float64(i)
+	}
+	v1, err := Encode(Query{Vec: vec, K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := AppendEncodeV2(nil, Query{Vec: vec, K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v2)*4 > len(v1) {
+		t.Fatalf("v2 %dB not >= 4x smaller than v1 %dB", len(v2), len(v1))
+	}
+}

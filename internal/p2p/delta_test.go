@@ -1,0 +1,115 @@
+package p2p
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"approxcache/internal/feature"
+)
+
+func TestDigestEpochsFirstContactIsFull(t *testing.T) {
+	d := newDigestEpochs()
+	resp := d.serve([]feature.Vector{{1, 0}, {0, 1}}, 0)
+	if !resp.Full || len(resp.Added) != 2 || len(resp.Removed) != 0 {
+		t.Fatalf("first contact: %+v", resp)
+	}
+	// Unchanged set, synced epoch: empty delta.
+	resp2 := d.serve([]feature.Vector{{1, 0}, {0, 1}}, resp.Epoch)
+	if resp2.Full || len(resp2.Added) != 0 || len(resp2.Removed) != 0 {
+		t.Fatalf("unchanged: %+v", resp2)
+	}
+	if resp2.Epoch != resp.Epoch {
+		t.Fatalf("epoch moved without change: %d -> %d", resp.Epoch, resp2.Epoch)
+	}
+}
+
+func TestDigestEpochsDelta(t *testing.T) {
+	d := newDigestEpochs()
+	first := d.serve([]feature.Vector{{1, 0}, {0, 1}}, 0)
+	// {0,1} leaves, {1,1} arrives.
+	second := d.serve([]feature.Vector{{1, 0}, {1, 1}}, first.Epoch)
+	if second.Full {
+		t.Fatalf("known epoch answered with full snapshot: %+v", second)
+	}
+	if len(second.Removed) != 1 || len(second.Added) != 1 {
+		t.Fatalf("delta: %+v", second)
+	}
+	if second.Epoch == first.Epoch {
+		t.Fatal("epoch did not advance on change")
+	}
+	if got := second.Added[0].Vec; got[0] != 1 || got[1] != 1 {
+		t.Fatalf("added %v", got)
+	}
+}
+
+func TestDigestEpochsUnknownEpochGetsFull(t *testing.T) {
+	d := newDigestEpochs()
+	d.serve([]feature.Vector{{1, 0}}, 0)
+	resp := d.serve([]feature.Vector{{1, 0}}, 999)
+	if !resp.Full || len(resp.Added) != 1 {
+		t.Fatalf("unknown epoch: %+v", resp)
+	}
+}
+
+func TestDigestEpochsRestartCannotEchoOldEpoch(t *testing.T) {
+	old := newDigestEpochs()
+	oldResp := old.serve([]feature.Vector{{1, 0}}, 0)
+	// A "restarted" service is a fresh digestEpochs; the client still
+	// remembers the old incarnation's epoch. It must get a full
+	// snapshot, never an empty "unchanged" answer.
+	fresh := newDigestEpochs()
+	resp := fresh.serve([]feature.Vector{{2, 0}}, oldResp.Epoch)
+	if !resp.Full {
+		t.Fatalf("restarted service answered a stale epoch with a delta: %+v", resp)
+	}
+}
+
+func TestPeerDigestStateApplyErrorsWithoutState(t *testing.T) {
+	var st peerDigestState
+	_, err := st.apply(DigestDeltaResp{Epoch: 5, Removed: []uint64{1}})
+	if err == nil {
+		t.Fatal("delta without prior state accepted")
+	}
+}
+
+// TestDeltaEquivalentToFullRefetch churns a service-side centroid set
+// through many rounds; a client applying only deltas must always hold
+// exactly the set a from-scratch full refetch would produce.
+func TestDeltaEquivalentToFullRefetch(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	d := newDigestEpochs()
+	var st peerDigestState
+	var since uint64
+	pool := make([]feature.Vector, 12)
+	for i := range pool {
+		pool[i] = feature.Vector{float64(i), rng.Float64()}
+	}
+	for round := 0; round < 50; round++ {
+		// Random subset, sometimes far from the previous one (beyond
+		// the history ring when the requester lags).
+		var set []feature.Vector
+		for _, v := range pool {
+			if rng.Float64() < 0.5 {
+				set = append(set, v)
+			}
+		}
+		resp := d.serve(set, since)
+		got, err := st.apply(resp)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		since = resp.Epoch
+
+		// Reference: a brand-new client doing a full refetch.
+		var ref peerDigestState
+		full := d.serve(set, 0)
+		want, err := ref.apply(full)
+		if err != nil {
+			t.Fatalf("round %d ref: %v", round, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round %d: delta state %v != full refetch %v", round, got.Centroids, want.Centroids)
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package p2p
 
 import (
+	"math/rand"
+	"reflect"
 	"testing"
 	"time"
 
@@ -22,16 +24,31 @@ func FuzzDecode(f *testing.F) {
 		DigestReq{},
 		DigestResp{Digest: Digest{Centroids: []feature.Vector{{1, 0}, {0, 1}}}},
 	}
+	// v2-only kinds round out the corpus.
+	seeds = append(seeds,
+		DigestDeltaReq{Since: 1<<40 | 3},
+		DigestDeltaResp{Epoch: 1<<40 | 4, Removed: []uint64{2},
+			Added: []DigestCentroid{{ID: 9, Vec: feature.Vector{1, -1}}}},
+		GossipBatch{Items: []Gossip{{Vec: feature.Vector{1}, Label: "a", Confidence: 1}}},
+	)
 	for _, m := range seeds {
 		b, err := Encode(m)
 		if err != nil {
 			f.Fatal(err)
 		}
 		f.Add(b)
+		// Every kind also seeds its v2 framing.
+		b2, err := AppendEncodeV2(nil, m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b2)
 	}
 	f.Add([]byte{})
 	f.Add([]byte{0xFF, 0x00, 0x01})
 	f.Add([]byte{byte(KindQuery), 4, 0xFF, 0xFF})
+	f.Add([]byte{wireV2Marker})
+	f.Add([]byte{wireV2Marker, byte(KindQuery), 4, 0x80, 0x80, 0x80, 0x01})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		msg, err := Decode(data)
@@ -49,6 +66,74 @@ func FuzzDecode(f *testing.F) {
 		if msg.MsgKind() != msg2.MsgKind() {
 			t.Fatalf("kind changed across round trip: %v vs %v",
 				msg.MsgKind(), msg2.MsgKind())
+		}
+		// Anything decodable must also survive v2 re-framing: the v2
+		// codec covers every kind, and quantization (lossy on vectors)
+		// must still be stable on kind and non-vector fields.
+		re2, err := AppendEncodeV2(nil, msg)
+		if err != nil {
+			t.Fatalf("decoded message failed to v2-encode: %v", err)
+		}
+		msg3, ver, err := DecodeWire(re2)
+		if err != nil {
+			t.Fatalf("v2 re-encoding failed to decode: %v", err)
+		}
+		if ver != WireV2 || msg3.MsgKind() != msg.MsgKind() {
+			t.Fatalf("v2 round trip changed kind/version: %v v%d", msg3.MsgKind(), ver)
+		}
+	})
+}
+
+// FuzzDeltaApply drives random centroid churn through the service-side
+// delta state and asserts the client-side apply path always reproduces
+// exactly what a from-scratch full refetch would return.
+func FuzzDeltaApply(f *testing.F) {
+	f.Add(int64(1), uint8(3), uint8(0))
+	f.Add(int64(42), uint8(10), uint8(200))
+	f.Add(int64(-7), uint8(digestHistoryLen+4), uint8(90))
+	f.Fuzz(func(t *testing.T, seed int64, rounds uint8, lagPct uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		d := newDigestEpochs()
+		var st peerDigestState
+		var since uint64
+		pool := make([]feature.Vector, 10)
+		for i := range pool {
+			pool[i] = feature.Vector{float64(i), rng.Float64()}
+		}
+		for round := 0; round < int(rounds%32); round++ {
+			var set []feature.Vector
+			for _, v := range pool {
+				if rng.Float64() < 0.5 {
+					set = append(set, v)
+				}
+			}
+			// A lagging client sometimes presents a stale or bogus
+			// epoch; the service must fall back to a full snapshot and
+			// apply must still converge.
+			q := since
+			if rng.Float64() < float64(lagPct)/255 {
+				q = rng.Uint64()
+			}
+			resp := d.serve(set, q)
+			got, err := st.apply(resp)
+			if err != nil {
+				// Only legal when a delta met empty client state; a
+				// full snapshot must always apply.
+				if resp.Full {
+					t.Fatalf("round %d: full snapshot failed to apply: %v", round, err)
+				}
+				st, since = peerDigestState{}, 0
+				continue
+			}
+			since = resp.Epoch
+			var ref peerDigestState
+			want, err := ref.apply(d.serve(set, 0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("round %d: delta %v != full %v", round, got.Centroids, want.Centroids)
+			}
 		}
 	})
 }

@@ -79,7 +79,7 @@ func Classify(err error) ErrClass {
 		errors.Is(err, simnet.ErrUnknownNode):
 		return ErrClassUnreachable
 	case errors.Is(err, ErrTruncated), errors.Is(err, ErrUnknownKind),
-		errors.Is(err, ErrFrameTooLarge):
+		errors.Is(err, ErrFrameTooLarge), errors.Is(err, ErrWireVersion):
 		return ErrClassBadResponse
 	}
 	var nerr net.Error

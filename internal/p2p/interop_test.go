@@ -1,0 +1,263 @@
+package p2p
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"approxcache/internal/cachestore"
+	"approxcache/internal/feature"
+	"approxcache/internal/lsh"
+	"approxcache/internal/simclock"
+	"approxcache/internal/simnet"
+)
+
+// newVersionedPair builds one service and one client on a lossless
+// simnet, with either side optionally pinned to the v1 wire protocol.
+func newVersionedPair(t *testing.T, clientV1, serviceV1 bool) (*Client, *Service) {
+	t.Helper()
+	net, err := simnet.New(simnet.LinkProfile{Latency: 2 * time.Millisecond}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scfg := DefaultServiceConfig("peer-a")
+	scfg.WireV1Only = serviceV1
+	svc, err := NewService(scfg, newStore(t, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RegisterService(net, svc); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewSimnetTransport("self", net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccfg := DefaultClientConfig()
+	ccfg.WireV1Only = clientV1
+	ccfg.Clock = simclock.NewVirtual(time.Unix(0, 0))
+	cl, err := NewClient(ccfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.SetPeers([]string{"peer-a"})
+	return cl, svc
+}
+
+// TestCrossVersionInterop exercises every message kind across all four
+// client/service version pairings: a v2 node must speak byte-compatible
+// v1 to legacy peers, and a legacy node must never see a v2 frame.
+func TestCrossVersionInterop(t *testing.T) {
+	cases := []struct{ clientV1, serviceV1 bool }{
+		{false, false}, // v2 <-> v2
+		{false, true},  // v2 client, legacy service
+		{true, false},  // legacy client, v2 service
+		{true, true},   // legacy <-> legacy
+	}
+	for _, tc := range cases {
+		name := map[bool]string{true: "v1", false: "v2"}
+		t.Run(name[tc.clientV1]+"-client_"+name[tc.serviceV1]+"-service", func(t *testing.T) {
+			cl, svc := newVersionedPair(t, tc.clientV1, tc.serviceV1)
+			if _, err := svc.Store().Insert(feature.Vector{1, 0}, "cat", 0.9, "dnn", time.Millisecond); err != nil {
+				t.Fatal(err)
+			}
+			// Ping (negotiation happens here for v2-capable clients).
+			pong, _, err := cl.Ping("self", "peer-a")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pong.From != "peer-a" || pong.Entries != 1 {
+				t.Fatalf("pong = %+v", pong)
+			}
+			// Query / QueryResp.
+			out, err := cl.QueryFrame(feature.Vector{1, 0.01}, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !out.Found || out.Hit.Label != "cat" {
+				t.Fatalf("query outcome = %+v", out)
+			}
+			// Gossip / Ack.
+			if _, err := cl.Gossip(feature.Vector{0, 1}, "dog", 0.9, time.Millisecond); err != nil {
+				t.Fatal(err)
+			}
+			if got := svc.Store().Len(); got != 2 {
+				t.Fatalf("store len after gossip = %d", got)
+			}
+			// Digest fetch (delta-based on the v2<->v2 pairing).
+			dig, _, err := cl.FetchDigest("peer-a")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(dig.Centroids) == 0 {
+				t.Fatal("empty digest")
+			}
+			// Refetch exercises the delta path when negotiated.
+			if _, _, err := cl.FetchDigest("peer-a"); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestNegotiationPinsVersion(t *testing.T) {
+	// Against a v2-capable service the first ping settles v2, and the
+	// client's energy-model sizes switch to the compact encoding.
+	cl, _ := newVersionedPair(t, false, false)
+	if got, want := cl.QueryWireSize(80), QueryWireSize(80); got != want {
+		t.Fatalf("pre-negotiation size %d, want conservative v1 %d", got, want)
+	}
+	if _, _, err := cl.Ping("self", "peer-a"); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := cl.QueryWireSize(80), QueryWireSizeV2(80); got != want {
+		t.Fatalf("post-negotiation size %d, want v2 %d", got, want)
+	}
+	if got, want := cl.GossipWireSize(80, 3), GossipWireSizeV2(80, 3); got != want {
+		t.Fatalf("gossip size %d, want v2 %d", got, want)
+	}
+}
+
+func TestNegotiationFallsBackToV1(t *testing.T) {
+	cl, _ := newVersionedPair(t, false, true)
+	if _, _, err := cl.Ping("self", "peer-a"); err != nil {
+		t.Fatal(err)
+	}
+	// Fallback pinned v1: sizes must stay conservative.
+	if got, want := cl.QueryWireSize(80), QueryWireSize(80); got != want {
+		t.Fatalf("size after v1 fallback %d, want %d", got, want)
+	}
+	// Subsequent pings must not re-probe v2 (would double error counts);
+	// a second ping succeeds immediately.
+	if _, _, err := cl.Ping("self", "peer-a"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestV1OnlyServiceRejectsV2Frame(t *testing.T) {
+	scfg := DefaultServiceConfig("legacy")
+	scfg.WireV1Only = true
+	svc, err := NewService(scfg, newStore(t, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := AppendEncodeV2(nil, Ping{From: "self"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, herr := svc.HandleRaw("self", raw)
+	if !errors.Is(herr, ErrWireVersion) {
+		t.Fatalf("err = %v, want ErrWireVersion", herr)
+	}
+	if Classify(herr) != ErrClassBadResponse {
+		t.Fatalf("class = %v", Classify(herr))
+	}
+}
+
+// TestQuantizedVoteDifferential bounds the label disagreement between
+// v2 (quantized) and v1 (float64) peer answers on the same content:
+// compressing the query vector must not flip votes.
+func TestQuantizedVoteDifferential(t *testing.T) {
+	const dim, entries, queries = 16, 60, 300
+	rng := rand.New(rand.NewSource(5))
+	centers := make([]feature.Vector, 4)
+	for i := range centers {
+		c := make(feature.Vector, dim)
+		for d := range c {
+			c[d] = rng.NormFloat64()
+		}
+		c.Normalize()
+		centers[i] = c
+	}
+	perturbed := func(i int, sigma float64) feature.Vector {
+		v := centers[i].Clone()
+		for d := range v {
+			v[d] += rng.NormFloat64() * sigma
+		}
+		v.Normalize()
+		return v
+	}
+	// Two services with identical content, one per protocol dialect.
+	build := func(v1 bool, seed int64) *Client {
+		net, err := simnet.New(simnet.LinkProfile{Latency: time.Millisecond}, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := newStoreDim(t, dim, 4*entries)
+		r2 := rand.New(rand.NewSource(99))
+		for j := 0; j < entries; j++ {
+			i := r2.Intn(len(centers))
+			v := centers[i].Clone()
+			for d := range v {
+				v[d] += r2.NormFloat64() * 0.02
+			}
+			v.Normalize()
+			if _, err := st.Insert(v, diffLabel(i), 0.9, "dnn", time.Millisecond); err != nil {
+				t.Fatal(err)
+			}
+		}
+		scfg := DefaultServiceConfig("peer-a")
+		scfg.WireV1Only = v1
+		svc, err := NewService(scfg, st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := RegisterService(net, svc); err != nil {
+			t.Fatal(err)
+		}
+		tr, err := NewSimnetTransport("self", net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ccfg := DefaultClientConfig()
+		ccfg.WireV1Only = v1
+		cl, err := NewClient(ccfg, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl.SetPeers([]string{"peer-a"})
+		if !v1 {
+			if _, _, err := cl.Ping("self", "peer-a"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return cl
+	}
+	legacy := build(true, 21)
+	compact := build(false, 21)
+	disagree := 0
+	for q := 0; q < queries; q++ {
+		vec := perturbed(rng.Intn(len(centers)), 0.02)
+		o1, err := legacy.QueryFrame(vec, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o2, err := compact.QueryFrame(vec, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o1.Found != o2.Found || (o1.Found && o1.Hit.Label != o2.Hit.Label) {
+			disagree++
+		}
+	}
+	if max := queries / 50; disagree > max { // 2%
+		t.Fatalf("quantized answers disagreed on %d/%d queries (budget %d)", disagree, queries, max)
+	}
+}
+
+func diffLabel(i int) string { return "class-" + string(rune('a'+i)) }
+
+func newStoreDim(t *testing.T, dim, capacity int) *cachestore.Store {
+	t.Helper()
+	idx, err := lsh.NewExact(dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := cachestore.New(cachestore.Config{Capacity: capacity}, idx,
+		simclock.NewVirtual(time.Unix(0, 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}

@@ -111,6 +111,9 @@ func (m *Maintainer) loop() {
 
 func (m *Maintainer) refresh() {
 	best := m.roster.ApplyBest(m.cfg.Fanout)
+	// Queued gossip must not outlive a maintenance round even on an
+	// idle pipeline; this is the batching backstop.
+	_, _ = m.roster.client.FlushGossip()
 	if m.cfg.RefreshDigests {
 		for _, peer := range best {
 			// A failed digest fetch leaves any previous digest in

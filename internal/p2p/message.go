@@ -32,6 +32,11 @@ const (
 	KindPong
 	KindDigestReq
 	KindDigestResp
+	// v2-only kinds: these have no v1 encoding and are only sent to
+	// peers that negotiated wire v2.
+	KindDigestDeltaReq
+	KindDigestDeltaResp
+	KindGossipBatch
 )
 
 // String returns the kind name.
@@ -53,6 +58,12 @@ func (k Kind) String() string {
 		return "digest-req"
 	case KindDigestResp:
 		return "digest-resp"
+	case KindDigestDeltaReq:
+		return "digest-delta-req"
+	case KindDigestDeltaResp:
+		return "digest-delta-resp"
+	case KindGossipBatch:
+		return "gossip-batch"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -145,17 +156,27 @@ const MaxVectorDim = 4096
 // MaxLabelLen bounds decoded label sizes.
 const MaxLabelLen = 256
 
-// Encode serializes m into a compact binary payload: a kind byte
-// followed by fixed-width big-endian fields; vectors as a uint16 length
-// plus float64s; strings as a uint16 length plus raw bytes.
+// Encode serializes m into a compact binary payload. It is a thin
+// wrapper over AppendEncode with a fresh buffer; hot paths pass a
+// pooled buffer to AppendEncode instead.
 func Encode(m Message) ([]byte, error) {
+	return AppendEncode(nil, m)
+}
+
+// AppendEncode appends m's wire encoding to buf and returns the
+// extended buffer (which may have been reallocated, as with append).
+// Classic kinds use the v1 framing — a kind byte followed by
+// fixed-width big-endian fields, vectors as a uint16 length plus
+// float64s, strings as a uint16 length plus raw bytes — so any peer can
+// decode them. The v2-only kinds (delta digests, gossip batches) have
+// no v1 form and are emitted in v2 framing; use AppendEncodeV2 to force
+// v2 framing for a negotiated peer.
+func AppendEncode(b []byte, m Message) ([]byte, error) {
 	switch v := m.(type) {
 	case Query:
-		b := make([]byte, 0, 4+len(v.Vec)*8)
 		b = append(b, byte(KindQuery), v.K)
 		return appendVec(b, v.Vec)
 	case QueryResp:
-		b := make([]byte, 0, 20+len(v.Label))
 		b = append(b, byte(KindQueryResp), boolByte(v.Found))
 		b, err := appendString(b, v.Label)
 		if err != nil {
@@ -165,7 +186,6 @@ func Encode(m Message) ([]byte, error) {
 		b = appendFloat(b, v.Distance)
 		return b, nil
 	case Gossip:
-		b := make([]byte, 0, 24+len(v.Label)+len(v.Vec)*8)
 		b = append(b, byte(KindGossip))
 		b, err := appendVec(b, v.Vec)
 		if err != nil {
@@ -179,32 +199,53 @@ func Encode(m Message) ([]byte, error) {
 		b = binary.BigEndian.AppendUint64(b, uint64(v.SavedCost))
 		return b, nil
 	case Ack:
-		return []byte{byte(KindAck)}, nil
+		return append(b, byte(KindAck)), nil
 	case Ping:
-		b := []byte{byte(KindPing)}
+		b = append(b, byte(KindPing))
 		return appendString(b, v.From)
 	case Pong:
-		b := []byte{byte(KindPong)}
+		b = append(b, byte(KindPong))
 		b, err := appendString(b, v.From)
 		if err != nil {
 			return nil, err
 		}
 		return binary.BigEndian.AppendUint32(b, v.Entries), nil
 	case DigestReq:
-		return []byte{byte(KindDigestReq)}, nil
+		return append(b, byte(KindDigestReq)), nil
 	case DigestResp:
-		b := []byte{byte(KindDigestResp)}
+		b = append(b, byte(KindDigestResp))
 		return encodeDigest(b, v.Digest)
+	case DigestDeltaReq, DigestDeltaResp, GossipBatch:
+		return AppendEncodeV2(b, m)
 	default:
 		return nil, fmt.Errorf("p2p: cannot encode %T", m)
 	}
 }
 
-// Decode parses a payload produced by Encode.
+// Decode parses a payload produced by AppendEncode or AppendEncodeV2,
+// dispatching on the framing: a leading wireV2Marker selects the v2
+// codec, anything else is a v1 kind byte.
 func Decode(b []byte) (Message, error) {
+	m, _, err := DecodeWire(b)
+	return m, err
+}
+
+// DecodeWire is Decode plus the frame's wire version, so services can
+// answer in the requester's dialect.
+func DecodeWire(b []byte) (Message, int, error) {
 	if len(b) == 0 {
-		return nil, ErrTruncated
+		return nil, 0, ErrTruncated
 	}
+	if b[0] == wireV2Marker {
+		m, err := decodeV2(b[1:])
+		return m, WireV2, err
+	}
+	m, err := decodeV1(b)
+	return m, WireV1, err
+}
+
+// decodeV1 parses a v1-framed payload.
+func decodeV1(b []byte) (Message, error) {
 	kind, rest := Kind(b[0]), b[1:]
 	switch kind {
 	case KindQuery:

@@ -19,6 +19,10 @@ type ServiceConfig struct {
 	// confidence, an admission filter against polluting the local
 	// cache with peers' uncertain results.
 	MinGossipConfidence float64
+	// WireV1Only makes the service reject v2-framed requests with
+	// ErrWireVersion, emulating a legacy node for interop tests and
+	// the bandwidth baseline.
+	WireV1Only bool
 }
 
 // Validate reports whether the configuration is usable.
@@ -49,8 +53,10 @@ func DefaultServiceConfig(name string) ServiceConfig {
 // of any shape (single, sharded, or serialized). Service is safe for
 // concurrent use.
 type Service struct {
-	cfg   ServiceConfig
-	store cachestore.Interface
+	cfg    ServiceConfig
+	store  cachestore.Interface
+	digest *digestEpochs
+	wire   metrics.WireTally
 }
 
 // NewService builds a service over store.
@@ -61,8 +67,11 @@ func NewService(cfg ServiceConfig, store cachestore.Interface) (*Service, error)
 	if store == nil {
 		return nil, fmt.Errorf("p2p: nil store")
 	}
-	return &Service{cfg: cfg, store: store}, nil
+	return &Service{cfg: cfg, store: store, digest: newDigestEpochs()}, nil
 }
+
+// WireStats returns this service's per-kind wire traffic totals.
+func (s *Service) WireStats() metrics.WireStats { return s.wire.Snapshot() }
 
 // Name returns the node name.
 func (s *Service) Name() string { return s.cfg.Name }
@@ -145,6 +154,16 @@ func (s *Service) HandlePing(Ping) Pong {
 // entries are withheld — advertising coverage this node itself refuses
 // to serve would send peers here for answers they cannot get.
 func (s *Service) HandleDigestReq(DigestReq) (DigestResp, error) {
+	d, err := s.buildDigest()
+	if err != nil {
+		return DigestResp{}, err
+	}
+	return DigestResp{Digest: d}, nil
+}
+
+// buildDigest clusters the store's non-quarantined entries into the
+// current coverage digest.
+func (s *Service) buildDigest() (Digest, error) {
 	entries := s.store.Snapshot()
 	vecs := make([]feature.Vector, 0, len(entries))
 	var suppressed int64
@@ -160,9 +179,45 @@ func (s *Service) HandleDigestReq(DigestReq) (DigestResp, error) {
 	}
 	d, err := BuildDigest(vecs, s.cfg.Vote.MaxDistance, MaxDigestCentroids)
 	if err != nil {
-		return DigestResp{}, fmt.Errorf("build digest: %w", err)
+		return Digest{}, fmt.Errorf("build digest: %w", err)
 	}
-	return DigestResp{Digest: d}, nil
+	return d, nil
+}
+
+// HandleDigestDelta answers an epoch-versioned digest request: the
+// current centroid set is rebuilt, the digest epoch advanced if it
+// changed, and the requester receives only the additions and removals
+// since the epoch it named — or a full snapshot when that epoch is
+// unknown (first contact, evicted history, or a service restart).
+func (s *Service) HandleDigestDelta(req DigestDeltaReq) (DigestDeltaResp, error) {
+	d, err := s.buildDigest()
+	if err != nil {
+		return DigestDeltaResp{}, err
+	}
+	return s.digest.serve(d.Centroids, req.Since), nil
+}
+
+// HandleGossipBatch admits each item of a coalesced gossip batch. Item
+// failures are independent — a batch is only an error when every item
+// fails, mirroring gossip's fire-and-forget semantics.
+func (s *Service) HandleGossipBatch(b GossipBatch) error {
+	if len(b.Items) == 0 {
+		return nil
+	}
+	var firstErr error
+	failed := 0
+	for _, g := range b.Items {
+		if err := s.HandleGossip(g); err != nil {
+			failed++
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	if failed == len(b.Items) {
+		return fmt.Errorf("gossip batch: all %d items failed: %w", failed, firstErr)
+	}
+	return nil
 }
 
 // HandleRaw decodes payload, dispatches to the matching handler, and
@@ -170,10 +225,23 @@ func (s *Service) HandleDigestReq(DigestReq) (DigestResp, error) {
 // its signature (modulo the from argument's type) matches
 // simnet.Handler.
 func (s *Service) HandleRaw(from string, payload []byte) ([]byte, error) {
-	msg, err := Decode(payload)
+	return s.HandleRawAppend(from, payload, nil)
+}
+
+// HandleRawAppend is HandleRaw appending the response to buf, so
+// connection loops can reuse one response buffer across exchanges
+// instead of allocating per message. The response is answered in the
+// request's wire version: v2 requesters get v2 frames, everyone else
+// gets v1, which is what makes mixed-version meshes interoperate.
+func (s *Service) HandleRawAppend(from string, payload []byte, buf []byte) ([]byte, error) {
+	msg, ver, err := DecodeWire(payload)
 	if err != nil {
 		return nil, fmt.Errorf("decode from %q: %w", from, err)
 	}
+	if ver == WireV2 && s.cfg.WireV1Only {
+		return nil, fmt.Errorf("p2p: %q sent a v2 frame to a v1-only node: %w", from, ErrWireVersion)
+	}
+	s.wire.Recv(msg.MsgKind().String(), len(payload))
 	var resp Message
 	switch m := msg.(type) {
 	case Query:
@@ -187,6 +255,11 @@ func (s *Service) HandleRaw(from string, payload []byte) ([]byte, error) {
 			return nil, err
 		}
 		resp = Ack{}
+	case GossipBatch:
+		if err := s.HandleGossipBatch(m); err != nil {
+			return nil, err
+		}
+		resp = Ack{}
 	case Ping:
 		resp = s.HandlePing(m)
 	case DigestReq:
@@ -195,13 +268,25 @@ func (s *Service) HandleRaw(from string, payload []byte) ([]byte, error) {
 			return nil, err
 		}
 		resp = r
+	case DigestDeltaReq:
+		r, err := s.HandleDigestDelta(m)
+		if err != nil {
+			return nil, err
+		}
+		resp = r
 	default:
 		return nil, fmt.Errorf("p2p: unexpected request kind %v", msg.MsgKind())
 	}
-	out, err := Encode(resp)
+	var out []byte
+	if ver == WireV2 {
+		out, err = AppendEncodeV2(buf, resp)
+	} else {
+		out, err = AppendEncode(buf, resp)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("encode response: %w", err)
 	}
+	s.wire.Sent(resp.MsgKind().String(), len(out)-len(buf))
 	return out, nil
 }
 

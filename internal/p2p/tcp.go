@@ -34,6 +34,12 @@ func writeFrame(w io.Writer, payload []byte) error {
 
 // readFrame reads one length-prefixed frame.
 func readFrame(r io.Reader) ([]byte, error) {
+	return readFrameInto(r, nil)
+}
+
+// readFrameInto reads one length-prefixed frame into buf (grown as
+// needed), so connection loops can recycle one request buffer.
+func readFrameInto(r io.Reader, buf []byte) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
@@ -42,7 +48,10 @@ func readFrame(r io.Reader) ([]byte, error) {
 	if n > MaxFrameSize {
 		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
 	}
-	payload := make([]byte, n)
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	payload := buf[:n]
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return nil, err
 	}
@@ -128,15 +137,20 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		s.wg.Done()
 	}()
 	remote := conn.RemoteAddr().String()
+	// Per-connection request/response buffers: sequential exchanges
+	// reuse them, so a steady peer stream stops allocating per message.
+	var reqBuf, respBuf []byte
 	for {
-		req, err := readFrame(conn)
+		req, err := readFrameInto(conn, reqBuf)
 		if err != nil {
 			return // EOF or peer misbehaving: drop the connection
 		}
-		resp, err := s.svc.HandleRaw(remote, req)
+		reqBuf = req[:0]
+		resp, err := s.svc.HandleRawAppend(remote, req, respBuf[:0])
 		if err != nil {
 			return
 		}
+		respBuf = resp[:0]
 		if err := writeFrame(conn, resp); err != nil {
 			return
 		}

@@ -2,6 +2,7 @@ package approxcache
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"approxcache/internal/p2p"
@@ -55,11 +56,16 @@ func (c *Cache) JoinSimNetwork(net *SimNetwork, name string) (*PeerClient, error
 }
 
 // ConnectAll points every client at all the *other* named nodes,
-// forming a full mesh. Call it after **every** node has joined the
-// network: a client added later is invisible to the mesh until
-// ConnectAll runs again. It errors on an empty or single-entry map —
-// a mesh of one cannot share anything, and silently accepting it has
-// historically hidden setup-ordering bugs.
+// forming a full mesh. A client added later is invisible to the mesh
+// until ConnectAll runs again — so re-run it whenever the network's
+// membership epoch (SimNetwork.Epoch, bumped on every register and
+// unregister) has moved. ConnectAll is idempotent and cheap: each call
+// just replaces peer lists (sorted, so mesh formation is
+// deterministic), and re-running it never disturbs negotiated wire
+// versions, digests, or breaker state of peers that stayed. It errors
+// on an empty or single-entry map — a mesh of one cannot share
+// anything, and silently accepting it has historically hidden
+// setup-ordering bugs.
 func ConnectAll(clients map[string]*PeerClient) error {
 	if len(clients) < 2 {
 		return fmt.Errorf("approxcache: ConnectAll needs at least 2 clients, got %d", len(clients))
@@ -68,6 +74,7 @@ func ConnectAll(clients map[string]*PeerClient) error {
 	for name := range clients {
 		names = append(names, name)
 	}
+	sort.Strings(names)
 	for self, client := range clients {
 		peers := make([]string, 0, len(names)-1)
 		for _, name := range names {
